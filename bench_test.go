@@ -1,0 +1,157 @@
+// Package amber's root bench suite regenerates every table and figure of
+// the paper's evaluation (one benchmark per table/figure, DESIGN.md §4)
+// plus ablation benches for the §IV-C design choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes its experiment in quick mode and reports the
+// simulator's wall-clock cost; the printed tables themselves come from
+// cmd/amberbench.
+package amber_test
+
+import (
+	"testing"
+
+	"amber/internal/config"
+	"amber/internal/core"
+	"amber/internal/exp"
+	"amber/internal/workload"
+)
+
+var quick = exp.Options{Quick: true}
+
+func benchExperiment(b *testing.B, run func(exp.Options) (*exp.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := run(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTableI_Config(b *testing.B)                    { benchExperiment(b, exp.TableI) }
+func BenchmarkFigure3_BaselineBandwidth(b *testing.B)        { benchExperiment(b, exp.Figure3) }
+func BenchmarkFigure4_BaselineLatency(b *testing.B)          { benchExperiment(b, exp.Figure4) }
+func BenchmarkFigure8_ValidationBandwidth(b *testing.B)      { benchExperiment(b, exp.Figure8) }
+func BenchmarkFigure9_ValidationLatency(b *testing.B)        { benchExperiment(b, exp.Figure9) }
+func BenchmarkFigure10_BlockSize(b *testing.B)               { benchExperiment(b, exp.Figure10) }
+func BenchmarkFigure11_OverProvisioning(b *testing.B)        { benchExperiment(b, exp.Figure11) }
+func BenchmarkFigure12_OSImpact(b *testing.B)                { benchExperiment(b, exp.Figure12) }
+func BenchmarkFigure13a_MobileVsPC(b *testing.B)             { benchExperiment(b, exp.Figure13a) }
+func BenchmarkFigure13b_PowerBreakdown(b *testing.B)         { benchExperiment(b, exp.Figure13b) }
+func BenchmarkFigure13c_InstructionBreakdown(b *testing.B)   { benchExperiment(b, exp.Figure13c) }
+func BenchmarkFigure14_CPUFrequency(b *testing.B)            { benchExperiment(b, exp.Figure14) }
+func BenchmarkFigure15a_ActivePassiveBandwidth(b *testing.B) { benchExperiment(b, exp.Figure15a) }
+func BenchmarkFigure15b_KernelCPU(b *testing.B)              { benchExperiment(b, exp.Figure15b) }
+func BenchmarkFigure15c_DRAMUsage(b *testing.B)              { benchExperiment(b, exp.Figure15c) }
+func BenchmarkFigure16_SimSpeed(b *testing.B)                { benchExperiment(b, exp.Figure16) }
+func BenchmarkTableIV_Features(b *testing.B)                 { benchExperiment(b, exp.TableIV) }
+
+// ablationSystem measures 4K random-read or write bandwidth for a mutated
+// device configuration — the harness for the §IV-C design-choice ablations
+// DESIGN.md calls out.
+func ablationBandwidth(b *testing.B, pattern workload.Pattern, mutate func(*core.DeviceConfig)) float64 {
+	b.Helper()
+	d, err := config.Device("intel750")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(&d)
+	}
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Precondition(32); err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewFIO(pattern, 4096, s.VolumeBytes(), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := s.Run(gen, core.RunConfig{Requests: 1500, IODepth: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.BandwidthMBps()
+}
+
+// BenchmarkAblation_NoReadahead quantifies §IV-C's parallelism-aware
+// readahead: sequential-read bandwidth with and without it.
+func BenchmarkAblation_NoReadahead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationBandwidth(b, workload.SeqRead, nil)
+		without := ablationBandwidth(b, workload.SeqRead, func(d *core.DeviceConfig) {
+			d.ReadaheadThreshold = 0
+			d.ReadaheadLines = 0
+		})
+		b.ReportMetric(with/without, "readahead-speedup")
+	}
+}
+
+// BenchmarkAblation_NoPartialUpdate quantifies §IV-C's super-page hashmap:
+// random-write bandwidth with partial updates vs read-modify-write.
+func BenchmarkAblation_NoPartialUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationBandwidth(b, workload.RandWrite, nil)
+		without := ablationBandwidth(b, workload.RandWrite, func(d *core.DeviceConfig) {
+			d.PartialUpdate = false
+		})
+		b.ReportMetric(with/without, "partial-update-speedup")
+	}
+}
+
+// BenchmarkAblation_NoComputationComplex shows what omitting the embedded
+// cores does to the curve: with a near-infinite-speed computation complex
+// the firmware becomes free, reproducing the baseline-simulator optimism
+// the paper criticizes.
+func BenchmarkAblation_NoComputationComplex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		real := ablationBandwidth(b, workload.RandRead, nil)
+		ideal := ablationBandwidth(b, workload.RandRead, func(d *core.DeviceConfig) {
+			d.CPU.FrequencyMHz = 1e6 // effectively free firmware
+		})
+		b.ReportMetric(ideal/real, "firmware-cost-factor")
+	}
+}
+
+// BenchmarkAblation_GCPolicy compares Greedy and Cost-Benefit victim
+// selection under steady-state random writes.
+func BenchmarkAblation_GCPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		greedy := ablationBandwidth(b, workload.RandWrite, nil)
+		cb := ablationBandwidth(b, workload.RandWrite, func(d *core.DeviceConfig) {
+			d.GCPolicy = 1 // ftl.CostBenefit
+		})
+		b.ReportMetric(cb/greedy, "costbenefit-vs-greedy")
+	}
+}
+
+// BenchmarkSubmitPath measures the raw simulator throughput of the full
+// I/O path (requests simulated per second of wall clock).
+func BenchmarkSubmitPath(b *testing.B) {
+	d := config.SmallTestDevice()
+	d.TrackData = false
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := gen.Next(i)
+		if _, err := s.Submit(s.Now(), req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command amberbench regenerates the paper's tables and figures
+// (§V evaluation): every experiment prints the same rows/series the paper
+// reports, computed by the simulator.
+//
+// Usage:
+//
+//	amberbench                 # run everything (full resolution)
+//	amberbench -quick          # reduced request counts / sweep resolution
+//	amberbench -only fig8,fig9 # a subset
+//	amberbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"amber/internal/exp"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced request counts and sweep resolution")
+		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	o := exp.Options{Quick: *quick}
+	failed := 0
+	for _, e := range exp.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		t, err := e.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		t.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+// Command ambersim runs one workload against a configured SSD system and
+// prints the measured bandwidth, latency distribution, firmware activity
+// and power breakdown — the single-run front door to the simulator.
+//
+// Usage:
+//
+//	ambersim -device intel750 -workload rand-read -bs 4096 -depth 32 -n 20000
+//	ambersim -device zssd -trace 24HRS -n 10000
+//	ambersim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"amber/internal/config"
+	"amber/internal/core"
+	"amber/internal/host"
+	"amber/internal/sim"
+	"amber/internal/workload"
+)
+
+func main() {
+	var (
+		device    = flag.String("device", "intel750", "device preset (see -list)")
+		wl        = flag.String("workload", "rand-read", "fio pattern: seq-read|rand-read|seq-write|rand-write")
+		trace     = flag.String("trace", "", "Table III trace instead of fio pattern: 24HR|24HRS|DAP|CFS|MSNFS")
+		bs        = flag.Int("bs", 4096, "block size in bytes (fio patterns)")
+		depth     = flag.Int("depth", 32, "I/O queue depth")
+		n         = flag.Int("n", 10000, "request count")
+		sched     = flag.String("sched", "bfq", "host I/O scheduler: noop|cfq|bfq")
+		mobile    = flag.Bool("mobile", false, "use the mobile (Jetson TX2-class) host platform")
+		noPrecond = flag.Bool("no-precondition", false, "skip steady-state preconditioning")
+		list      = flag.Bool("list", false, "list device presets and exit")
+		seed      = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range config.Devices() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			d, _ := config.Device(name)
+			fmt.Printf("%-12s %-6s %3d dies  %4d MB/s link\n",
+				name, d.Protocol.Kind, d.Geometry.TotalDies(), int(d.Protocol.LinkBytesPerSec/1e6))
+		}
+		return
+	}
+
+	d, err := config.Device(*device)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := config.PCSystem(d)
+	if *mobile {
+		cfg = config.MobileSystem(d)
+	}
+	switch *sched {
+	case "noop":
+		cfg.Host.Scheduler = host.NoopSched
+	case "cfq":
+		cfg.Host.Scheduler = host.CFQ
+	case "bfq":
+		cfg.Host.Scheduler = host.BFQ
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *sched))
+	}
+
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*noPrecond {
+		fmt.Fprintln(os.Stderr, "preconditioning to steady state...")
+		if err := s.Precondition(32); err != nil {
+			fatal(err)
+		}
+	}
+
+	var gen workload.Generator
+	if *trace != "" {
+		var tp workload.TraceParams
+		found := false
+		for _, t := range workload.Traces() {
+			if t.TraceName == *trace {
+				tp, found = t, true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown trace %q", *trace))
+		}
+		gen, err = workload.NewTrace(tp, s.VolumeBytes(), *seed)
+	} else {
+		var p workload.Pattern
+		switch *wl {
+		case "seq-read":
+			p = workload.SeqRead
+		case "rand-read":
+			p = workload.RandRead
+		case "seq-write":
+			p = workload.SeqWrite
+		case "rand-write":
+			p = workload.RandWrite
+		default:
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		gen, err = workload.NewFIO(p, *bs, s.VolumeBytes(), *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth})
+	if err != nil {
+		fatal(err)
+	}
+
+	el := res.Elapsed()
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("device          %s (%s, %d dies)\n", d.Name, d.Protocol.Kind, d.Geometry.TotalDies())
+	fmt.Printf("requests        %d at depth %d (effective)\n", res.Requests, res.Depth)
+	fmt.Printf("simulated time  %v\n", el)
+	fmt.Printf("bandwidth       %.1f MB/s (%.0f IOPS)\n", res.BandwidthMBps(), res.IOPS())
+	fmt.Printf("latency         avg %.1f us, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
+		res.AvgLatencyUs(), res.Latency.Percentile(50), res.Latency.Percentile(95),
+		res.Latency.Percentile(99), res.Latency.Max())
+
+	fs := s.FTL.Stats()
+	fmt.Printf("ftl             WAF %.2f, GC runs %d, migrated %d, erases %d\n",
+		fs.WAF(), fs.GCRuns, fs.GCMigrated, fs.Erases)
+	cs := s.ICL.Stats()
+	fmt.Printf("icl             hit rate %.1f%%, readaheads %d, evictions %d\n",
+		cs.HitRate()*100, cs.Readaheads, cs.Evictions)
+	im := s.DevCPU.Instructions()
+	fmt.Printf("firmware        %.1fM instructions (%.0f%% load/store)\n",
+		float64(im.Total())/1e6, im.LoadStoreFraction()*100)
+	full := s.Now() - 0
+	fmt.Printf("power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",
+		s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))
+	fmt.Printf("host            cpu busy %v, mem used %d MB\n",
+		s.Host.CPU.BusyTime(), s.Host.MemUsed()>>20)
+	_ = sim.Time(0)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ambersim:", err)
+	os.Exit(1)
+}

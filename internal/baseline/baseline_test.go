@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"testing"
+
+	"amber/internal/workload"
+)
+
+func TestAllBaselinesRun(t *testing.T) {
+	for _, b := range All() {
+		r := b.Replay(workload.RandRead, 4096, 8, 500)
+		if r.BandwidthMBps <= 0 || r.LatencyUs <= 0 {
+			t.Fatalf("%s: degenerate result %+v", b.Name(), r)
+		}
+	}
+}
+
+// The structural pathologies §III-A describes must emerge from each model.
+
+func TestMQSimLikeScalesLinearly(t *testing.T) {
+	b := NewMQSimLike()
+	r1 := b.Replay(workload.RandRead, 4096, 1, 2000)
+	r16 := b.Replay(workload.RandRead, 4096, 16, 2000)
+	ratio := r16.BandwidthMBps / r1.BandwidthMBps
+	if ratio < 14 || ratio > 18 {
+		t.Fatalf("mqsim-like depth scaling = %.1fx, want ~16x (linear)", ratio)
+	}
+	// And latency is depth-independent (no contention anywhere).
+	if r16.LatencyUs != r1.LatencyUs {
+		t.Fatalf("mqsim-like latency changed with depth: %v vs %v", r1.LatencyUs, r16.LatencyUs)
+	}
+}
+
+func TestSSDExtLikeIsFlat(t *testing.T) {
+	b := NewSSDExtLike()
+	r1 := b.Replay(workload.RandRead, 4096, 1, 2000)
+	r32 := b.Replay(workload.RandRead, 4096, 32, 2000)
+	// Serialized path: bandwidth must NOT grow with depth.
+	if r32.BandwidthMBps > r1.BandwidthMBps*1.1 {
+		t.Fatalf("ssdext-like scaled with depth: %v -> %v", r1.BandwidthMBps, r32.BandwidthMBps)
+	}
+	// Latency balloons instead.
+	if r32.LatencyUs < r1.LatencyUs*10 {
+		t.Fatalf("ssdext-like latency did not balloon: %v -> %v", r1.LatencyUs, r32.LatencyUs)
+	}
+}
+
+func TestFlashSimLikeFlatAndSlow(t *testing.T) {
+	b := NewFlashSimLike()
+	r1 := b.Replay(workload.SeqRead, 4096, 1, 2000)
+	r32 := b.Replay(workload.SeqRead, 4096, 32, 2000)
+	if r32.BandwidthMBps > r1.BandwidthMBps*1.1 {
+		t.Fatal("flashsim-like should be flat")
+	}
+	// Reads and writes are indistinguishable (no flash model).
+	w1 := b.Replay(workload.SeqWrite, 4096, 1, 2000)
+	if w1.BandwidthMBps != r1.BandwidthMBps {
+		t.Fatal("flashsim-like should not distinguish reads from writes")
+	}
+}
+
+func TestSSDSimLikeContendOnDies(t *testing.T) {
+	b := NewSSDSimLike()
+	r1 := b.Replay(workload.RandRead, 4096, 1, 2000)
+	r32 := b.Replay(workload.RandRead, 4096, 32, 2000)
+	// Some scaling (parallel dies) but sublinear due to collisions.
+	if r32.BandwidthMBps <= r1.BandwidthMBps {
+		t.Fatal("ssdsim-like should scale somewhat with depth")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"mqsim-like", "ssdsim-like", "ssdext-like", "flashsim-like"}
+	for i, b := range All() {
+		if b.Name() != want[i] {
+			t.Fatalf("baseline %d = %q, want %q", i, b.Name(), want[i])
+		}
+	}
+}

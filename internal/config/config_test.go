@@ -1,0 +1,88 @@
+package config
+
+import (
+	"testing"
+
+	"amber/internal/core"
+	"amber/internal/proto"
+)
+
+func TestAllPresetsValidate(t *testing.T) {
+	for name, f := range Devices() {
+		d := f()
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if d.Name == "" {
+			t.Errorf("%s: empty name", name)
+		}
+	}
+}
+
+func TestTableIFidelity(t *testing.T) {
+	d := Intel750()
+	// The published Table I parameters are unscaled.
+	if got := d.Flash.ProgFast.Microseconds(); got < 820.61 || got > 820.63 {
+		t.Fatalf("tPROG fast = %v, want 820.62", got)
+	}
+	if got := d.Flash.ReadFast.Microseconds(); got < 59.97 || got > 59.98 {
+		t.Fatalf("tR fast = %v, want 59.975", got)
+	}
+	if d.Flash.Erase.Microseconds() != 3000 {
+		t.Fatal("tERASE must be 3ms")
+	}
+	if d.Geometry.Channels != 12 || d.Geometry.PackagesPerChannel != 5 || d.Geometry.PlanesPerDie != 2 {
+		t.Fatal("Table I parallelism must be unscaled")
+	}
+	if d.OPRatio != 0.20 {
+		t.Fatal("Intel 750 OP is 20%")
+	}
+	if d.DRAM.CapacityBytes != 1<<30 || d.DRAM.BanksPerRank != 8 {
+		t.Fatal("Table I internal DRAM: 1GB, 8 banks")
+	}
+}
+
+func TestDeviceProtocolAssignments(t *testing.T) {
+	cases := map[string]proto.Kind{
+		"intel750": proto.NVMe, "850pro": proto.SATA, "zssd": proto.NVMe,
+		"983dct": proto.NVMe, "ufs": proto.UFS, "mobile-nvme": proto.NVMe,
+		"ocssd": proto.OCSSD,
+	}
+	for name, want := range cases {
+		d, err := Device(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Protocol.Kind != want {
+			t.Errorf("%s: protocol %v, want %v", name, d.Protocol.Kind, want)
+		}
+	}
+	if d, _ := Device("ocssd"); !d.Passive {
+		t.Fatal("ocssd preset must be passive")
+	}
+}
+
+func TestZSSDIsLowLatency(t *testing.T) {
+	z, i := ZSSD(), Intel750()
+	if z.Flash.ReadFast >= i.Flash.ReadFast/10 {
+		t.Fatal("Z-SSD reads must be ~3us [61]")
+	}
+	if z.Flash.ProgFast >= i.Flash.ProgFast/5 {
+		t.Fatal("Z-SSD writes must be ~100us [61]")
+	}
+}
+
+func TestPlatformBuilders(t *testing.T) {
+	d := SmallTestDevice()
+	pc := PCSystem(d)
+	mob := MobileSystem(d)
+	if pc.Host.FreqMHz <= mob.Host.FreqMHz {
+		t.Fatal("PC platform must be faster (Table II)")
+	}
+	if _, err := core.NewSystem(pc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewSystem(mob); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package core assembles Amber: the SSD's computation complex (embedded
+// cores + internal DRAM), storage complex (multi-channel NAND behind the
+// FIL), the firmware stack (HIL splitting, ICL caching with readahead, FTL
+// mapping with GC and wear-leveling), a protocol instance (SATA, UFS, NVMe
+// or OCSSD), the host system model, and the DMA engine that emulates real
+// data movement between them. It exposes the public simulation API used by
+// the examples, the command-line tools and the experiment harness.
+//
+// The System supports both architectures of §V-E: the default "active"
+// storage runs the firmware on the SSD's cores; the "passive" (OCSSD)
+// configuration moves the ICL and FTL to the host, charging their
+// instructions to host cores and their memory to host DRAM, which is
+// exactly what pblk + LightNVM do.
+package core
+
+import (
+	"fmt"
+
+	"amber/internal/cpu"
+	"amber/internal/dma"
+	"amber/internal/dram"
+	"amber/internal/fil"
+	"amber/internal/ftl"
+	"amber/internal/hil"
+	"amber/internal/host"
+	"amber/internal/icl"
+	"amber/internal/nand"
+	"amber/internal/proto"
+	"amber/internal/sim"
+)
+
+// DeviceConfig describes one SSD.
+type DeviceConfig struct {
+	Name string
+
+	Geometry   nand.Geometry
+	Flash      nand.Timing
+	FlashPower nand.Power
+	Cell       nand.CellType
+
+	DRAM      dram.Config
+	DRAMPower dram.Power
+
+	CPU      cpu.Config
+	CPUPower cpu.Power
+
+	// FTL knobs.
+	OPRatio        float64
+	GCPolicy       ftl.GCPolicy
+	PartialUpdate  bool
+	WearLevelDelta uint32
+
+	// ICL knobs. CacheLines == 0 sizes the cache to 70% of internal DRAM.
+	CacheLines         int
+	CacheAssoc         icl.Assoc
+	CacheRepl          icl.Replacement
+	ReadaheadThreshold int
+	ReadaheadLines     int
+
+	Protocol proto.Params
+
+	// Passive moves FTL+ICL to the host (OCSSD/pblk architecture).
+	Passive bool
+
+	// TrackData carries real payload bytes end to end. Data integrity is
+	// guaranteed for sub-page-aligned I/O.
+	TrackData bool
+	Seed      uint64
+}
+
+// Validate reports descriptive configuration errors.
+func (c DeviceConfig) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := c.Protocol.Validate(); err != nil {
+		return err
+	}
+	if c.OPRatio <= 0 {
+		return fmt.Errorf("core: OPRatio must be positive")
+	}
+	return nil
+}
+
+// SystemConfig pairs a device with a host platform.
+type SystemConfig struct {
+	Device DeviceConfig
+	Host   host.Config
+	// DMAMode selects timing (per-page) or functional (aggregate) data
+	// transfer emulation.
+	DMAMode dma.Mode
+	// HostPageSize is the system-memory page size pointer lists reference.
+	// Zero defaults to 4096.
+	HostPageSize int
+}
+
+// System is a full simulated machine: host plus SSD. Not safe for
+// concurrent use; the simulation is single-threaded by design.
+type System struct {
+	cfg    SystemConfig
+	params proto.Params
+
+	Host    *host.Host
+	DevCPU  *cpu.Complex
+	DevDRAM *dram.DRAM
+	Flash   *nand.Flash
+	FTL     *ftl.FTL
+	ICL     *icl.Cache
+	FIL     *fil.FIL
+	DMA     *dma.Engine
+	Split   *hil.Splitter
+
+	link *sim.Resource
+	hba  *sim.Resource // h-type host controller serialization point
+	// flushBuf bounds outstanding dirty-line write-backs: a write completes
+	// once its victim's data moved to a flush-buffer slot, and the slot is
+	// held until the flash programs land — the write-back decoupling real
+	// firmware uses so host writes are acknowledged at DRAM speed until the
+	// flash backend saturates.
+	flushBuf *sim.Pool
+
+	passive bool
+	now     sim.Time
+	lastEnd int64 // sequential-merge detector for the scheduler model
+
+	// MSHR-style in-flight fill tracking: concurrent demand reads and
+	// prefetches of the same super-page coalesce onto one flash fetch.
+	filling map[int64]map[int]bool // lspn -> subs currently being fetched
+	waiters map[int64][]func()     // lspn -> callbacks to retry at fill completion
+
+	reqs         uint64
+	bytesRead    uint64
+	bytesWritten uint64
+}
+
+// NewSystem wires a full machine from the configuration.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	if err := cfg.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Host.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.HostPageSize == 0 {
+		cfg.HostPageSize = 4096
+	}
+	d := cfg.Device
+
+	h, err := host.New(cfg.Host)
+	if err != nil {
+		return nil, err
+	}
+	devCPU, err := cpu.New(d.CPU, d.CPUPower)
+	if err != nil {
+		return nil, err
+	}
+	devDRAM, err := dram.New(d.DRAM, d.DRAMPower)
+	if err != nil {
+		return nil, err
+	}
+	flash, err := nand.New(d.Geometry, d.Flash, d.FlashPower, d.Cell, nand.Options{
+		TrackData: d.TrackData, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	translator, err := ftl.New(ftl.Config{
+		Geometry:        d.Geometry,
+		OPRatio:         d.OPRatio,
+		GCPolicy:        d.GCPolicy,
+		GCFreeThreshold: 2,
+		PartialUpdate:   d.PartialUpdate,
+		WearLevelDelta:  d.WearLevelDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fil.New(flash, translator.Address)
+	if err != nil {
+		return nil, err
+	}
+
+	subSize := d.Geometry.PageSize
+	subsPerLine := d.Geometry.TotalPlanes()
+	lineBytes := int64(subSize) * int64(subsPerLine)
+	lines := d.CacheLines
+	if lines == 0 {
+		if d.Passive {
+			// pblk's host-side buffer is a fixed 64 MB ring (§V-E), far
+			// smaller than the device DRAM an active SSD would use.
+			lines = int((64 << 20) / lineBytes)
+		} else {
+			lines = int(d.DRAM.CapacityBytes * 7 / 10 / lineBytes)
+		}
+		if lines < 4 {
+			lines = 4
+		}
+	}
+	cacheCfg := icl.Config{
+		Lines:              lines,
+		SubsPerLine:        subsPerLine,
+		SubSize:            subSize,
+		Assoc:              d.CacheAssoc,
+		Replacement:        d.CacheRepl,
+		ReadaheadThreshold: d.ReadaheadThreshold,
+		ReadaheadLines:     d.ReadaheadLines,
+		TrackData:          d.TrackData,
+		Seed:               d.Seed,
+	}
+	if cacheCfg.Assoc == icl.SetAssoc && cacheCfg.Ways == 0 {
+		cacheCfg.Ways = 4
+		for cacheCfg.Lines%cacheCfg.Ways != 0 {
+			cacheCfg.Ways--
+		}
+	}
+	cache, err := icl.New(cacheCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	split, err := hil.NewSplitter(subSize, subsPerLine)
+	if err != nil {
+		return nil, err
+	}
+
+	link := sim.NewResource("link." + d.Protocol.Kind.String())
+	engine, err := dma.New(dma.Config{
+		Link:               link,
+		LinkBytesPerSec:    d.Protocol.LinkBytesPerSec,
+		HostMem:            h.Mem,
+		HostMemBytesPerSec: cfg.Host.MemBandwidth,
+		Mode:               cfg.DMAMode,
+		HostControllerCopy: d.Protocol.HostControllerCopy,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:     cfg,
+		params:  d.Protocol,
+		Host:    h,
+		DevCPU:  devCPU,
+		DevDRAM: devDRAM,
+		Flash:   flash,
+		FTL:     translator,
+		ICL:     cache,
+		FIL:     f,
+		DMA:     engine,
+		Split:   split,
+		link:    link,
+		passive: d.Passive,
+		lastEnd: -1,
+		filling: make(map[int64]map[int]bool),
+		waiters: make(map[int64][]func()),
+	}
+	if d.Protocol.HostControllerCopy {
+		s.hba = sim.NewResource("hba")
+	}
+	s.flushBuf = sim.NewPool("flushbuf", d.Geometry.TotalPlanes())
+
+	// Memory accounting: the firmware's cache and mapping tables live in
+	// the internal DRAM for active storage; pblk moves them to the host
+	// (64 MB buffer + tables), §V-E.
+	mapBytes := translator.UserSuperPages() * int64(subsPerLine) * 8
+	if d.Passive {
+		if err := h.Alloc(64<<20 + mapBytes); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := devDRAM.Reserve(cacheCfg.CapacityBytes() + mapBytes); err != nil {
+			return nil, fmt.Errorf("core: internal DRAM too small for cache+map: %w", err)
+		}
+		// Host driver pools (queues, PRP pages).
+		if err := h.Alloc(16 << 20); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// Protocol returns the protocol parameters in use.
+func (s *System) Protocol() proto.Params { return s.params }
+
+// Passive reports whether the host-side FTL (pblk) architecture is active.
+func (s *System) Passive() bool { return s.passive }
+
+// Now returns the system's current simulated time.
+func (s *System) Now() sim.Time { return s.now }
+
+// VolumeBytes returns the logical capacity exposed to the host.
+func (s *System) VolumeBytes() int64 {
+	return s.FTL.UserSuperPages() * int64(s.FTL.SuperPageBytes())
+}
+
+// listKind maps the protocol to its pointer-list structure.
+func (s *System) listKind() dma.ListKind {
+	switch s.params.Kind {
+	case proto.SATA:
+		return dma.PRDT
+	case proto.UFS:
+		return dma.UPIU
+	default:
+		return dma.PRP
+	}
+}
+
+// coreFor maps a firmware module to its pinned embedded core, clamped to
+// the configured core count (the default 3-core layout pins HIL to core 0,
+// ICL/FTL to core 1, FIL to core 2).
+func (s *System) coreFor(module int) int {
+	c := s.cfg.Device.CPU.Cores
+	if module >= c {
+		return c - 1
+	}
+	return module
+}
+
+// chargeFirmware charges an instruction mix either to the pinned embedded
+// core (active storage) or to the host CPU (passive storage, where pblk
+// runs the same logic), returning completion.
+func (s *System) chargeFirmware(now sim.Time, module int, name string, mix cpu.InstrMix) sim.Time {
+	if s.passive && module > 0 {
+		// ICL/FTL/FIL-scheduling logic executes in pblk on the host.
+		return s.Host.ExecutePinned(now, module%s.cfg.Host.CPUs, "pblk."+name, mix)
+	}
+	_, end := s.DevCPU.Execute(now, s.coreFor(module), name, mix)
+	return end
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"amber/internal/cpu"
+	"amber/internal/icl"
+)
+
+// pblkFactor amplifies firmware instruction budgets when the FTL/ICL run
+// as pblk on the host (§V-E): the kernel-space implementation pays for
+// generic bio plumbing, per-page memcpy through the buffer, locking and
+// lightNVM translation — the reason the passive architecture burns ~50%%
+// of four host cores where the in-SSD firmware barely registers.
+const pblkFactor = 120
+
+// Firmware instruction budgets, delegating to the calibrated mixes in
+// package cpu. Kept as methods so configurations can be specialized later
+// without touching call sites.
+
+func (s *System) iclLookupMix() cpu.InstrMix { return s.scaleIfPassive(cpu.MixICLLookup) }
+
+func (s *System) iclInsertMix() cpu.InstrMix { return s.scaleIfPassive(cpu.MixICLInsert) }
+
+func (s *System) ftlTranslateMix() cpu.InstrMix { return s.scaleIfPassive(cpu.MixFTLTranslate) }
+
+func (s *System) scaleIfPassive(m cpu.InstrMix) cpu.InstrMix {
+	if s.passive {
+		return m.Scale(pblkFactor)
+	}
+	return m
+}
+
+// filScheduleMix scales the FIL transaction-composition cost by the number
+// of flash operations dispatched.
+func (s *System) filScheduleMix(ops int) cpu.InstrMix {
+	if ops < 1 {
+		ops = 1
+	}
+	return s.scaleIfPassive(cpu.MixFILSchedule.Scale(uint64(ops)))
+}
+
+// gcMix scales GC bookkeeping by the number of migrated sub-pages.
+func (s *System) gcMix(migrated int) cpu.InstrMix {
+	if migrated < 1 {
+		migrated = 1
+	}
+	return s.scaleIfPassive(cpu.MixFTLGCPerPage.Scale(uint64(migrated)))
+}
+
+// iclEviction aliases the ICL's eviction record for the submit path.
+type iclEviction = icl.Eviction

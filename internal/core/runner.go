@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+	"amber/internal/stats"
+	"amber/internal/workload"
+)
+
+// RunConfig parameterizes a closed-loop benchmark run.
+type RunConfig struct {
+	// Requests is the number of I/Os to complete.
+	Requests int
+	// IODepth is the requested queue depth; the protocol's hardware queue
+	// limit and the scheduler's dispatch window may clamp it.
+	IODepth int
+	// SampleEvery enables time-series sampling of host CPU utilization and
+	// memory usage at this period (zero disables).
+	SampleEvery sim.Duration
+	// RunMemBytes models the benchmark process's resident memory (FIO
+	// buffers + driver pools), allocated for the duration of the run
+	// (Fig. 15c). Zero allocates nothing.
+	RunMemBytes int64
+	// WithData attaches payload buffers to every request so real bytes
+	// move end to end (requires a TrackData system for integrity checks).
+	WithData bool
+}
+
+// RunResult reports a completed run.
+type RunResult struct {
+	Workload     string
+	Requests     int
+	Depth        int // effective depth after protocol/scheduler clamping
+	BytesRead    int64
+	BytesWritten int64
+	Start        sim.Time
+	End          sim.Time
+
+	Latency stats.Latency
+
+	// Time series (populated when sampling was enabled).
+	HostCPUUtil stats.Series // fraction of all host cores busy
+	HostMemMB   stats.Series // resident host memory in MB
+}
+
+// Elapsed returns the wall-clock span of the run in simulated time.
+func (r *RunResult) Elapsed() sim.Duration {
+	if r.End <= r.Start {
+		return 0
+	}
+	return r.End - r.Start
+}
+
+// BandwidthMBps returns total data moved over elapsed time.
+func (r *RunResult) BandwidthMBps() float64 {
+	return stats.BandwidthMBps(r.BytesRead+r.BytesWritten, r.Elapsed())
+}
+
+// IOPS returns completed requests per second.
+func (r *RunResult) IOPS() float64 {
+	return stats.IOPS(int64(r.Requests), r.Elapsed())
+}
+
+// AvgLatencyUs returns mean request latency in microseconds.
+func (r *RunResult) AvgLatencyUs() float64 { return r.Latency.Mean() }
+
+// Run drives the generator through the system closed-loop: `depth` slots
+// each keep one request in flight, issuing the next the moment the
+// previous completes — the FIO/libaio behavior the paper benchmarks with.
+func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
+	if rc.Requests <= 0 {
+		return nil, fmt.Errorf("core: run needs a positive request count")
+	}
+	depth := s.params.EffectiveQueueDepth(rc.IODepth)
+	if cap := s.Host.DepthCap(); depth > cap {
+		depth = cap
+	}
+	if depth > rc.Requests {
+		depth = rc.Requests
+	}
+
+	if rc.RunMemBytes > 0 {
+		if err := s.Host.Alloc(rc.RunMemBytes); err != nil {
+			return nil, err
+		}
+		defer s.Host.Free(rc.RunMemBytes)
+	}
+
+	res := &RunResult{
+		Workload: gen.Name(),
+		Requests: rc.Requests,
+		Depth:    depth,
+		Start:    s.now,
+	}
+	res.HostCPUUtil.Name = "host-cpu-util"
+	res.HostMemMB.Name = "host-mem-mb"
+
+	bytesRead0, bytesWritten0 := s.bytesRead, s.bytesWritten
+	res.End = res.Start
+
+	var cpuCounter stats.Counter
+	nextSample := res.Start
+	if rc.SampleEvery > 0 {
+		cpuCounter.Delta(res.Start+1, s.Host.CPU.BusyTime().Seconds())
+		nextSample = res.Start + rc.SampleEvery
+	}
+
+	// Event-driven closed loop: each of the `depth` jobs keeps one request
+	// in flight, issuing its next the moment the previous completes. The
+	// shared engine makes concurrent requests claim resources in global
+	// time order.
+	e := sim.NewEngine()
+	issued := 0
+	var runErr error
+	var issueNext func()
+	issueNext = func() {
+		if runErr != nil || issued >= rc.Requests {
+			return
+		}
+		i := issued
+		issued++
+		req := gen.Next(i)
+		var data []byte
+		if rc.WithData {
+			data = make([]byte, req.Length)
+			if req.Write {
+				for k := range data {
+					data[k] = byte(int(req.Offset) + k + i)
+				}
+			}
+		}
+		issue := e.Now()
+		s.SubmitAsync(e, req, data, func(done sim.Time, err error) {
+			if err != nil {
+				if runErr == nil {
+					runErr = fmt.Errorf("core: request %d (%+v): %w", i, req, err)
+				}
+				return
+			}
+			res.Latency.Add(done - issue)
+			if done > res.End {
+				res.End = done
+			}
+			if rc.SampleEvery > 0 {
+				for done >= nextSample {
+					// Host CPU utilization over the window: busy-seconds
+					// rate divided by core count.
+					rate := cpuCounter.Delta(nextSample, s.Host.CPU.BusyTime().Seconds())
+					res.HostCPUUtil.Add(nextSample, rate/float64(s.cfg.Host.CPUs))
+					res.HostMemMB.Add(nextSample, float64(s.Host.MemUsed())/1e6)
+					nextSample += rc.SampleEvery
+				}
+			}
+			e.At(sim.MaxOf(done, e.Now()), issueNext)
+		})
+	}
+	for i := 0; i < depth; i++ {
+		e.At(res.Start, issueNext)
+	}
+	e.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res.End > s.now {
+		s.now = res.End
+	}
+	res.BytesRead = int64(s.bytesRead - bytesRead0)
+	res.BytesWritten = int64(s.bytesWritten - bytesWritten0)
+	return res, nil
+}
+
+// Drain advances the system clock past all outstanding backend work
+// (flash programs, GC migrations, erases), so a following measurement is
+// not polluted by the tail of earlier writes. Benchmarks call it between
+// preconditioning and the measured run, mirroring the idle settle time
+// real SSD test methodology inserts.
+func (s *System) Drain() {
+	if t := s.Flash.FreeAt(); t > s.now {
+		s.now = t
+	}
+}
+
+// Precondition brings the device to the paper's STEADY-STATE: the entire
+// logical volume is written sequentially once (full mapping, no free
+// logical space), so subsequent write tests exercise GC realistically.
+func (s *System) Precondition(depth int) error {
+	bs := s.Split.LineBytes()
+	n := int(s.VolumeBytes() / int64(bs))
+	gen, err := workload.NewFIO(workload.SeqWrite, bs, s.VolumeBytes(), s.cfg.Device.Seed)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Run(gen, RunConfig{Requests: n, IODepth: depth}); err != nil {
+		return err
+	}
+	if _, err := s.Flush(s.now); err != nil {
+		return err
+	}
+	s.Drain()
+	return nil
+}
+
+// StressFill overwrites the volume randomly with writeFactor times its
+// capacity in 4 KiB-aligned blocks of the given size — the Fig. 11
+// worst-case stress pattern.
+func (s *System) StressFill(blockSize int, writeFactor float64) error {
+	gen, err := workload.NewFIO(workload.RandWrite, blockSize, s.VolumeBytes(), s.cfg.Device.Seed^0x5f)
+	if err != nil {
+		return err
+	}
+	n := int(float64(s.VolumeBytes()) * writeFactor / float64(blockSize))
+	if n < 1 {
+		n = 1
+	}
+	_, err = s.Run(gen, RunConfig{Requests: n, IODepth: 32})
+	return err
+}

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"fmt"
+
+	"amber/internal/dma"
+	"amber/internal/fil"
+	"amber/internal/ftl"
+	"amber/internal/hil"
+	"amber/internal/sim"
+	"amber/internal/workload"
+)
+
+// SubmitAsync pushes one host request through the full stack, staged on
+// the discrete-event engine so that concurrent requests interleave their
+// resource claims in global time order (the property that makes queue
+// depth buy bandwidth, exactly as on real hardware). The callback fires
+// with the request's completion time.
+//
+// The path mirrors §III-B/§IV: kernel submission (scheduler + driver) on a
+// host core → doorbell/register write → command fetch over the link →
+// device-side queue and parse firmware → HIL split into super-page lines →
+// ICL/FTL/FIL per line → DMA data transfer emulation → completion record,
+// interrupt and host ISR. Claims made inside one engine event start at
+// that event's time; each stage boundary (parse done, flash done, data
+// staged) is its own event.
+//
+// data optionally carries the request payload (writes) or receives it
+// (reads) when the system tracks data; it must remain valid until the
+// callback fires.
+func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, cb func(sim.Time, error)) {
+	if req.Length <= 0 || req.Offset < 0 || req.Offset+int64(req.Length) > s.VolumeBytes() {
+		cb(0, fmt.Errorf("core: request [%d,+%d) outside volume of %d bytes",
+			req.Offset, req.Length, s.VolumeBytes()))
+		return
+	}
+	if data != nil && len(data) < req.Length {
+		cb(0, fmt.Errorf("core: data buffer shorter than request"))
+		return
+	}
+	now := e.Now()
+
+	if s.passive {
+		// Passive storage (§V-E): pblk runs the cache and FTL on the host,
+		// so requests are served host-side; only cache misses and flushes
+		// cross the link as OCSSD vector commands (charged inside
+		// fillMissesAsync / flushEviction).
+		s.submitPassive(e, req, data, cb)
+		return
+	}
+
+	// Stage 1: kernel submission path (block layer + I/O scheduler +
+	// driver), doorbell, command fetch, device-side queue/parse firmware.
+	sequential := req.Offset == s.lastEnd
+	s.lastEnd = req.Offset + int64(req.Length)
+	subEnd := s.Host.Submit(now, sequential, s.params.SubmitInstr)
+
+	t := subEnd + s.params.DoorbellLatency
+	if s.hba != nil {
+		// The h-type host controller serializes command issue.
+		_, t = s.hba.Claim(t, s.params.ControllerLatency)
+	}
+	_, fetched := s.link.Claim(t, s.params.CmdFetchTime())
+	arrived := fetched + s.params.ControllerLatency
+	_, parsed := s.DevCPU.Execute(arrived, s.coreFor(0), "hil",
+		s.params.QueueMix.Add(s.params.ParseMix))
+
+	lines, err := s.Split.Split(req.Offset, req.Length)
+	if err != nil {
+		cb(0, err)
+		return
+	}
+	pl, err := dma.Build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
+	if err != nil {
+		cb(0, err)
+		return
+	}
+
+	e.At(parsed, func() {
+		if req.Write {
+			s.stageWrite(e, req, lines, pl, data, cb)
+		} else {
+			s.stageRead(e, req, lines, pl, data, cb)
+		}
+	})
+}
+
+// submitPassive is the OCSSD/pblk request path: the kernel submission
+// runs, then pblk serves the request from its host-side cache; flash
+// traffic happens only for misses and write-back flushes, as vector
+// commands issued by lightNVM.
+func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte, cb func(sim.Time, error)) {
+	now := e.Now()
+	sequential := req.Offset == s.lastEnd
+	s.lastEnd = req.Offset + int64(req.Length)
+	subEnd := s.Host.Submit(now, sequential, s.params.SubmitInstr)
+
+	lines, err := s.Split.Split(req.Offset, req.Length)
+	if err != nil {
+		cb(0, err)
+		return
+	}
+
+	finish := func(done sim.Time) {
+		// Stage the completion as its own event so the host-CPU claim
+		// happens in global time order, not call order.
+		e.At(sim.MaxOf(done, e.Now()), func() {
+			complete := s.Host.Complete(e.Now(), s.params.CompleteInstr/2)
+			s.reqs++
+			if complete > s.now {
+				s.now = complete
+			}
+			cb(complete, nil)
+		})
+	}
+
+	e.At(subEnd, func() {
+		if req.Write {
+			done := e.Now()
+			for _, ln := range lines {
+				var lineData []byte
+				if data != nil {
+					lineData = s.lineBuffer(ln, data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
+				}
+				d, err := s.writeLine(e.Now(), ln, lineData)
+				if err != nil {
+					cb(0, err)
+					return
+				}
+				if d > done {
+					done = d
+				}
+			}
+			s.bytesWritten += uint64(req.Length)
+			finish(done)
+			return
+		}
+		pending := len(lines)
+		ready := e.Now()
+		failed := false
+		for _, ln := range lines {
+			ln := ln
+			var lineBuf []byte
+			if data != nil {
+				lineBuf = make([]byte, s.Split.LineBytes())
+			}
+			s.readLineAsync(e, ln, lineBuf, func(t sim.Time, err error) {
+				if failed {
+					return
+				}
+				if err != nil {
+					failed = true
+					cb(0, err)
+					return
+				}
+				if lineBuf != nil {
+					start := s.lineByteStart(ln)
+					copy(data[ln.ByteOff:ln.ByteOff+ln.ByteLen], lineBuf[start:start+ln.ByteLen])
+				}
+				if t > ready {
+					ready = t
+				}
+				pending--
+				if pending == 0 {
+					s.bytesRead += uint64(req.Length)
+					finish(ready)
+				}
+			})
+		}
+	})
+}
+
+// stageWrite transfers payload into the device, then caches the lines.
+func (s *System) stageWrite(e *sim.Engine, req workload.Request, lines []hil.Line, pl dma.PointerList, data []byte, cb func(sim.Time, error)) {
+	now := e.Now()
+	walked := s.DMA.WalkList(now, pl)
+	xferDone := s.DMA.Transfer(walked, pl, true)
+	e.At(xferDone, func() {
+		opsDone := e.Now()
+		for _, ln := range lines {
+			var lineData []byte
+			if data != nil {
+				lineData = s.lineBuffer(ln, data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
+			}
+			done, err := s.writeLine(e.Now(), ln, lineData)
+			if err != nil {
+				cb(0, err)
+				return
+			}
+			if done > opsDone {
+				opsDone = done
+			}
+		}
+		s.bytesWritten += uint64(req.Length)
+		s.stageComplete(e, opsDone, cb)
+	})
+}
+
+// stageRead probes the cache and issues flash reads for the misses, then
+// (at flash completion) installs fills, triggers readahead, and DMAs the
+// data to the host.
+func (s *System) stageRead(e *sim.Engine, req workload.Request, lines []hil.Line, pl dma.PointerList, data []byte, cb func(sim.Time, error)) {
+	now := e.Now()
+	walked := s.DMA.WalkList(now, pl)
+
+	pending := len(lines)
+	ready := walked
+	failed := false
+	lineDone := func(t sim.Time, err error) {
+		if failed {
+			return
+		}
+		if err != nil {
+			failed = true
+			cb(0, err)
+			return
+		}
+		if t > ready {
+			ready = t
+		}
+		pending--
+		if pending > 0 {
+			return
+		}
+		// All lines staged in cache memory: move the payload to the host
+		// and complete.
+		e.At(sim.MaxOf(ready, e.Now()), func() {
+			xferDone := s.DMA.Transfer(e.Now(), pl, false)
+			s.bytesRead += uint64(req.Length)
+			s.stageComplete(e, xferDone, cb)
+		})
+	}
+
+	for _, ln := range lines {
+		ln := ln
+		var lineBuf []byte
+		if data != nil {
+			lineBuf = make([]byte, s.Split.LineBytes())
+		}
+		s.readLineAsync(e, ln, lineBuf, func(t sim.Time, err error) {
+			if err == nil && lineBuf != nil {
+				start := s.lineByteStart(ln)
+				copy(data[ln.ByteOff:ln.ByteOff+ln.ByteLen], lineBuf[start:start+ln.ByteLen])
+			}
+			lineDone(t, err)
+		})
+	}
+}
+
+// stageComplete runs the completion path: firmware composes the CQ entry /
+// response FIS, the link carries it, the interrupt fires, the host ISR
+// retires the request.
+func (s *System) stageComplete(e *sim.Engine, opsDone sim.Time, cb func(sim.Time, error)) {
+	e.At(sim.MaxOf(opsDone, e.Now()), func() {
+		now := e.Now()
+		_, composed := s.DevCPU.Execute(now, s.coreFor(0), "hil.complete", s.params.CompleteMix)
+		_, cqDone := s.link.Claim(composed, s.params.CompletionTime())
+		intr := cqDone + s.params.InterruptLatency
+		if s.hba != nil {
+			// The single h-type I/O path serializes completions too (§II-A).
+			_, intr = s.hba.Claim(intr, s.params.ControllerLatency/2)
+		}
+		complete := s.Host.Complete(intr, s.params.CompleteInstr)
+		s.reqs++
+		if complete > s.now {
+			s.now = complete
+		}
+		cb(complete, nil)
+	})
+}
+
+// Submit is the synchronous convenience wrapper around SubmitAsync for a
+// single request: it runs a private event engine to completion and returns
+// the completion time.
+func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Time, error) {
+	if now < s.now {
+		now = s.now
+	}
+	e := sim.NewEngine()
+	var done sim.Time
+	var serr error
+	e.At(now, func() {
+		s.SubmitAsync(e, req, data, func(t sim.Time, err error) {
+			done, serr = t, err
+		})
+	})
+	e.Run()
+	return done, serr
+}
+
+// lineByteStart returns the offset of the request's payload within the
+// line-sized buffer (the first touched sub-page's start; sub-aligned I/O
+// lands exactly on the sub boundary).
+func (s *System) lineByteStart(ln hil.Line) int {
+	return ln.FirstSub * s.ICL.Config().SubSize
+}
+
+// lineBuffer assembles a line-layout buffer holding payload at the line's
+// touched range (sub-page aligned I/O fills whole subs).
+func (s *System) lineBuffer(ln hil.Line, payload []byte) []byte {
+	buf := make([]byte, s.Split.LineBytes())
+	copy(buf[s.lineByteStart(ln):], payload)
+	return buf
+}
+
+// writeLine stores one line into the ICL (write-back, write-allocate) and
+// flushes the displaced victim if dirty. Completion is when the data is in
+// cache memory and the victim's frame was safely flushed. All claims start
+// at t (the caller invokes it inside an event at t).
+func (s *System) writeLine(t sim.Time, ln hil.Line, lineData []byte) (sim.Time, error) {
+	t2 := s.chargeFirmware(t, 1, "icl", s.iclInsertMix())
+	ev, err := s.ICL.Write(ln.LSPN, ln.FirstSub, ln.NumSubs, lineData)
+	if err != nil {
+		return 0, err
+	}
+	dramDone := s.cacheMemAccess(t2, ln.LSPN, ln.ByteLen, true)
+	slotFree := t2
+	if ev != nil && ev.IsDirty() {
+		flushDone, err := s.flushEviction(t2, ev)
+		if err != nil {
+			return 0, err
+		}
+		// Write-back decoupling: the incoming write only waits for a flush
+		// buffer slot, not for the victim's flash programs. The slot is
+		// occupied until the flush lands, so a saturated backend
+		// back-pressures the host exactly when all slots are busy.
+		var dur sim.Duration
+		if flushDone > t2 {
+			dur = flushDone - t2
+		}
+		slotFree, _, _ = s.flushBuf.Claim(t2, dur)
+	}
+	return sim.MaxOf(dramDone, slotFree), nil
+}
+
+// readLineAsync serves one line: cache hits stream from cache memory now;
+// misses issue flash reads now and install their fills in a second event
+// at flash completion, where §IV-C readahead is also armed. When the
+// missing sub-pages are already being fetched (by a prefetch or another
+// request), the read coalesces onto the in-flight fill instead of
+// duplicating flash work, retrying once when the fill lands.
+func (s *System) readLineAsync(e *sim.Engine, ln hil.Line, lineBuf []byte, cb func(sim.Time, error)) {
+	s.readLineAttempt(e, ln, lineBuf, cb, false)
+}
+
+func (s *System) readLineAttempt(e *sim.Engine, ln hil.Line, lineBuf []byte, cb func(sim.Time, error), retried bool) {
+	t := e.Now()
+	t2 := s.chargeFirmware(t, 1, "icl", s.iclLookupMix())
+	res, err := s.ICL.Read(ln.LSPN, ln.FirstSub, ln.NumSubs, lineBuf)
+	if err != nil {
+		cb(0, err)
+		return
+	}
+	ready := t2
+	if len(res.HitSubs) > 0 {
+		bytes := len(res.HitSubs) * s.ICL.Config().SubSize
+		if d := s.cacheMemAccess(t2, ln.LSPN, bytes, false); d > ready {
+			ready = d
+		}
+	}
+
+	// Arm readahead off the critical path.
+	for _, pre := range res.Readahead {
+		s.prefetch(e, pre)
+	}
+
+	if len(res.MissSubs) == 0 {
+		cb(ready, nil)
+		return
+	}
+	// Coalesce onto an in-flight fill covering every missing sub.
+	if !retried {
+		if fl, ok := s.filling[ln.LSPN]; ok {
+			covered := true
+			for _, sub := range res.MissSubs {
+				if !fl[sub] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				s.waiters[ln.LSPN] = append(s.waiters[ln.LSPN], func() {
+					s.readLineAttempt(e, ln, lineBuf, cb, true)
+				})
+				return
+			}
+		}
+	}
+	s.fillMissesAsync(e, t2, ln.LSPN, res.MissSubs, lineBuf, false, func(d sim.Time, err error) {
+		if err != nil {
+			cb(0, err)
+			return
+		}
+		cb(sim.MaxOf(ready, d), nil)
+	})
+}
+
+// fillMissesAsync reads the given subs of lspn from flash (claims at t) and
+// installs them in the cache at flash completion, flushing any displaced
+// dirty victim.
+func (s *System) fillMissesAsync(e *sim.Engine, t sim.Time, lspn int64, subs []int, lineBuf []byte, prefetch bool, cb func(sim.Time, error)) {
+	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
+	locs, err := s.FTL.Lookup(lspn)
+	if err != nil {
+		cb(0, err)
+		return
+	}
+	want := make(map[int]bool, len(subs))
+	for _, sub := range subs {
+		want[sub] = true
+	}
+	var fetch []ftl.PageLoc
+	for _, loc := range locs {
+		if want[loc.Sub] {
+			fetch = append(fetch, loc)
+		}
+	}
+
+	flashDone := t2
+	if len(fetch) > 0 {
+		t3 := s.chargeFirmware(t2, 2, "fil", s.filScheduleMix(len(fetch)))
+		if s.passive {
+			// OCSSD vector read command + device-side thin parse, then the
+			// data crosses the link back to the host buffer.
+			_, t3 = s.link.Claim(t3, s.params.CmdFetchTime())
+			_, t3 = s.DevCPU.Execute(t3, s.coreFor(0), "hil", s.params.ParseMix)
+		}
+		var dsts [][]byte
+		if lineBuf != nil {
+			subSize := s.ICL.Config().SubSize
+			dsts = make([][]byte, len(fetch))
+			for i, loc := range fetch {
+				dsts[i] = lineBuf[loc.Sub*subSize : (loc.Sub+1)*subSize]
+			}
+		}
+		flashDone, err = s.FIL.ReadSubs(t3, fetch, dsts)
+		if err != nil {
+			cb(0, err)
+			return
+		}
+	}
+	// Unmapped subs read as zeroes with no flash work.
+
+	// Register the fill so concurrent readers coalesce instead of
+	// refetching.
+	fl := s.filling[lspn]
+	if fl == nil {
+		fl = make(map[int]bool)
+		s.filling[lspn] = fl
+	}
+	for _, sub := range subs {
+		fl[sub] = true
+	}
+
+	e.At(sim.MaxOf(flashDone, e.Now()), func() {
+		for _, sub := range subs {
+			delete(fl, sub)
+		}
+		if len(fl) == 0 {
+			delete(s.filling, lspn)
+		}
+		if s.passive && len(fetch) > 0 {
+			// Vector-read payload crosses the link into the host buffer.
+			// Claimed here, inside the completion event, so the claim is
+			// made in global time order.
+			s.link.Claim(e.Now(), sim.TransferTime(int64(len(fetch)*s.ICL.Config().SubSize), s.params.LinkBytesPerSec))
+		}
+		ev, err := s.ICL.Fill(lspn, subs, lineBuf, prefetch)
+		if err != nil {
+			cb(0, err)
+			return
+		}
+		now := e.Now()
+		ready := s.cacheMemAccess(now, lspn, len(subs)*s.ICL.Config().SubSize, true)
+		if ev != nil && ev.IsDirty() {
+			flushDone, err := s.flushEviction(now, ev)
+			if err != nil {
+				cb(0, err)
+				return
+			}
+			if flushDone > ready {
+				ready = flushDone
+			}
+		}
+		if ws := s.waiters[lspn]; len(ws) > 0 {
+			delete(s.waiters, lspn)
+			for _, w := range ws {
+				w()
+			}
+		}
+		cb(ready, nil)
+	})
+}
+
+// prefetch loads a full super-page in the background (§IV-C readahead):
+// the line lands across all dies and later sequential reads hit it.
+func (s *System) prefetch(e *sim.Engine, lspn int64) {
+	if lspn >= s.FTL.UserSuperPages() || !s.FTL.Mapped(lspn) {
+		return
+	}
+	if _, busy := s.filling[lspn]; busy {
+		return // a fetch is already in flight
+	}
+	allSubs := make([]int, s.FTL.SubPagesPerSuperPage())
+	for i := range allSubs {
+		allSubs[i] = i
+	}
+	var buf []byte
+	if s.ICL.Config().TrackData {
+		// Prefetched lines must carry real bytes when the system tracks
+		// data, or later hits would serve zeroes.
+		buf = make([]byte, s.Split.LineBytes())
+	}
+	s.fillMissesAsync(e, e.Now(), lspn, allSubs, buf, true, func(sim.Time, error) {})
+}
+
+// flushEviction writes a displaced dirty line back through FTL and FIL,
+// returning when the victim's data has left the cache memory (host writes
+// programmed; background GC may continue past this point).
+func (s *System) flushEviction(t sim.Time, ev *iclEviction) (sim.Time, error) {
+	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
+	plan, err := s.FTL.Write(t2, ev.LSPN, ev.Dirty)
+	if err != nil {
+		return 0, err
+	}
+	if plan.GCRuns > 0 {
+		t2 = s.chargeFirmware(t2, 1, "ftl.gc", s.gcMix(plan.Migrated))
+	}
+	nWrites := 0
+	for _, op := range plan.Ops {
+		if op.Kind == ftl.OpWrite {
+			nWrites++
+		}
+	}
+	t3 := s.chargeFirmware(t2, 2, "fil", s.filScheduleMix(nWrites))
+	if s.passive && nWrites > 0 {
+		// OCSSD vector write: command plus the dirty payload cross the link
+		// before the device programs it.
+		dirtyBytes := 0
+		for _, d := range ev.Dirty {
+			if d {
+				dirtyBytes += s.ICL.Config().SubSize
+			}
+		}
+		_, t3 = s.link.Claim(t3, s.params.CmdFetchTime()+
+			sim.TransferTime(int64(dirtyBytes), s.params.LinkBytesPerSec))
+		_, t3 = s.DevCPU.Execute(t3, s.coreFor(0), "hil", s.params.ParseMix)
+	}
+	res, err := s.FIL.Execute(t3, plan, fil.HostData(ev.LSPN, ev.Dirty, ev.Data, s.ICL.Config().SubSize))
+	if err != nil {
+		return 0, err
+	}
+	if res.HostWritesDone > 0 {
+		return res.HostWritesDone, nil
+	}
+	return res.Done, nil
+}
+
+// Flush forces every dirty cache line to flash (the host FLUSH command)
+// and returns when the last write lands.
+func (s *System) Flush(now sim.Time) (sim.Time, error) {
+	if now < s.now {
+		now = s.now
+	}
+	done := now
+	for _, ev := range s.ICL.FlushAll() {
+		ev := ev
+		d, err := s.flushEviction(now, &ev)
+		if err != nil {
+			return 0, err
+		}
+		if d > done {
+			done = d
+		}
+	}
+	if done > s.now {
+		s.now = done
+	}
+	return done, nil
+}
+
+// cacheMemAccess charges a data movement through the cache memory:
+// internal DRAM for active storage, host memory bandwidth for pblk.
+func (s *System) cacheMemAccess(t sim.Time, lspn int64, bytes int, write bool) sim.Time {
+	if bytes <= 0 {
+		return t
+	}
+	if s.passive {
+		_, done := s.Host.Mem.Claim(t, sim.TransferTime(int64(bytes), s.Host.MemBandwidth()))
+		return done
+	}
+	addr := lspn * int64(s.Split.LineBytes()) % s.cfg.Device.DRAM.CapacityBytes
+	return s.DevDRAM.Access(t, addr, bytes, write)
+}

@@ -1,0 +1,240 @@
+// Package dma implements Amber's data transfer emulation (§III-B): the
+// host-side DMA engine that moves real request payloads between the host's
+// system memory and the SSD's internal DRAM, driven by the pointer-list
+// structure each protocol defines — PRDT for SATA, UPIU+PRDT for UFS, PRP
+// lists (or SGL) for NVMe/OCSSD.
+//
+// The engine supports the two CPU-model behaviors the paper describes: in
+// Timing mode every pointer-list entry is transferred as its own link and
+// memory transaction (fine-grained arbitration, as with gem5's timing
+// CPUs); in Functional mode the whole request aggregates into one transfer
+// (as with AtomicSimpleCPU).
+package dma
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+)
+
+// ListKind identifies the pointer-list structure being walked.
+type ListKind int
+
+// Pointer-list kinds.
+const (
+	PRDT ListKind = iota + 1 // SATA physical region descriptor table
+	UPIU                     // UFS transfer request PRDT
+	PRP                      // NVMe physical region pages
+	SGL                      // NVMe scatter-gather list
+)
+
+func (k ListKind) String() string {
+	switch k {
+	case PRDT:
+		return "prdt"
+	case UPIU:
+		return "upiu"
+	case PRP:
+		return "prp"
+	case SGL:
+		return "sgl"
+	default:
+		return fmt.Sprintf("ListKind(%d)", int(k))
+	}
+}
+
+// EntryBytes returns the descriptor size of one list entry, charged as
+// link traffic when the device walks the list.
+func (k ListKind) EntryBytes() int {
+	switch k {
+	case PRDT, UPIU:
+		return 16
+	case PRP:
+		return 8
+	case SGL:
+		return 16
+	default:
+		return 16
+	}
+}
+
+// Mode selects transfer granularity.
+type Mode int
+
+// Transfer modes.
+const (
+	// Timing transfers each pointer-list entry separately, arbitrating
+	// memory and link per page — required under timing CPU models.
+	Timing Mode = iota
+	// Functional aggregates the request into a single transfer — the
+	// functional (atomic) CPU behavior.
+	Functional
+)
+
+func (m Mode) String() string {
+	if m == Functional {
+		return "functional"
+	}
+	return "timing"
+}
+
+// PointerList describes the system-memory pages of one request. Entries
+// reference host page frames; Data optionally carries the real bytes
+// (Amber's SSD emulation), sliced per entry.
+type PointerList struct {
+	Kind     ListKind
+	PageSize int
+	Length   int // total payload bytes
+	Data     []byte
+}
+
+// Build constructs a pointer list for n bytes of payload over hostPageSize
+// pages. data may be nil (timing-only run) or must be at least n bytes.
+func Build(kind ListKind, n, hostPageSize int, data []byte) (PointerList, error) {
+	if n <= 0 || hostPageSize <= 0 {
+		return PointerList{}, fmt.Errorf("dma: length and page size must be positive")
+	}
+	if data != nil && len(data) < n {
+		return PointerList{}, fmt.Errorf("dma: data shorter than length (%d < %d)", len(data), n)
+	}
+	return PointerList{Kind: kind, PageSize: hostPageSize, Length: n, Data: data}, nil
+}
+
+// Entries returns the number of pointer-list entries (host pages spanned).
+func (pl PointerList) Entries() int {
+	return (pl.Length + pl.PageSize - 1) / pl.PageSize
+}
+
+// EntrySlice returns the payload bytes of entry i, or nil when no data is
+// attached.
+func (pl PointerList) EntrySlice(i int) []byte {
+	if pl.Data == nil {
+		return nil
+	}
+	lo := i * pl.PageSize
+	hi := lo + pl.PageSize
+	if hi > pl.Length {
+		hi = pl.Length
+	}
+	if lo >= hi {
+		return nil
+	}
+	return pl.Data[lo:hi]
+}
+
+// Stats aggregates DMA engine activity.
+type Stats struct {
+	Transfers       uint64 // page-granularity transfers
+	BytesMoved      uint64
+	ListWalks       uint64
+	DescriptorBytes uint64
+}
+
+// Engine is the DMA engine: it owns the link resource (shared with command
+// traffic) and charges host-memory bandwidth per transfer.
+type Engine struct {
+	link      *sim.Resource
+	linkBW    float64 // bytes/second
+	hostMem   *sim.Resource
+	hostMemBW float64
+	mode      Mode
+	hostCopy  bool // h-type: stage through host controller buffer (second copy)
+	stats     Stats
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	Link               *sim.Resource
+	LinkBytesPerSec    float64
+	HostMem            *sim.Resource
+	HostMemBytesPerSec float64
+	Mode               Mode
+	// HostControllerCopy enables the h-type double copy: the host
+	// controller first copies pages from system memory into its own buffer
+	// before the link transfer (§II-A).
+	HostControllerCopy bool
+}
+
+// New constructs an Engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Link == nil || cfg.HostMem == nil {
+		return nil, fmt.Errorf("dma: link and host memory resources are required")
+	}
+	if cfg.LinkBytesPerSec <= 0 || cfg.HostMemBytesPerSec <= 0 {
+		return nil, fmt.Errorf("dma: bandwidths must be positive")
+	}
+	return &Engine{
+		link:      cfg.Link,
+		linkBW:    cfg.LinkBytesPerSec,
+		hostMem:   cfg.HostMem,
+		hostMemBW: cfg.HostMemBytesPerSec,
+		mode:      cfg.Mode,
+		hostCopy:  cfg.HostControllerCopy,
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Mode returns the transfer granularity mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// WalkList charges the device-side fetch of the pointer list itself
+// (descriptor traffic over the link) and returns its completion.
+func (e *Engine) WalkList(now sim.Time, pl PointerList) sim.Time {
+	bytes := int64(pl.Entries() * pl.Kind.EntryBytes())
+	_, done := e.link.Claim(now, sim.TransferTime(bytes, e.linkBW))
+	e.stats.ListWalks++
+	e.stats.DescriptorBytes += uint64(bytes)
+	return done
+}
+
+// Transfer moves the payload described by pl between host memory and the
+// device, starting at now, and returns completion. toDevice is true for
+// writes (host -> SSD). The per-entry loop claims host memory and the link
+// for each page in Timing mode; Functional mode performs one aggregate
+// claim.
+func (e *Engine) Transfer(now sim.Time, pl PointerList, toDevice bool) sim.Time {
+	if pl.Length <= 0 {
+		return now
+	}
+	move := func(start sim.Time, n int) sim.Time {
+		// Host memory access (read for writes, write for reads).
+		memTime := sim.TransferTime(int64(n), e.hostMemBW)
+		_, memDone := e.hostMem.Claim(start, memTime)
+		if e.hostCopy {
+			// h-type double copy: host controller stages the page in its
+			// buffer — a second pass over host memory.
+			_, memDone = e.hostMem.Claim(memDone, memTime)
+		}
+		// Link transfer; direction does not change occupancy.
+		_, linkDone := e.link.Claim(memDone, sim.TransferTime(int64(n), e.linkBW))
+		if !toDevice {
+			// Reads land in host memory after the link: claim is already
+			// modeled above for simplicity of arbitration; order differs
+			// but occupancy is identical.
+			_ = linkDone
+		}
+		e.stats.Transfers++
+		e.stats.BytesMoved += uint64(n)
+		return linkDone
+	}
+
+	if e.mode == Functional {
+		return move(now, pl.Length)
+	}
+	done := now
+	entries := pl.Entries()
+	for i := 0; i < entries; i++ {
+		n := pl.PageSize
+		if (i+1)*pl.PageSize > pl.Length {
+			n = pl.Length - i*pl.PageSize
+		}
+		// Entries pipeline: each starts as soon as the engine can issue it;
+		// the shared resources serialize where physics requires.
+		if t := move(now, n); t > done {
+			done = t
+		}
+	}
+	return done
+}

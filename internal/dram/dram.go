@@ -1,0 +1,341 @@
+// Package dram models the SSD's internal DRAM and memory controller: DDR
+// timing (tCL/tRCD/tRP/tRAS), per-bank row-buffer state with open-page and
+// close-page policies, bank interleaving, data-bus contention, a
+// DRAMPower-style energy model with active/precharge-standby and power-down
+// states, and a capacity accountant used by the firmware for cached data,
+// metadata and mapping tables (§III-B).
+package dram
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+)
+
+// PagePolicy selects the controller's row-buffer management policy.
+type PagePolicy int
+
+// Row-buffer policies.
+const (
+	// OpenPage keeps rows open after access, betting on locality: row hits
+	// cost tCL, conflicts cost tRP+tRCD+tCL.
+	OpenPage PagePolicy = iota
+	// ClosePage precharges after every access: every access costs tRCD+tCL
+	// with the precharge hidden.
+	ClosePage
+)
+
+func (p PagePolicy) String() string {
+	if p == ClosePage {
+		return "close-page"
+	}
+	return "open-page"
+}
+
+// Config describes the DRAM organization and timing (Table I: 1 GB, one
+// channel/rank, 8 banks, 4 chips, 8-bit chip bus → 32-bit channel).
+type Config struct {
+	CapacityBytes   int64
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	BusWidthBits    int     // total channel data width
+	ClockMHz        float64 // I/O clock; DDR transfers on both edges
+	BurstLength     int     // transfers per burst (DDR3: 8)
+	CL, RCD, RP     int     // CAS latency, RAS-to-CAS, precharge, in cycles
+	RAS             int     // row active time in cycles
+	RowBytes        int     // row-buffer size per bank
+	Policy          PagePolicy
+}
+
+// Validate reports descriptive configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.CapacityBytes <= 0:
+		return fmt.Errorf("dram: capacity must be positive")
+	case c.Channels <= 0 || c.RanksPerChannel <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: channels/ranks/banks must be positive")
+	case c.BusWidthBits <= 0 || c.BusWidthBits%8 != 0:
+		return fmt.Errorf("dram: bus width must be a positive multiple of 8 bits")
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("dram: clock must be positive")
+	case c.BurstLength <= 0:
+		return fmt.Errorf("dram: burst length must be positive")
+	case c.CL <= 0 || c.RCD <= 0 || c.RP <= 0:
+		return fmt.Errorf("dram: CL/RCD/RP must be positive")
+	case c.RowBytes <= 0:
+		return fmt.Errorf("dram: row size must be positive")
+	}
+	return nil
+}
+
+// CycleTime returns one clock period.
+func (c Config) CycleTime() sim.Duration {
+	return sim.FromSeconds(1 / (c.ClockMHz * 1e6))
+}
+
+// BurstBytes returns the bytes moved by one burst.
+func (c Config) BurstBytes() int {
+	return c.BusWidthBits / 8 * c.BurstLength
+}
+
+// BurstTime returns data-bus occupancy of one burst (DDR: BL/2 cycles).
+func (c Config) BurstTime() sim.Duration {
+	return sim.FromSeconds(float64(c.BurstLength) / 2 / (c.ClockMHz * 1e6))
+}
+
+// PeakBandwidth returns theoretical bytes/second across all channels.
+func (c Config) PeakBandwidth() float64 {
+	return c.ClockMHz * 1e6 * 2 * float64(c.BusWidthBits/8) * float64(c.Channels)
+}
+
+// TotalBanks returns the number of independently timed banks.
+func (c Config) TotalBanks() int { return c.Channels * c.RanksPerChannel * c.BanksPerRank }
+
+// Power is a DRAMPower-style state+event energy model.
+type Power struct {
+	ActStandbyW    float64 // background power while any bank is active
+	PreStandbyW    float64 // background power while precharged and clocked
+	PowerDownW     float64 // background power in power-down
+	SelfRefreshW   float64 // background power in self-refresh (long idle)
+	ActEnergyJ     float64 // per ACT+PRE pair
+	RdBurstEnergyJ float64 // per read burst
+	WrBurstEnergyJ float64 // per write burst
+	RefreshEnergyJ float64 // per refresh interval, charged per tREFI
+	TREFI          sim.Duration
+}
+
+// Stats aggregates DRAM controller activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	RowHits      uint64
+	RowMisses    uint64
+	Activates    uint64
+}
+
+type bank struct {
+	res     *sim.Resource
+	openRow int64 // -1 when precharged
+}
+
+// DRAM is the internal memory subsystem. Not safe for concurrent use.
+type DRAM struct {
+	cfg   Config
+	pow   Power
+	bus   []*sim.Resource // per-channel data bus
+	banks []bank
+
+	used int64 // capacity accountant
+
+	stats     Stats
+	energyJ   float64
+	busyUntil sim.Time // latest completion, for power-state accounting
+}
+
+// New constructs a DRAM model from a validated configuration.
+func New(cfg Config, pow Power) (*DRAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DRAM{cfg: cfg, pow: pow}
+	d.bus = make([]*sim.Resource, cfg.Channels)
+	for i := range d.bus {
+		d.bus[i] = sim.NewResource(fmt.Sprintf("dram.ch%d", i))
+	}
+	d.banks = make([]bank, cfg.TotalBanks())
+	for i := range d.banks {
+		d.banks[i] = bank{res: sim.NewResource(fmt.Sprintf("dram.bank%d", i)), openRow: -1}
+	}
+	return d, nil
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of activity counters.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// bankOf maps an address to its bank via row-interleaving: consecutive rows
+// rotate across banks, the standard interleave for streaming firmware
+// accesses.
+func (d *DRAM) bankOf(addr int64) (bankIndex int, row int64) {
+	row = addr / int64(d.cfg.RowBytes)
+	n := int64(len(d.banks))
+	return int(row % n), row / n
+}
+
+// Access performs a read or write of n bytes starting at addr, decomposed
+// into bursts, and returns when the last burst completes. Row-buffer state
+// and bank/bus contention determine the latency.
+func (d *DRAM) Access(now sim.Time, addr int64, n int, write bool) sim.Time {
+	if n <= 0 {
+		return now
+	}
+	ct := d.cfg.CycleTime()
+	burstBytes := d.cfg.BurstBytes()
+	done := now
+	for off := 0; off < n; off += burstBytes {
+		a := addr + int64(off)
+		bi, row := d.bankOf(a)
+		bk := &d.banks[bi]
+		ch := bi % d.cfg.Channels
+
+		var access sim.Duration
+		switch {
+		case d.cfg.Policy == ClosePage:
+			access = sim.Duration(d.cfg.RCD+d.cfg.CL) * ct
+			d.stats.Activates++
+			d.energyJ += d.pow.ActEnergyJ
+		case bk.openRow == row:
+			access = sim.Duration(d.cfg.CL) * ct
+			d.stats.RowHits++
+		default:
+			access = sim.Duration(d.cfg.RP+d.cfg.RCD+d.cfg.CL) * ct
+			d.stats.RowMisses++
+			d.stats.Activates++
+			d.energyJ += d.pow.ActEnergyJ
+			bk.openRow = row
+		}
+
+		_, bankReady := bk.res.Claim(now, access)
+		_, burstDone := d.bus[ch].Claim(bankReady, d.cfg.BurstTime())
+		if write {
+			d.energyJ += d.pow.WrBurstEnergyJ
+		} else {
+			d.energyJ += d.pow.RdBurstEnergyJ
+		}
+		if burstDone > done {
+			done = burstDone
+		}
+	}
+	if write {
+		d.stats.Writes++
+		d.stats.BytesWritten += uint64(n)
+	} else {
+		d.stats.Reads++
+		d.stats.BytesRead += uint64(n)
+	}
+	if done > d.busyUntil {
+		d.busyUntil = done
+	}
+	return done
+}
+
+// Read is Access with write=false.
+func (d *DRAM) Read(now sim.Time, addr int64, n int) sim.Time {
+	return d.Access(now, addr, n, false)
+}
+
+// Write is Access with write=true.
+func (d *DRAM) Write(now sim.Time, addr int64, n int) sim.Time {
+	return d.Access(now, addr, n, true)
+}
+
+// Reserve accounts n bytes of capacity for a firmware consumer (cache
+// lines, mapping tables). It fails when capacity would be exceeded, which
+// back-pressures the ICL sizing logic.
+func (d *DRAM) Reserve(n int64) error {
+	if n < 0 {
+		return fmt.Errorf("dram: negative reservation")
+	}
+	if d.used+n > d.cfg.CapacityBytes {
+		return fmt.Errorf("dram: reservation of %d bytes exceeds capacity (%d of %d used)",
+			n, d.used, d.cfg.CapacityBytes)
+	}
+	d.used += n
+	return nil
+}
+
+// Release returns previously reserved capacity.
+func (d *DRAM) Release(n int64) {
+	if n < 0 || n > d.used {
+		panic("dram: release does not match reservations")
+	}
+	d.used -= n
+}
+
+// Used returns currently reserved bytes.
+func (d *DRAM) Used() int64 { return d.used }
+
+// BusyTime returns aggregate data-bus busy time.
+func (d *DRAM) BusyTime() sim.Duration {
+	var t sim.Duration
+	for _, b := range d.bus {
+		t += b.BusyTime()
+	}
+	return t
+}
+
+// EnergyJoules returns dynamic energy so far (ACT/RD/WR events).
+func (d *DRAM) EnergyJoules() float64 { return d.energyJ }
+
+// TotalEnergyJoules returns dynamic plus state-dependent background energy
+// over the elapsed window: busy time is charged at active-standby power,
+// idle time at power-down power (the controller enters power-down when the
+// command queue drains), plus refresh energy at tREFI.
+func (d *DRAM) TotalEnergyJoules(elapsed sim.Duration) float64 {
+	busy := d.BusyTime()
+	if busy > elapsed {
+		busy = elapsed
+	}
+	idle := elapsed - busy
+	e := d.energyJ
+	e += d.pow.ActStandbyW * busy.Seconds()
+	e += d.pow.PowerDownW * idle.Seconds()
+	if d.pow.TREFI > 0 {
+		e += d.pow.RefreshEnergyJ * (elapsed.Seconds() / d.pow.TREFI.Seconds())
+	}
+	return e
+}
+
+// AveragePowerW returns average power over the elapsed window.
+func (d *DRAM) AveragePowerW(elapsed sim.Duration) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return d.TotalEnergyJoules(elapsed) / elapsed.Seconds()
+}
+
+// RowHitRate returns the fraction of open-page accesses that hit.
+func (d *DRAM) RowHitRate() float64 {
+	tot := d.stats.RowHits + d.stats.RowMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(d.stats.RowHits) / float64(tot)
+}
+
+// DDR3L1600 returns a representative DDR3L-1600 configuration of the given
+// capacity, matching Table I's internal DRAM (1 channel, 1 rank, 8 banks).
+func DDR3L1600(capacity int64) Config {
+	return Config{
+		CapacityBytes:   capacity,
+		Channels:        1,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		BusWidthBits:    32, // 4 chips x 8-bit
+		ClockMHz:        800,
+		BurstLength:     8,
+		CL:              11, RCD: 11, RP: 11, RAS: 28,
+		RowBytes: 2048,
+		Policy:   OpenPage,
+	}
+}
+
+// DefaultPower returns representative DDR3L power/energy parameters.
+func DefaultPower() Power {
+	return Power{
+		ActStandbyW:    0.35,
+		PreStandbyW:    0.25,
+		PowerDownW:     0.05,
+		SelfRefreshW:   0.02,
+		ActEnergyJ:     12e-9,
+		RdBurstEnergyJ: 4e-9,
+		WrBurstEnergyJ: 4.4e-9,
+		RefreshEnergyJ: 28e-9,
+		TREFI:          sim.FromMicroseconds(7.8),
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun is the integration smoke test: every table/figure
+// regenerates without error in quick mode and produces plausible content.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take seconds each")
+	}
+	o := Options{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			out := tab.String()
+			if !strings.Contains(out, tab.Title) {
+				t.Fatal("render missing title")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := tab.String()
+	for _, want := range []string{"== x: T ==", "333", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	full := Options{}
+	quick := Options{Quick: true}
+	if quick.requests(4000) >= full.requests(4000) {
+		t.Fatal("quick mode should reduce requests")
+	}
+	if len(quick.depths()) >= len(full.depths()) {
+		t.Fatal("quick mode should reduce depth resolution")
+	}
+}

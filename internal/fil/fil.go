@@ -1,0 +1,240 @@
+// Package fil implements the flash interface layer: the bottom firmware
+// module that schedules flash transactions produced by the FTL onto the
+// storage complex, exploiting channel/way/die/plane parallelism (§III-B).
+// Dependency order within a plan is preserved — a GC or read-modify-write
+// rewrite cannot program before its source page has been read, and an
+// erase cannot start before the victim's migrations complete — while
+// independent transactions overlap freely, bounded only by the per-channel
+// and per-die resource contention modeled inside package nand.
+//
+// The FIL also exposes raw per-page access used by the OCSSD path, where
+// the host-side FTL (pblk) addresses physical pages directly.
+package fil
+
+import (
+	"fmt"
+
+	"amber/internal/ftl"
+	"amber/internal/nand"
+	"amber/internal/sim"
+)
+
+// AddrFunc converts an FTL page location to a NAND physical address.
+type AddrFunc func(ftl.PageLoc) nand.Address
+
+// Stats aggregates FIL activity.
+type Stats struct {
+	Reads     uint64
+	Programs  uint64
+	Erases    uint64
+	PlanCount uint64
+	DepStalls uint64 // programs that had to wait for a source read
+}
+
+// Result reports the timing of one executed plan.
+type Result struct {
+	// ReadsDone is when the last pre-read finished (zero if none).
+	ReadsDone sim.Time
+	// HostWritesDone is when the last host-data program finished.
+	HostWritesDone sim.Time
+	// Done is when everything, including GC migrations and erases,
+	// finished.
+	Done sim.Time
+}
+
+// FIL schedules flash transactions. Not safe for concurrent use.
+type FIL struct {
+	flash  *nand.Flash
+	addrOf AddrFunc
+	stats  Stats
+}
+
+// New constructs a FIL over the storage complex.
+func New(flash *nand.Flash, addrOf AddrFunc) (*FIL, error) {
+	if flash == nil || addrOf == nil {
+		return nil, fmt.Errorf("fil: flash and address function are required")
+	}
+	return &FIL{flash: flash, addrOf: addrOf}, nil
+}
+
+// Stats returns a copy of the counters.
+func (f *FIL) Stats() Stats { return f.stats }
+
+// SubKey identifies one logical sub-page for data pairing inside a plan.
+type SubKey struct {
+	LSPN int64
+	Sub  int
+}
+
+// Execute runs an FTL plan against the flash, walking the plan's causal
+// op order. hostData supplies payload bytes for host writes keyed by
+// (LSPN, sub); entries may be nil when data tracking is off.
+//
+// Dependency timing: every op starts no earlier than `now`; a GC/RMW
+// rewrite additionally waits for the completion of the pre-read of the
+// same (LSPN, Sub); a write into a super-block erased earlier in the plan
+// waits for that erase; an erase waits for every earlier op touching the
+// same super-block (its migration reads). Everything else overlaps, bounded
+// only by the channel/die contention modeled inside package nand.
+func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (Result, error) {
+	var res Result
+	res.Done = now
+	pageSize := f.flash.Geometry().PageSize
+	g := f.flash.Geometry()
+
+	readDone := make(map[SubKey]sim.Time)
+	readData := make(map[SubKey][]byte)
+	eraseDone := make(map[int]sim.Time) // SB -> in-plan erase completion
+	sbTouched := make(map[int]sim.Time) // SB -> latest op completion
+
+	touch := func(sb int, t sim.Time) {
+		if t > sbTouched[sb] {
+			sbTouched[sb] = t
+		}
+		if t > res.Done {
+			res.Done = t
+		}
+	}
+
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case ftl.OpRead:
+			start := sim.MaxOf(now, eraseDone[op.Loc.SB])
+			buf := make([]byte, pageSize)
+			r, err := f.flash.Read(start, f.addrOf(op.Loc), buf)
+			if err != nil {
+				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
+			}
+			f.stats.Reads++
+			k := SubKey{op.LSPN, op.Loc.Sub}
+			readDone[k] = r.Done
+			readData[k] = buf
+			if r.Done > res.ReadsDone {
+				res.ReadsDone = r.Done
+			}
+			touch(op.Loc.SB, r.Done)
+
+		case ftl.OpWrite:
+			k := SubKey{op.LSPN, op.Loc.Sub}
+			start := sim.MaxOf(now, eraseDone[op.Loc.SB])
+			data := hostData[k]
+			if t, ok := readDone[k]; ok {
+				// Rewrite of data sourced from flash: wait for the read.
+				if t > start {
+					start = t
+					f.stats.DepStalls++
+				}
+				if data == nil {
+					data = readData[k]
+				}
+			}
+			r, err := f.flash.Program(start, f.addrOf(op.Loc), data)
+			if err != nil {
+				return res, fmt.Errorf("fil: plan program %v: %w", op.Loc, err)
+			}
+			f.stats.Programs++
+			if !op.GC && r.Done > res.HostWritesDone {
+				res.HostWritesDone = r.Done
+			}
+			touch(op.Loc.SB, r.Done)
+
+		case ftl.OpErase:
+			// The erase wipes the same block index on every plane, after
+			// all earlier plan ops touching this super-block (the
+			// migration reads) completed.
+			start := sim.MaxOf(now, sbTouched[op.SB])
+			var done sim.Time
+			for plane := 0; plane < g.TotalPlanes(); plane++ {
+				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
+				r, err := f.flash.Erase(start, addr)
+				if err != nil {
+					return res, fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err)
+				}
+				f.stats.Erases++
+				if r.Done > done {
+					done = r.Done
+				}
+			}
+			eraseDone[op.SB] = done
+			touch(op.SB, done)
+
+		default:
+			return res, fmt.Errorf("fil: unknown plan op kind %d", op.Kind)
+		}
+	}
+	f.stats.PlanCount++
+	return res, nil
+}
+
+// HostData builds the payload map for Execute from a full line buffer:
+// each dirty sub of lspn maps to its slice of data (which may be nil).
+func HostData(lspn int64, dirty []bool, data []byte, subSize int) map[SubKey][]byte {
+	m := make(map[SubKey][]byte)
+	for s, d := range dirty {
+		if !d {
+			continue
+		}
+		var payload []byte
+		if data != nil {
+			payload = data[s*subSize : (s+1)*subSize]
+		}
+		m[SubKey{lspn, s}] = payload
+	}
+	return m
+}
+
+// Key constructs a SubKey; exported for callers assembling payload maps
+// sub by sub.
+func Key(lspn int64, sub int) SubKey { return SubKey{lspn, sub} }
+
+// ReadSubs reads the given locations in parallel (subject to physical
+// contention) and returns the last completion. When dsts is non-nil it
+// must have one buffer per location.
+func (f *FIL) ReadSubs(now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
+	done := now
+	for i, loc := range locs {
+		var dst []byte
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		r, err := f.flash.Read(now, f.addrOf(loc), dst)
+		if err != nil {
+			return done, fmt.Errorf("fil: read %v: %w", loc, err)
+		}
+		f.stats.Reads++
+		if r.Done > done {
+			done = r.Done
+		}
+	}
+	return done, nil
+}
+
+// ReadPage performs a raw physical page read (OCSSD path).
+func (f *FIL) ReadPage(now sim.Time, addr nand.Address, dst []byte) (nand.Result, error) {
+	r, err := f.flash.Read(now, addr, dst)
+	if err == nil {
+		f.stats.Reads++
+	}
+	return r, err
+}
+
+// ProgramPage performs a raw physical page program (OCSSD path).
+func (f *FIL) ProgramPage(now sim.Time, addr nand.Address, data []byte) (nand.Result, error) {
+	r, err := f.flash.Program(now, addr, data)
+	if err == nil {
+		f.stats.Programs++
+	}
+	return r, err
+}
+
+// EraseBlock performs a raw physical block erase (OCSSD path).
+func (f *FIL) EraseBlock(now sim.Time, addr nand.Address) (nand.Result, error) {
+	r, err := f.flash.Erase(now, addr)
+	if err == nil {
+		f.stats.Erases++
+	}
+	return r, err
+}
+
+// Flash exposes the underlying storage complex for stats/energy queries.
+func (f *FIL) Flash() *nand.Flash { return f.flash }

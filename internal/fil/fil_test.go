@@ -1,0 +1,226 @@
+package fil
+
+import (
+	"bytes"
+	"testing"
+
+	"amber/internal/ftl"
+	"amber/internal/nand"
+	"amber/internal/sim"
+)
+
+func newStack(t *testing.T, trackData bool) (*FIL, *ftl.FTL, *nand.Flash) {
+	t.Helper()
+	g := nand.Geometry{
+		Channels: 2, PackagesPerChannel: 1, DiesPerPackage: 1, PlanesPerDie: 2,
+		BlocksPerPlane: 8, PagesPerBlock: 4, PageSize: 512,
+	}
+	tim := nand.Timing{
+		ReadFast: sim.FromMicroseconds(60), ReadSlow: sim.FromMicroseconds(105),
+		ProgFast: sim.FromMicroseconds(820), ProgSlow: sim.FromMicroseconds(2250),
+		Erase: sim.FromMicroseconds(3000), BusMTps: 333, CmdCycles: sim.FromNanoseconds(100),
+	}
+	fl, err := nand.New(g, tim, nand.Power{}, nand.MLC, nand.Options{TrackData: trackData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ftl.New(ftl.Config{
+		Geometry: g, OPRatio: 0.25, GCFreeThreshold: 2, PartialUpdate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(fl, tr.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tr, fl
+}
+
+func TestNewRequiresArgs(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil args accepted")
+	}
+}
+
+func TestExecuteFullWritePlan(t *testing.T) {
+	f, tr, fl := newStack(t, true)
+	payload := make([]byte, 4*512)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	dirty := []bool{true, true, true, true}
+	plan, err := tr.Write(0, 9, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Execute(0, plan, HostData(9, dirty, payload, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostWritesDone == 0 || res.Done < res.HostWritesDone {
+		t.Fatalf("result = %+v", res)
+	}
+	if fl.Stats().Programs != 4 {
+		t.Fatalf("programs = %d", fl.Stats().Programs)
+	}
+	// Read back through the FIL and verify contents.
+	locs, err := tr.Lookup(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4*512)
+	dsts := make([][]byte, len(locs))
+	for i, l := range locs {
+		dsts[i] = got[l.Sub*512 : (l.Sub+1)*512]
+	}
+	if _, err := f.ReadSubs(sim.FromMicroseconds(10000), locs, dsts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("read-back bytes differ")
+	}
+}
+
+func TestWritesAcrossPlanesOverlap(t *testing.T) {
+	f, tr, _ := newStack(t, false)
+	plan, err := tr.Write(0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Execute(0, plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 programs across 4 planes (2 channels): wall-clock must be far less
+	// than 4 serial programs.
+	serial := 4 * sim.FromMicroseconds(820)
+	if res.Done >= serial {
+		t.Fatalf("no parallelism: done=%v, serial=%v", res.Done, serial)
+	}
+}
+
+func TestGCPlanSurvivesDataIntegrity(t *testing.T) {
+	f, tr, _ := newStack(t, true)
+	now := sim.Time(0)
+	content := map[int64][]byte{}
+	write := func(lspn int64) {
+		t.Helper()
+		payload := make([]byte, 4*512)
+		for i := range payload {
+			payload[i] = byte(int64(i) + lspn*7)
+		}
+		dirty := []bool{true, true, true, true}
+		plan, err := tr.Write(now, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Execute(now, plan, HostData(lspn, dirty, payload, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		content[lspn] = payload
+		now = res.Done + sim.Microsecond
+	}
+	// Fill sequentially, then overwrite in random order: random
+	// invalidation leaves victims partially valid, forcing migrations.
+	for lspn := int64(0); lspn < tr.UserSuperPages(); lspn++ {
+		write(lspn)
+	}
+	rng := sim.NewRNG(12)
+	for i := int64(0); i < 3*tr.UserSuperPages(); i++ {
+		write(int64(rng.Uint64n(uint64(tr.UserSuperPages()))))
+	}
+	if tr.Stats().GCMigrated == 0 {
+		t.Fatal("GC never migrated; test is vacuous")
+	}
+	// All data must be intact after migrations.
+	for lspn, want := range content {
+		locs, err := tr.Lookup(lspn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 4*512)
+		dsts := make([][]byte, len(locs))
+		for i, l := range locs {
+			dsts[i] = got[l.Sub*512 : (l.Sub+1)*512]
+		}
+		if _, err := f.ReadSubs(now, locs, dsts); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("LSPN %d corrupted after GC", lspn)
+		}
+	}
+}
+
+func TestDepStallsCounted(t *testing.T) {
+	f, tr, _ := newStack(t, false)
+	now := sim.Time(0)
+	rng := sim.NewRNG(5)
+	write := func(lspn int64) {
+		t.Helper()
+		plan, err := tr.Write(now, lspn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Execute(now, plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = res.Done + sim.Microsecond
+	}
+	for lspn := int64(0); lspn < tr.UserSuperPages(); lspn++ {
+		write(lspn)
+	}
+	for i := int64(0); i < 3*tr.UserSuperPages(); i++ {
+		write(int64(rng.Uint64n(uint64(tr.UserSuperPages()))))
+	}
+	if f.Stats().DepStalls == 0 {
+		t.Fatal("GC rewrites never waited on their source reads")
+	}
+	if f.Stats().Erases == 0 {
+		t.Fatal("no erases executed")
+	}
+}
+
+func TestRawOCSSDPath(t *testing.T) {
+	f, _, _ := newStack(t, true)
+	addr := nand.Address{Channel: 1, Page: 0}
+	data := make([]byte, 512)
+	data[7] = 0x77
+	if _, err := f.ProgramPage(0, addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if _, err := f.ReadPage(sim.FromMicroseconds(5000), addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[7] != 0x77 {
+		t.Fatal("raw path lost data")
+	}
+	if _, err := f.EraseBlock(sim.FromMicroseconds(9000), addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadPage(sim.FromMicroseconds(13000), addr, got); err == nil {
+		t.Fatal("read after erase should fail")
+	}
+}
+
+func TestHostDataHelper(t *testing.T) {
+	buf := make([]byte, 4*512)
+	buf[512] = 0xEE
+	m := HostData(3, []bool{false, true, false, false}, buf, 512)
+	if len(m) != 1 {
+		t.Fatalf("map has %d entries", len(m))
+	}
+	p := m[Key(3, 1)]
+	if p == nil || p[0] != 0xEE {
+		t.Fatal("payload slice wrong")
+	}
+	// Nil data gives nil payloads but keeps keys.
+	m2 := HostData(3, []bool{true, true, false, false}, nil, 512)
+	if len(m2) != 2 {
+		t.Fatalf("map2 has %d entries", len(m2))
+	}
+}

@@ -1,0 +1,638 @@
+// Package ftl implements the flash translation layer of Amber's firmware
+// stack (§II-B, §III-B): super-page-granular page-level mapping, reserved
+// blocks with a configurable over-provisioning ratio, garbage collection
+// with Greedy and Cost-Benefit victim selection, dynamic and static
+// wear-leveling, and the §IV-C partial-update optimization that remaps
+// sub-pages of a super-page individually instead of read-modify-writing the
+// whole stripe.
+//
+// The FTL is a pure mapping machine: it returns a Plan of physical page
+// operations (reads, programs, erases, in order) and the caller — the flash
+// interface layer — schedules them onto the storage complex. This keeps
+// the layer unit-testable against a model of the physical constraints.
+package ftl
+
+import (
+	"fmt"
+
+	"amber/internal/nand"
+	"amber/internal/sim"
+)
+
+// GCPolicy selects the garbage-collection victim scoring.
+type GCPolicy int
+
+// Victim-selection policies.
+const (
+	// Greedy picks the super-block with the fewest valid sub-pages [41].
+	Greedy GCPolicy = iota
+	// CostBenefit weighs reclaimable space against migration cost and block
+	// age [42]: score = (1-u)/(2u) * age.
+	CostBenefit
+)
+
+func (p GCPolicy) String() string {
+	if p == CostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+// Config parameterizes the FTL.
+type Config struct {
+	Geometry nand.Geometry
+	// OPRatio is the fraction of super-blocks reserved as over-provisioning
+	// (paper default 20%, Fig. 11 sweeps 5-20%).
+	OPRatio float64
+	// GCPolicy selects victim scoring.
+	GCPolicy GCPolicy
+	// GCFreeThreshold triggers GC when free super-blocks drop to or below
+	// this count; at least 2 are needed so GC always has an open block to
+	// migrate into.
+	GCFreeThreshold int
+	// PartialUpdate enables the §IV-C super-page hashmap optimization:
+	// sub-page writes are remapped individually rather than triggering a
+	// read-modify-write of the whole super-page.
+	PartialUpdate bool
+	// WearLevelDelta triggers static wear-leveling when the spread between
+	// max and min block erase counts exceeds it. Zero disables.
+	WearLevelDelta uint32
+}
+
+// Validate reports descriptive configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.OPRatio < 0.01 || c.OPRatio > 0.5 {
+		return fmt.Errorf("ftl: OPRatio %v outside [0.01, 0.5]", c.OPRatio)
+	}
+	if c.GCFreeThreshold < 2 {
+		return fmt.Errorf("ftl: GCFreeThreshold must be >= 2, got %d", c.GCFreeThreshold)
+	}
+	minSBs := c.GCFreeThreshold + 2
+	if c.Geometry.BlocksPerPlane < minSBs {
+		return fmt.Errorf("ftl: geometry has %d super-blocks, need >= %d", c.Geometry.BlocksPerPlane, minSBs)
+	}
+	return nil
+}
+
+// PageLoc names one physical sub-page: page Page of plane Plane in
+// super-block SB, holding logical sub-page Sub of its super-page. The
+// allocator prefers Plane == Sub (channel-striped layout for maximum bus
+// overlap) but may place a sub-page on another plane when the preferred
+// plane's append point is full — the flexibility that keeps GC compaction
+// from wedging under plane-skewed partial updates.
+type PageLoc struct {
+	SB    int
+	Page  int
+	Plane int
+	Sub   int
+}
+
+// PageWrite is a program the FIL must issue, with the owning logical
+// super-page for accounting.
+type PageWrite struct {
+	Loc  PageLoc
+	LSPN int64
+	// GC marks migration writes (vs. host writes) for WAF accounting.
+	GC bool
+}
+
+// PageRead is a pre-read the FIL must issue (RMW fill or GC migration
+// source), with the owning logical super-page so its data can be paired
+// with the corresponding rewrite.
+type PageRead struct {
+	Loc  PageLoc
+	LSPN int64
+}
+
+// OpKind distinguishes plan operations.
+type OpKind int
+
+// Plan operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpErase
+)
+
+// Op is one physical operation in a plan, in causal order: a write may
+// depend on the read of the same (LSPN, Sub) issued before it, and a write
+// into a super-block erased earlier in the same plan must follow that
+// erase.
+type Op struct {
+	Kind OpKind
+	Loc  PageLoc // read/write target
+	LSPN int64   // owning logical super-page (read/write)
+	GC   bool    // write: migration/RMW rewrite rather than host data
+	SB   int     // erase target super-block
+}
+
+// Plan is the ordered physical work produced by one FTL call. Ops must be
+// executed respecting their order-induced dependencies.
+type Plan struct {
+	Ops []Op
+	// GCRuns counts garbage collections triggered by this call.
+	GCRuns int
+	// Migrated counts valid sub-pages moved by GC.
+	Migrated int
+	// WearLevelMoves counts static wear-leveling migrations.
+	WearLevelMoves int
+}
+
+// Reads returns the plan's pre-reads in order.
+func (p Plan) Reads() []PageRead {
+	var out []PageRead
+	for _, op := range p.Ops {
+		if op.Kind == OpRead {
+			out = append(out, PageRead{Loc: op.Loc, LSPN: op.LSPN})
+		}
+	}
+	return out
+}
+
+// Writes returns the plan's programs in order.
+func (p Plan) Writes() []PageWrite {
+	var out []PageWrite
+	for _, op := range p.Ops {
+		if op.Kind == OpWrite {
+			out = append(out, PageWrite{Loc: op.Loc, LSPN: op.LSPN, GC: op.GC})
+		}
+	}
+	return out
+}
+
+// Erases returns the erased super-blocks in order.
+func (p Plan) Erases() []int {
+	var out []int
+	for _, op := range p.Ops {
+		if op.Kind == OpErase {
+			out = append(out, op.SB)
+		}
+	}
+	return out
+}
+
+// Stats aggregates FTL activity.
+type Stats struct {
+	HostSubWrites  uint64 // sub-pages written on behalf of the host
+	FlashSubWrites uint64 // total sub-pages programmed (host + GC + RMW)
+	GCRuns         uint64
+	GCMigrated     uint64
+	Erases         uint64
+	RMWReads       uint64 // pre-reads caused by partial writes without the optimization
+	PartialRemaps  uint64 // sub-page writes served by the partial-update hashmap
+	WearLevelMoves uint64
+}
+
+// WAF returns the write-amplification factor.
+func (s Stats) WAF() float64 {
+	if s.HostSubWrites == 0 {
+		return 0
+	}
+	return float64(s.FlashSubWrites) / float64(s.HostSubWrites)
+}
+
+type superBlock struct {
+	nextPage   []int32 // per-plane append pointer
+	validSubs  int32
+	eraseCount uint32
+	lastWrite  sim.Time
+	closed     bool
+	free       bool
+}
+
+// FTL is the page-level translator. Not safe for concurrent use.
+type FTL struct {
+	cfg        Config
+	subCount   int // planes per super-page
+	pagesPerSB int
+	sbCount    int
+
+	// forward map: lspn*subCount+sub -> packed (sb, page, plane), -1 unmapped.
+	fwd []int64
+	// reverse map: physical sub-page -> fwd index (lspn*subCount+sub),
+	// -1 invalid/unwritten.
+	rev []int64
+	// valid bit per physical sub-page.
+	valid []bool
+
+	sbs    []superBlock
+	freeSB []int // stack of free super-blocks
+	openSB int   // current append super-block, -1 none
+
+	userLSPNs int64
+	stats     Stats
+	inGC      bool // reentrancy guard: GC's own writes must not trigger GC
+}
+
+// New constructs an FTL over the given geometry.
+func New(cfg Config) (*FTL, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	f := &FTL{
+		cfg:        cfg,
+		subCount:   g.TotalPlanes(),
+		pagesPerSB: g.PagesPerBlock,
+		sbCount:    g.BlocksPerPlane,
+		openSB:     -1,
+	}
+	totalSuperPages := int64(f.sbCount) * int64(f.pagesPerSB)
+	f.userLSPNs = int64(float64(totalSuperPages) * (1 - cfg.OPRatio))
+	// Regardless of the OP ratio, at least two super-blocks stay out of the
+	// user capacity: one open append block and one block of GC headroom.
+	// Without this floor a fully-valid device can strand GC with no free
+	// block to migrate into.
+	if maxUser := int64(f.sbCount-2) * int64(f.pagesPerSB); f.userLSPNs > maxUser {
+		f.userLSPNs = maxUser
+	}
+	if f.userLSPNs < 1 {
+		return nil, fmt.Errorf("ftl: over-provisioning leaves no user capacity")
+	}
+	f.fwd = make([]int64, f.userLSPNs*int64(f.subCount))
+	for i := range f.fwd {
+		f.fwd[i] = -1
+	}
+	physSubs := int64(f.sbCount) * int64(f.pagesPerSB) * int64(f.subCount)
+	f.rev = make([]int64, physSubs)
+	for i := range f.rev {
+		f.rev[i] = -1
+	}
+	f.valid = make([]bool, physSubs)
+	f.sbs = make([]superBlock, f.sbCount)
+	f.freeSB = make([]int, 0, f.sbCount)
+	for i := f.sbCount - 1; i >= 0; i-- {
+		f.sbs[i] = superBlock{nextPage: make([]int32, f.subCount), free: true}
+		f.freeSB = append(f.freeSB, i)
+	}
+	return f, nil
+}
+
+// Config returns the configuration.
+func (f *FTL) Config() Config { return f.cfg }
+
+// UserSuperPages returns the exported logical capacity in super-pages.
+func (f *FTL) UserSuperPages() int64 { return f.userLSPNs }
+
+// SubPagesPerSuperPage returns the number of physical pages striped into
+// one super-page (= total planes).
+func (f *FTL) SubPagesPerSuperPage() int { return f.subCount }
+
+// SuperPageBytes returns the byte size of one super-page.
+func (f *FTL) SuperPageBytes() int { return f.subCount * f.cfg.Geometry.PageSize }
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// FreeSuperBlocks returns the current reserve of erased super-blocks.
+func (f *FTL) FreeSuperBlocks() int { return len(f.freeSB) }
+
+func (f *FTL) physIndex(loc PageLoc) int64 {
+	return (int64(loc.SB)*int64(f.pagesPerSB)+int64(loc.Page))*int64(f.subCount) + int64(loc.Plane)
+}
+
+func (f *FTL) fwdIndex(lspn int64, sub int) int64 {
+	return lspn*int64(f.subCount) + int64(sub)
+}
+
+func (f *FTL) packLoc(loc PageLoc) int64 {
+	return (int64(loc.SB)*int64(f.pagesPerSB)+int64(loc.Page))*int64(f.subCount) + int64(loc.Plane)
+}
+
+func (f *FTL) unpackLoc(packed int64, sub int) PageLoc {
+	plane := int(packed % int64(f.subCount))
+	rest := packed / int64(f.subCount)
+	return PageLoc{
+		SB:    int(rest / int64(f.pagesPerSB)),
+		Page:  int(rest % int64(f.pagesPerSB)),
+		Plane: plane,
+		Sub:   sub,
+	}
+}
+
+// checkLSPN validates a logical super-page number.
+func (f *FTL) checkLSPN(lspn int64) error {
+	if lspn < 0 || lspn >= f.userLSPNs {
+		return fmt.Errorf("ftl: LSPN %d out of range [0,%d)", lspn, f.userLSPNs)
+	}
+	return nil
+}
+
+// Lookup returns the physical locations of the mapped sub-pages of lspn.
+// Unmapped sub-pages are omitted; reading an entirely unmapped super-page
+// returns an empty slice (the device returns zeroes).
+func (f *FTL) Lookup(lspn int64) ([]PageLoc, error) {
+	if err := f.checkLSPN(lspn); err != nil {
+		return nil, err
+	}
+	locs := make([]PageLoc, 0, f.subCount)
+	for sub := 0; sub < f.subCount; sub++ {
+		packed := f.fwd[f.fwdIndex(lspn, sub)]
+		if packed >= 0 {
+			locs = append(locs, f.unpackLoc(packed, sub))
+		}
+	}
+	return locs, nil
+}
+
+// Address converts a PageLoc to the NAND physical address.
+func (f *FTL) Address(loc PageLoc) nand.Address {
+	g := f.cfg.Geometry
+	// The global plane index decomposes into (channel, package, die, plane)
+	// with channel varying fastest, so consecutive planes stripe across
+	// channels first — the layout that maximizes bus overlap.
+	sub := loc.Plane
+	ch := sub % g.Channels
+	rest := sub / g.Channels
+	pkg := rest % g.PackagesPerChannel
+	rest /= g.PackagesPerChannel
+	die := rest % g.DiesPerPackage
+	plane := rest / g.DiesPerPackage
+	return nand.Address{
+		Channel: ch, Package: pkg, Die: die, Plane: plane,
+		Block: loc.SB, Page: loc.Page,
+	}
+}
+
+// allocOpen ensures an open super-block exists with room on at least one
+// plane, running GC beforehand when the reserve is low. It appends any GC
+// work to the plan.
+func (f *FTL) allocOpen(now sim.Time, plan *Plan) error {
+	if f.openSB >= 0 {
+		sb := &f.sbs[f.openSB]
+		for _, np := range sb.nextPage {
+			if int(np) < f.pagesPerSB {
+				return nil
+			}
+		}
+		// Every plane is full: close the block.
+		sb.closed = true
+		f.openSB = -1
+	}
+	if !f.inGC && len(f.freeSB) <= f.cfg.GCFreeThreshold {
+		f.inGC = true
+		// Bounded collection: plane-skewed partial updates can make a single
+		// collect net-zero (migration consumes a block as the erase frees
+		// one), so cap the work per allocation instead of insisting the
+		// reserve recovers fully here.
+		for tries := 0; len(f.freeSB) <= f.cfg.GCFreeThreshold && tries < f.sbCount; tries++ {
+			ok, err := f.collect(now, plan)
+			if err != nil {
+				f.inGC = false
+				return err
+			}
+			if !ok {
+				break // nothing reclaimable; dip into the OP reserve
+			}
+		}
+		f.inGC = false
+	}
+	if len(f.freeSB) == 0 {
+		return fmt.Errorf("ftl: no free super-blocks (device full beyond OP)")
+	}
+	f.openSB = f.popFreeSB()
+	sb := &f.sbs[f.openSB]
+	sb.free = false
+	sb.closed = false
+	return nil
+}
+
+// popFreeSB removes and returns the free super-block with the lowest erase
+// count — dynamic wear-leveling by allocation order.
+func (f *FTL) popFreeSB() int {
+	best := 0
+	for i := 1; i < len(f.freeSB); i++ {
+		if f.sbs[f.freeSB[i]].eraseCount < f.sbs[f.freeSB[best]].eraseCount {
+			best = i
+		}
+	}
+	sb := f.freeSB[best]
+	f.freeSB = append(f.freeSB[:best], f.freeSB[best+1:]...)
+	return sb
+}
+
+// appendSub programs the next page of the open super-block and installs
+// the mapping lspn/sub -> there. The preferred plane is sub's stripe slot;
+// when that plane's append point is full the least-filled plane takes the
+// page instead. Any previous mapping is invalidated. The write is appended
+// to the plan.
+func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) error {
+	if err := f.allocOpen(now, plan); err != nil {
+		return err
+	}
+	sb := &f.sbs[f.openSB]
+	plane := sub % f.subCount
+	if int(sb.nextPage[plane]) >= f.pagesPerSB {
+		best := -1
+		for p := 0; p < f.subCount; p++ {
+			if int(sb.nextPage[p]) < f.pagesPerSB && (best < 0 || sb.nextPage[p] < sb.nextPage[best]) {
+				best = p
+			}
+		}
+		plane = best // allocOpen guaranteed at least one open plane
+	}
+	loc := PageLoc{SB: f.openSB, Page: int(sb.nextPage[plane]), Plane: plane, Sub: sub}
+	sb.nextPage[plane]++
+	sb.lastWrite = now
+
+	// Invalidate old location.
+	fi := f.fwdIndex(lspn, sub)
+	if old := f.fwd[fi]; old >= 0 {
+		oldLoc := f.unpackLoc(old, sub)
+		pi := f.physIndex(oldLoc)
+		if f.valid[pi] {
+			f.valid[pi] = false
+			f.rev[pi] = -1
+			f.sbs[oldLoc.SB].validSubs--
+		}
+	}
+	// Install new mapping.
+	pi := f.physIndex(loc)
+	f.fwd[fi] = f.packLoc(loc)
+	f.rev[pi] = fi
+	f.valid[pi] = true
+	sb.validSubs++
+
+	plan.Ops = append(plan.Ops, Op{Kind: OpWrite, Loc: loc, LSPN: lspn, GC: gc})
+	f.stats.FlashSubWrites++
+	return nil
+}
+
+// Write maps a host write of lspn covering the sub-pages set in dirty
+// (nil means the full super-page) and returns the physical plan. Without
+// the partial-update optimization, a partial write triggers a
+// read-modify-write: the untouched mapped sub-pages are read and rewritten
+// so the whole super-page stays physically contiguous.
+func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
+	var plan Plan
+	if err := f.checkLSPN(lspn); err != nil {
+		return plan, err
+	}
+	if dirty != nil && len(dirty) != f.subCount {
+		return plan, fmt.Errorf("ftl: dirty mask has %d entries, want %d", len(dirty), f.subCount)
+	}
+	full := dirty == nil
+	if !full {
+		full = true
+		any := false
+		for _, d := range dirty {
+			if d {
+				any = true
+			} else {
+				full = false
+			}
+		}
+		if !any {
+			return plan, nil
+		}
+	}
+
+	writeSub := func(sub int, gc bool) error {
+		if !gc {
+			f.stats.HostSubWrites++
+		}
+		return f.appendSub(now, lspn, sub, gc, &plan)
+	}
+
+	switch {
+	case full:
+		for sub := 0; sub < f.subCount; sub++ {
+			if err := writeSub(sub, false); err != nil {
+				return plan, err
+			}
+		}
+	case f.cfg.PartialUpdate:
+		// §IV-C: remap only the dirty sub-pages via the super-page hashmap
+		// (here: the per-sub forward map), leaving clean sub-pages where
+		// they are.
+		for sub := 0; sub < f.subCount; sub++ {
+			if dirty[sub] {
+				f.stats.PartialRemaps++
+				if err := writeSub(sub, false); err != nil {
+					return plan, err
+				}
+			}
+		}
+	default:
+		// Read-modify-write: pre-read mapped clean sub-pages, then rewrite
+		// the full stripe.
+		for sub := 0; sub < f.subCount; sub++ {
+			if !dirty[sub] {
+				if packed := f.fwd[f.fwdIndex(lspn, sub)]; packed >= 0 {
+					plan.Ops = append(plan.Ops, Op{Kind: OpRead, Loc: f.unpackLoc(packed, sub), LSPN: lspn})
+					f.stats.RMWReads++
+				}
+			}
+		}
+		for sub := 0; sub < f.subCount; sub++ {
+			gcWrite := !dirty[sub] // rewrites of clean data amplify writes
+			if !gcWrite {
+				f.stats.HostSubWrites++
+			}
+			if err := f.appendSub(now, lspn, sub, gcWrite, &plan); err != nil {
+				return plan, err
+			}
+		}
+	}
+
+	if f.cfg.WearLevelDelta > 0 {
+		f.maybeWearLevel(now, &plan)
+	}
+	return plan, nil
+}
+
+// Trim unmaps the super-page, invalidating its physical sub-pages without
+// any flash work (the device-level TRIM/deallocate path).
+func (f *FTL) Trim(lspn int64) error {
+	if err := f.checkLSPN(lspn); err != nil {
+		return err
+	}
+	for sub := 0; sub < f.subCount; sub++ {
+		fi := f.fwdIndex(lspn, sub)
+		if packed := f.fwd[fi]; packed >= 0 {
+			loc := f.unpackLoc(packed, sub)
+			pi := f.physIndex(loc)
+			if f.valid[pi] {
+				f.valid[pi] = false
+				f.rev[pi] = -1
+				f.sbs[loc.SB].validSubs--
+			}
+			f.fwd[fi] = -1
+		}
+	}
+	return nil
+}
+
+// Mapped reports whether any sub-page of lspn is mapped.
+func (f *FTL) Mapped(lspn int64) bool {
+	for sub := 0; sub < f.subCount; sub++ {
+		if f.fwd[f.fwdIndex(lspn, sub)] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EraseCount returns the erase count of a super-block.
+func (f *FTL) EraseCount(sb int) uint32 { return f.sbs[sb].eraseCount }
+
+// MaxEraseSpread returns max-min erase counts across super-blocks.
+func (f *FTL) MaxEraseSpread() uint32 {
+	if len(f.sbs) == 0 {
+		return 0
+	}
+	min, max := f.sbs[0].eraseCount, f.sbs[0].eraseCount
+	for i := range f.sbs {
+		c := f.sbs[i].eraseCount
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return max - min
+}
+
+// ValidSubs returns the valid sub-page count of a super-block (testing and
+// GC-scoring aid).
+func (f *FTL) ValidSubs(sb int) int { return int(f.sbs[sb].validSubs) }
+
+// CheckInvariants verifies internal consistency: the forward map is
+// injective, reverse entries match forward entries, and per-super-block
+// valid counts equal the valid bits. It is used by property tests and is
+// cheap enough to call after every operation on small geometries.
+func (f *FTL) CheckInvariants() error {
+	counts := make([]int32, f.sbCount)
+	seen := make(map[int64]int64) // physical sub index -> lspn
+	for lspn := int64(0); lspn < f.userLSPNs; lspn++ {
+		for sub := 0; sub < f.subCount; sub++ {
+			packed := f.fwd[f.fwdIndex(lspn, sub)]
+			if packed < 0 {
+				continue
+			}
+			loc := f.unpackLoc(packed, sub)
+			pi := f.physIndex(loc)
+			if prev, dup := seen[pi]; dup {
+				return fmt.Errorf("ftl: physical sub %v mapped by both LSPN %d and %d", loc, prev, lspn)
+			}
+			seen[pi] = lspn
+			if !f.valid[pi] {
+				return fmt.Errorf("ftl: mapped sub %v not marked valid", loc)
+			}
+			if f.rev[pi] != f.fwdIndex(lspn, sub) {
+				return fmt.Errorf("ftl: reverse map of %v is %d, want %d", loc, f.rev[pi], f.fwdIndex(lspn, sub))
+			}
+			counts[loc.SB]++
+		}
+	}
+	for sb := range f.sbs {
+		if counts[sb] != f.sbs[sb].validSubs {
+			return fmt.Errorf("ftl: SB %d valid count %d, recomputed %d", sb, f.sbs[sb].validSubs, counts[sb])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package ftl
+
+import (
+	"amber/internal/sim"
+)
+
+// collect runs one garbage collection: it selects a victim super-block,
+// migrates its valid sub-pages into the open super-block, erases it and
+// returns it to the free reserve. The physical reads, writes and erase are
+// appended to the plan in dependency order. It reports whether a
+// profitable victim existed; when every candidate is fully valid there is
+// nothing to reclaim and the caller must stop collecting (writes then
+// consume the over-provisioning reserve, which subsequent overwrites will
+// replenish by invalidating pages).
+func (f *FTL) collect(now sim.Time, plan *Plan) (bool, error) {
+	victim := f.selectVictim(now)
+	if victim < 0 {
+		return false, nil
+	}
+	f.stats.GCRuns++
+	plan.GCRuns++
+
+	if err := f.migrateSuperBlock(now, victim, plan, false); err != nil {
+		return true, err
+	}
+	f.eraseSB(victim, plan)
+	return true, nil
+}
+
+// migrateSuperBlock moves every valid sub-page of sb into the open
+// super-block. wearLevel marks the moves in the stats as wear-leveling
+// rather than GC.
+func (f *FTL) migrateSuperBlock(now sim.Time, sb int, plan *Plan, wearLevel bool) error {
+	base := int64(sb) * int64(f.pagesPerSB) * int64(f.subCount)
+	for page := 0; page < f.pagesPerSB; page++ {
+		for plane := 0; plane < f.subCount; plane++ {
+			pi := base + int64(page)*int64(f.subCount) + int64(plane)
+			if !f.valid[pi] {
+				continue
+			}
+			lspn := f.rev[pi] / int64(f.subCount)
+			sub := int(f.rev[pi] % int64(f.subCount))
+			plan.Ops = append(plan.Ops, Op{Kind: OpRead, Loc: PageLoc{SB: sb, Page: page, Plane: plane, Sub: sub}, LSPN: lspn})
+			if err := f.appendSub(now, lspn, sub, true, plan); err != nil {
+				return err
+			}
+			if wearLevel {
+				f.stats.WearLevelMoves++
+				plan.WearLevelMoves++
+			} else {
+				f.stats.GCMigrated++
+				plan.Migrated++
+			}
+		}
+	}
+	return nil
+}
+
+// eraseSB resets the super-block's physical state and returns it to the
+// free list.
+func (f *FTL) eraseSB(sb int, plan *Plan) {
+	blk := &f.sbs[sb]
+	base := int64(sb) * int64(f.pagesPerSB) * int64(f.subCount)
+	for i := int64(0); i < int64(f.pagesPerSB)*int64(f.subCount); i++ {
+		f.valid[base+i] = false
+		f.rev[base+i] = -1
+	}
+	for p := range blk.nextPage {
+		blk.nextPage[p] = 0
+	}
+	blk.validSubs = 0
+	blk.eraseCount++
+	blk.closed = false
+	blk.free = true
+	f.freeSB = append(f.freeSB, sb)
+	f.stats.Erases++
+	plan.Ops = append(plan.Ops, Op{Kind: OpErase, SB: sb})
+}
+
+// selectVictim returns the best GC victim, or -1 if none qualifies. The
+// open super-block and free blocks are excluded. A block with zero valid
+// sub-pages is always the best possible victim under both policies.
+func (f *FTL) selectVictim(now sim.Time) int {
+	best := -1
+	var bestScore float64
+	totalSubs := float64(f.pagesPerSB * f.subCount)
+	for sb := range f.sbs {
+		blk := &f.sbs[sb]
+		if blk.free || sb == f.openSB {
+			continue
+		}
+		written := 0
+		for _, np := range blk.nextPage {
+			written += int(np)
+		}
+		if written == 0 {
+			continue // nothing ever written; erasing gains nothing
+		}
+		if int(blk.validSubs) == f.pagesPerSB*f.subCount {
+			continue // fully valid: migration would consume what the erase frees
+		}
+		var score float64
+		switch f.cfg.GCPolicy {
+		case CostBenefit:
+			// Benefit/cost = (1-u)/(2u) * age, with u the valid fraction.
+			u := float64(blk.validSubs) / totalSubs
+			age := (now - blk.lastWrite).Seconds() + 1e-9
+			if u == 0 {
+				score = 1e18 * age // free space for no migration cost
+			} else {
+				score = (1 - u) / (2 * u) * age
+			}
+		default: // Greedy: fewest valid sub-pages (most reclaimable space)
+			score = totalSubs - float64(blk.validSubs)
+		}
+		if best < 0 || score > bestScore {
+			best = sb
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// maybeWearLevel performs static wear-leveling when the erase spread
+// exceeds the configured delta: the coldest closed super-block (the one
+// least recently written, holding static data) is migrated and erased so
+// its underlying cells rejoin the rotation.
+func (f *FTL) maybeWearLevel(now sim.Time, plan *Plan) {
+	if f.MaxEraseSpread() <= f.cfg.WearLevelDelta {
+		return
+	}
+	coldest := -1
+	var coldestTime sim.Time
+	for sb := range f.sbs {
+		blk := &f.sbs[sb]
+		if blk.free || sb == f.openSB || blk.validSubs == 0 {
+			continue
+		}
+		// Only blocks with below-median wear hold back the spread.
+		if blk.eraseCount > f.sbs[f.minEraseSB()].eraseCount {
+			continue
+		}
+		if coldest < 0 || blk.lastWrite < coldestTime {
+			coldest = sb
+			coldestTime = blk.lastWrite
+		}
+	}
+	if coldest < 0 {
+		return
+	}
+	// Suppress nested GC during the move: a GC choosing this same block as
+	// its victim would double-erase it.
+	wasInGC := f.inGC
+	f.inGC = true
+	err := f.migrateSuperBlock(now, coldest, plan, true)
+	f.inGC = wasInGC
+	if err != nil {
+		return // reserve exhausted; ordinary GC will recover first
+	}
+	f.eraseSB(coldest, plan)
+}
+
+func (f *FTL) minEraseSB() int {
+	best := 0
+	for i := range f.sbs {
+		if f.sbs[i].eraseCount < f.sbs[best].eraseCount {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,212 @@
+package hil
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amber/internal/proto"
+)
+
+func TestSplitterBasics(t *testing.T) {
+	s, err := NewSplitter(4096, 4) // 16 KiB lines
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LineBytes() != 16384 {
+		t.Fatalf("LineBytes = %d", s.LineBytes())
+	}
+	// 4 KiB read at offset 0: one line, one sub.
+	lines, err := s.Split(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0] != (Line{LSPN: 0, FirstSub: 0, NumSubs: 1, ByteOff: 0, ByteLen: 4096}) {
+		t.Fatalf("lines = %+v", lines)
+	}
+}
+
+func TestSplitCrossesLines(t *testing.T) {
+	s, _ := NewSplitter(4096, 4)
+	// 20 KiB starting 8 KiB into line 0: subs 2,3 of line 0 + sub 0..2 of line 1.
+	lines, err := s.Split(8192, 20480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if lines[0].LSPN != 0 || lines[0].FirstSub != 2 || lines[0].NumSubs != 2 || lines[0].ByteLen != 8192 {
+		t.Fatalf("line0 = %+v", lines[0])
+	}
+	if lines[1].LSPN != 1 || lines[1].FirstSub != 0 || lines[1].NumSubs != 3 || lines[1].ByteLen != 12288 {
+		t.Fatalf("line1 = %+v", lines[1])
+	}
+}
+
+func TestSplitSubPagePartial(t *testing.T) {
+	s, _ := NewSplitter(4096, 4)
+	// 1 KiB at offset 512: touches sub 0 only.
+	lines, err := s.Split(512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0].FirstSub != 0 || lines[0].NumSubs != 1 {
+		t.Fatalf("lines = %+v", lines)
+	}
+	// 1 KiB spanning the sub 0/1 boundary touches two subs.
+	lines, err = s.Split(3584, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0].NumSubs != 2 {
+		t.Fatalf("boundary lines = %+v", lines)
+	}
+}
+
+func TestSplitRejectsBadArgs(t *testing.T) {
+	s, _ := NewSplitter(4096, 4)
+	if _, err := s.Split(-1, 4096); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if _, err := s.Split(0, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := NewSplitter(0, 4); err == nil {
+		t.Fatal("zero sub size accepted")
+	}
+}
+
+// Property: split lines exactly tile the request byte range, in order,
+// without overlap, and all sub ranges stay within the line.
+func TestSplitTilesProperty(t *testing.T) {
+	s, _ := NewSplitter(512, 8)
+	f := func(off uint16, length uint16) bool {
+		l := int(length%50000) + 1
+		lines, err := s.Split(int64(off), l)
+		if err != nil {
+			return false
+		}
+		pos := 0
+		prevLSPN := int64(-1)
+		for _, ln := range lines {
+			if ln.ByteOff != pos || ln.ByteLen <= 0 {
+				return false
+			}
+			if ln.LSPN <= prevLSPN {
+				return false
+			}
+			if ln.FirstSub < 0 || ln.FirstSub+ln.NumSubs > 8 {
+				return false
+			}
+			prevLSPN = ln.LSPN
+			pos += ln.ByteLen
+		}
+		return pos == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArbiterFIFO(t *testing.T) {
+	a, err := NewArbiter(proto.FIFO, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []*Request{{Queue: 1, Tag: 1}, {Queue: 0, Tag: 2}, {Queue: 1, Tag: 3}}
+	for _, r := range reqs {
+		if err := a.Enqueue(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// FIFO drains queue 0 first, then queue 1 in order.
+	want := []uint64{2, 1, 3}
+	for i, w := range want {
+		r := a.Next()
+		if r == nil || r.Tag != w {
+			t.Fatalf("fetch %d: got %+v, want tag %d", i, r, w)
+		}
+	}
+	if a.Next() != nil {
+		t.Fatal("empty arbiter returned a request")
+	}
+}
+
+func TestArbiterRoundRobin(t *testing.T) {
+	a, _ := NewArbiter(proto.RoundRobin, 3, nil)
+	for q := 0; q < 3; q++ {
+		for i := 0; i < 2; i++ {
+			if err := a.Enqueue(&Request{Queue: q, Tag: uint64(q*10 + i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var got []uint64
+	for r := a.Next(); r != nil; r = a.Next() {
+		got = append(got, r.Tag)
+	}
+	want := []uint64{0, 10, 20, 1, 11, 21}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RR order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArbiterWRRHonorsWeights(t *testing.T) {
+	a, _ := NewArbiter(proto.WeightedRoundRobin, 2, []int{3, 1})
+	for q := 0; q < 2; q++ {
+		for i := 0; i < 6; i++ {
+			if err := a.Enqueue(&Request{Queue: q, Tag: uint64(q)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// First 8 fetches: queue 0 should get 3 of every 4.
+	q0 := 0
+	for i := 0; i < 8; i++ {
+		r := a.Next()
+		if r == nil {
+			t.Fatal("arbiter ran dry early")
+		}
+		if r.Tag == 0 {
+			q0++
+		}
+	}
+	if q0 != 6 {
+		t.Fatalf("queue 0 got %d of 8 under 3:1 weights, want 6", q0)
+	}
+}
+
+func TestArbiterSkipsEmptyQueues(t *testing.T) {
+	a, _ := NewArbiter(proto.RoundRobin, 4, nil)
+	if err := a.Enqueue(&Request{Queue: 2, Tag: 7}); err != nil {
+		t.Fatal(err)
+	}
+	r := a.Next()
+	if r == nil || r.Tag != 7 {
+		t.Fatalf("RR failed to skip empties: %+v", r)
+	}
+}
+
+func TestArbiterValidation(t *testing.T) {
+	if _, err := NewArbiter(proto.RoundRobin, 0, nil); err == nil {
+		t.Fatal("zero queues accepted")
+	}
+	if _, err := NewArbiter(proto.WeightedRoundRobin, 2, []int{1}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+	if _, err := NewArbiter(proto.WeightedRoundRobin, 2, []int{1, 0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	a, _ := NewArbiter(proto.FIFO, 1, nil)
+	if err := a.Enqueue(&Request{Queue: 5}); err == nil {
+		t.Fatal("out-of-range queue accepted")
+	}
+	if a.Pending() != 0 {
+		t.Fatal("failed enqueue counted")
+	}
+}

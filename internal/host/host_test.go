@@ -1,0 +1,131 @@
+package host
+
+import (
+	"testing"
+
+	"amber/internal/cpu"
+	"amber/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := PC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Mobile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PC()
+	bad.CPUs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+	bad = PC()
+	bad.MemBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+}
+
+func TestPlatformContrast(t *testing.T) {
+	pc, mob := PC(), Mobile()
+	if pc.FreqMHz <= mob.FreqMHz {
+		t.Fatal("PC must be faster than mobile (Table II)")
+	}
+	if pc.MemBandwidth <= mob.MemBandwidth {
+		t.Fatal("PC memory must be faster")
+	}
+}
+
+func TestSchedulerCosts(t *testing.T) {
+	mk := func(k SchedulerKind) *Host {
+		cfg := PC()
+		cfg.Scheduler = k
+		h, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	cfq, bfq, noop := mk(CFQ), mk(BFQ), mk(NoopSched)
+	// CFQ submission burns the most CPU (§V-C).
+	tc := cfq.Submit(0, false, 9000)
+	tb := bfq.Submit(0, false, 9000)
+	tn := noop.Submit(0, false, 9000)
+	if !(tc > tb && tb > tn) {
+		t.Fatalf("submit times: cfq=%v bfq=%v noop=%v", tc, tb, tn)
+	}
+	// BFQ merges sequential requests cheaply.
+	seq := mk(BFQ).Submit(0, true, 9000)
+	if seq >= tb {
+		t.Fatal("BFQ sequential merge should be cheaper")
+	}
+	// CFQ's dispatch window is capped; BFQ's is not.
+	if cfq.DepthCap() != 8 || bfq.DepthCap() < 1024 {
+		t.Fatalf("depth caps: cfq=%d bfq=%d", cfq.DepthCap(), bfq.DepthCap())
+	}
+	if CFQ.String() != "cfq" || BFQ.String() != "bfq" || NoopSched.String() != "noop" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestCompleteChargesISR(t *testing.T) {
+	h, err := New(PC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := h.Complete(0, 7000)
+	if end == 0 {
+		t.Fatal("ISR took no time")
+	}
+	if h.CPU.BusyTime() == 0 {
+		t.Fatal("ISR not charged to CPU")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	h, err := New(PC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Alloc(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if h.MemUsed() != 1<<30 {
+		t.Fatalf("MemUsed = %d", h.MemUsed())
+	}
+	if err := h.Alloc(64 << 30); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	h.Free(1 << 30)
+	if h.MemUsed() != 0 {
+		t.Fatal("free did not release")
+	}
+	if err := h.Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestFreeTooMuchPanics(t *testing.T) {
+	h, _ := New(PC())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free should panic")
+		}
+	}()
+	h.Free(1)
+}
+
+func TestExecutePinnedAndUtilization(t *testing.T) {
+	h, err := New(PC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := h.ExecutePinned(0, 2, "pblk.test", cpu.Mix(44000))
+	// 44000 instr at 2 IPC, 4.4 GHz = 5us.
+	if end != 5*sim.Microsecond {
+		t.Fatalf("pinned exec end = %v", end)
+	}
+	if u := h.CPUUtilization(20 * sim.Microsecond); u <= 0 {
+		t.Fatal("utilization should be positive")
+	}
+}

@@ -1,0 +1,518 @@
+// Package icl implements Amber's internal cache layer (§III-B, §IV-C): the
+// firmware module that buffers super-page-sized lines of data in the SSD's
+// internal DRAM between the host interface and the FTL. It supports
+// fully-associative, set-associative and direct-mapped organizations with
+// LRU, FIFO and random replacement, write-back with dirty sub-page masks,
+// explicit flush, and the parallelism-aware readahead of §IV-C: a
+// frequency counter detects sequential miss streaks and prefetches the
+// following super-pages, which land on disjoint dies and therefore load in
+// parallel.
+//
+// Like the FTL, the ICL is a pure state machine: it returns the evictions
+// and prefetch candidates its caller (the core SSD assembly) must turn
+// into DRAM and flash traffic.
+package icl
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+)
+
+// Assoc selects the cache organization.
+type Assoc int
+
+// Cache organizations.
+const (
+	FullyAssoc Assoc = iota
+	SetAssoc
+	DirectMap
+)
+
+func (a Assoc) String() string {
+	switch a {
+	case SetAssoc:
+		return "set-associative"
+	case DirectMap:
+		return "direct-mapped"
+	default:
+		return "fully-associative"
+	}
+}
+
+// Replacement selects the victim policy within a set.
+type Replacement int
+
+// Replacement policies.
+const (
+	LRU Replacement = iota
+	FIFO
+	Random
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return "lru"
+	}
+}
+
+// Config parameterizes the cache.
+type Config struct {
+	// Lines is the total line count; line size is SubsPerLine*SubSize (one
+	// super-page).
+	Lines       int
+	Ways        int // associativity for SetAssoc (ignored otherwise)
+	SubsPerLine int // sub-pages (physical pages) per line
+	SubSize     int // bytes per sub-page
+	Assoc       Assoc
+	Replacement Replacement
+	// ReadaheadThreshold is the sequential-streak count that arms the
+	// §IV-C readahead; zero disables readahead.
+	ReadaheadThreshold int
+	// ReadaheadLines is how many following super-pages to prefetch once
+	// armed.
+	ReadaheadLines int
+	// TrackData keeps real line contents.
+	TrackData bool
+	Seed      uint64
+}
+
+// Validate reports descriptive configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Lines <= 0:
+		return fmt.Errorf("icl: Lines must be positive")
+	case c.SubsPerLine <= 0 || c.SubSize <= 0:
+		return fmt.Errorf("icl: line geometry must be positive")
+	case c.Assoc == SetAssoc && (c.Ways <= 0 || c.Lines%c.Ways != 0):
+		return fmt.Errorf("icl: SetAssoc needs Ways dividing Lines (lines=%d ways=%d)", c.Lines, c.Ways)
+	case c.ReadaheadThreshold > 0 && c.ReadaheadLines <= 0:
+		return fmt.Errorf("icl: readahead enabled but ReadaheadLines is %d", c.ReadaheadLines)
+	}
+	return nil
+}
+
+// LineBytes returns the byte size of one line.
+func (c Config) LineBytes() int { return c.SubsPerLine * c.SubSize }
+
+// CapacityBytes returns total data capacity of the cache.
+func (c Config) CapacityBytes() int64 { return int64(c.Lines) * int64(c.LineBytes()) }
+
+// Eviction describes a line the caller must flush (if dirty) before its
+// frame is reused.
+type Eviction struct {
+	LSPN  int64
+	Dirty []bool // per-sub dirty mask; all-false means clean drop
+	Data  []byte // line contents when TrackData, else nil
+}
+
+// IsDirty reports whether any sub-page needs a flash write.
+func (e Eviction) IsDirty() bool {
+	for _, d := range e.Dirty {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	ReadSubHits    uint64
+	ReadSubMisses  uint64
+	WriteSubHits   uint64
+	WriteSubMisses uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+	Readaheads     uint64 // prefetch lines requested
+	ReadaheadHits  uint64 // read hits on prefetched subs
+	Flushes        uint64
+}
+
+// HitRate returns the overall sub-page hit fraction.
+func (s Stats) HitRate() float64 {
+	hits := s.ReadSubHits + s.WriteSubHits
+	tot := hits + s.ReadSubMisses + s.WriteSubMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(hits) / float64(tot)
+}
+
+type line struct {
+	lspn       int64 // -1 = empty
+	valid      []bool
+	dirty      []bool
+	data       []byte
+	prefetched bool
+	lastUse    uint64
+	inserted   uint64
+}
+
+// Cache is the internal cache layer. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  [][]*line
+	ways  int
+	tick  uint64
+	rng   *sim.RNG
+	stats Stats
+
+	// Sequential detector state for readahead (§IV-C): the next expected
+	// LSPN and the current streak length.
+	seqNext   int64
+	seqStreak int
+}
+
+// New constructs a Cache from a validated configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ways := cfg.Lines
+	switch cfg.Assoc {
+	case SetAssoc:
+		ways = cfg.Ways
+	case DirectMap:
+		ways = 1
+	}
+	nsets := cfg.Lines / ways
+	c := &Cache{
+		cfg:     cfg,
+		ways:    ways,
+		rng:     sim.NewRNG(cfg.Seed ^ 0x1c1),
+		seqNext: -1,
+	}
+	c.sets = make([][]*line, nsets)
+	for i := range c.sets {
+		set := make([]*line, ways)
+		for w := range set {
+			ln := &line{lspn: -1, valid: make([]bool, cfg.SubsPerLine), dirty: make([]bool, cfg.SubsPerLine)}
+			if cfg.TrackData {
+				ln.data = make([]byte, cfg.LineBytes())
+			}
+			set[w] = ln
+		}
+		c.sets[i] = set
+	}
+	return c, nil
+}
+
+// Config returns the configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) setOf(lspn int64) []*line {
+	return c.sets[int(lspn%int64(len(c.sets)))]
+}
+
+func (c *Cache) find(lspn int64) *line {
+	for _, ln := range c.setOf(lspn) {
+		if ln.lspn == lspn {
+			return ln
+		}
+	}
+	return nil
+}
+
+// victim picks the replacement frame in lspn's set, preferring an empty or
+// fully clean-invalid frame.
+func (c *Cache) victim(lspn int64) *line {
+	set := c.setOf(lspn)
+	for _, ln := range set {
+		if ln.lspn < 0 {
+			return ln
+		}
+	}
+	switch c.cfg.Replacement {
+	case FIFO:
+		best := set[0]
+		for _, ln := range set[1:] {
+			if ln.inserted < best.inserted {
+				best = ln
+			}
+		}
+		return best
+	case Random:
+		return set[c.rng.Intn(len(set))]
+	default: // LRU
+		best := set[0]
+		for _, ln := range set[1:] {
+			if ln.lastUse < best.lastUse {
+				best = ln
+			}
+		}
+		return best
+	}
+}
+
+// evictInto resets the victim frame for reuse by lspn and returns the
+// eviction record if the frame held a line.
+func (c *Cache) evictInto(ln *line, lspn int64) *Eviction {
+	var ev *Eviction
+	if ln.lspn >= 0 {
+		e := Eviction{LSPN: ln.lspn, Dirty: append([]bool(nil), ln.dirty...)}
+		if c.cfg.TrackData {
+			e.Data = append([]byte(nil), ln.data...)
+		}
+		c.stats.Evictions++
+		if e.IsDirty() {
+			c.stats.DirtyEvictions++
+		}
+		ev = &e
+	}
+	ln.lspn = lspn
+	ln.prefetched = false
+	for i := range ln.valid {
+		ln.valid[i] = false
+		ln.dirty[i] = false
+	}
+	if c.cfg.TrackData {
+		for i := range ln.data {
+			ln.data[i] = 0
+		}
+	}
+	c.tick++
+	ln.inserted = c.tick
+	ln.lastUse = c.tick
+	return ev
+}
+
+func (c *Cache) touch(ln *line) {
+	c.tick++
+	ln.lastUse = c.tick
+}
+
+// ReadResult reports the outcome of a cache read probe.
+type ReadResult struct {
+	// HitSubs are sub-pages served from DRAM.
+	HitSubs []int
+	// MissSubs must be fetched from flash and then installed with Fill.
+	MissSubs []int
+	// Readahead lists LSPNs the §IV-C prefetcher wants loaded.
+	Readahead []int64
+}
+
+// Read probes the cache for sub-pages [firstSub, firstSub+nSubs) of lspn.
+// If TrackData is on and dst is non-nil, bytes of hit subs are copied into
+// dst at their line offsets.
+func (c *Cache) Read(lspn int64, firstSub, nSubs int, dst []byte) (ReadResult, error) {
+	if err := c.checkRange(firstSub, nSubs); err != nil {
+		return ReadResult{}, err
+	}
+	var res ReadResult
+	ln := c.find(lspn)
+	anyMiss := false
+	for s := firstSub; s < firstSub+nSubs; s++ {
+		if ln != nil && ln.valid[s] {
+			res.HitSubs = append(res.HitSubs, s)
+			c.stats.ReadSubHits++
+			if ln.prefetched {
+				c.stats.ReadaheadHits++
+			}
+			if c.cfg.TrackData && dst != nil {
+				copy(dst[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize], ln.data[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize])
+			}
+		} else {
+			res.MissSubs = append(res.MissSubs, s)
+			c.stats.ReadSubMisses++
+			anyMiss = true
+		}
+	}
+	if ln != nil {
+		c.touch(ln)
+	}
+	// Sequential-streak readahead: misses arm the counter ("sequentially
+	// accessed right after the addresses of the previous ones, but no
+	// cache hit"), and hits on previously prefetched lines keep the stream
+	// armed so a sustained sequential scan stays ahead of the consumer.
+	if c.cfg.ReadaheadThreshold > 0 {
+		armed := false
+		switch {
+		case anyMiss:
+			if lspn == c.seqNext {
+				c.seqStreak++
+			} else {
+				c.seqStreak = 1
+			}
+			c.seqNext = lspn + 1
+			armed = c.seqStreak >= c.cfg.ReadaheadThreshold
+		case ln != nil && ln.prefetched:
+			// Stream follow-up: the consumer reached a prefetched line.
+			c.seqStreak = c.cfg.ReadaheadThreshold
+			if lspn+1 > c.seqNext {
+				c.seqNext = lspn + 1
+			}
+			armed = true
+		}
+		if armed {
+			for i := int64(1); i <= int64(c.cfg.ReadaheadLines); i++ {
+				next := lspn + i
+				if c.find(next) == nil {
+					res.Readahead = append(res.Readahead, next)
+					c.stats.Readaheads++
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fill installs fetched sub-pages of lspn, evicting a victim line if the
+// set is full. prefetched marks readahead fills so their later hits are
+// attributed. data, when non-nil with TrackData, supplies full-line bytes
+// (only the filled subs are copied).
+func (c *Cache) Fill(lspn int64, subs []int, data []byte, prefetched bool) (*Eviction, error) {
+	for _, s := range subs {
+		if err := c.checkRange(s, 1); err != nil {
+			return nil, err
+		}
+	}
+	ln := c.find(lspn)
+	var ev *Eviction
+	if ln == nil {
+		ln = c.victim(lspn)
+		ev = c.evictInto(ln, lspn)
+	}
+	ln.prefetched = ln.prefetched || prefetched
+	for _, s := range subs {
+		ln.valid[s] = true
+		if c.cfg.TrackData && data != nil {
+			copy(ln.data[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize], data[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize])
+		}
+	}
+	c.touch(ln)
+	return ev, nil
+}
+
+// Write stores sub-pages [firstSub, firstSub+nSubs) of lspn into the cache
+// (write-back), marking them dirty. A miss allocates a frame
+// (write-allocate), possibly evicting. When TrackData is on and src is
+// non-nil, bytes are taken from src at line offsets.
+func (c *Cache) Write(lspn int64, firstSub, nSubs int, src []byte) (*Eviction, error) {
+	if err := c.checkRange(firstSub, nSubs); err != nil {
+		return nil, err
+	}
+	ln := c.find(lspn)
+	var ev *Eviction
+	if ln == nil {
+		c.stats.WriteSubMisses += uint64(nSubs)
+		ln = c.victim(lspn)
+		ev = c.evictInto(ln, lspn)
+	} else {
+		c.stats.WriteSubHits += uint64(nSubs)
+	}
+	for s := firstSub; s < firstSub+nSubs; s++ {
+		ln.valid[s] = true
+		ln.dirty[s] = true
+		if c.cfg.TrackData && src != nil {
+			copy(ln.data[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize], src[s*c.cfg.SubSize:(s+1)*c.cfg.SubSize])
+		}
+	}
+	c.touch(ln)
+	return ev, nil
+}
+
+// FlushLine cleans lspn's line, returning its eviction record (nil if not
+// cached). The line stays resident but clean.
+func (c *Cache) FlushLine(lspn int64) *Eviction {
+	ln := c.find(lspn)
+	if ln == nil {
+		return nil
+	}
+	e := Eviction{LSPN: ln.lspn, Dirty: append([]bool(nil), ln.dirty...)}
+	if c.cfg.TrackData {
+		e.Data = append([]byte(nil), ln.data...)
+	}
+	for i := range ln.dirty {
+		ln.dirty[i] = false
+	}
+	c.stats.Flushes++
+	return &e
+}
+
+// FlushAll returns eviction records for every dirty line (host FLUSH /
+// power-fail path) and cleans them. Lines stay resident.
+func (c *Cache) FlushAll() []Eviction {
+	var out []Eviction
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.lspn < 0 {
+				continue
+			}
+			dirty := false
+			for _, d := range ln.dirty {
+				if d {
+					dirty = true
+					break
+				}
+			}
+			if !dirty {
+				continue
+			}
+			e := Eviction{LSPN: ln.lspn, Dirty: append([]bool(nil), ln.dirty...)}
+			if c.cfg.TrackData {
+				e.Data = append([]byte(nil), ln.data...)
+			}
+			for i := range ln.dirty {
+				ln.dirty[i] = false
+			}
+			c.stats.Flushes++
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Contains reports whether sub s of lspn is valid in the cache.
+func (c *Cache) Contains(lspn int64, s int) bool {
+	ln := c.find(lspn)
+	return ln != nil && s >= 0 && s < c.cfg.SubsPerLine && ln.valid[s]
+}
+
+// DirtyLines counts lines with at least one dirty sub.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.lspn < 0 {
+				continue
+			}
+			for _, d := range ln.dirty {
+				if d {
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
+// ResidentLines counts occupied frames.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.lspn >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (c *Cache) checkRange(firstSub, nSubs int) error {
+	if firstSub < 0 || nSubs < 1 || firstSub+nSubs > c.cfg.SubsPerLine {
+		return fmt.Errorf("icl: sub range [%d,%d) outside line of %d subs",
+			firstSub, firstSub+nSubs, c.cfg.SubsPerLine)
+	}
+	return nil
+}

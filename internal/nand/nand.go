@@ -1,0 +1,600 @@
+// Package nand models the SSD storage backend: a multi-channel, multi-way
+// NAND flash subsystem with per-die and per-channel contention, MLC/TLC
+// page-position-dependent latencies with ISPP variation, erase-before-write
+// and in-order-program enforcement, per-operation energy accounting, wear
+// counters, and optional tracking of real page contents (Amber's data
+// transfer emulation).
+//
+// The model corresponds to the paper's "storage complex" (§II-B, Fig. 2):
+// packages containing dies hang off channel buses (ONFi); the set of dies at
+// the same offset across channels forms a way; flash firmware spreads
+// requests across channels and ways for parallelism.
+package nand
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+)
+
+// CellType selects the flash technology, which determines how many latency
+// classes a block's pages fall into (SLC: one, MLC: two, TLC: three).
+type CellType int
+
+// Supported flash cell technologies.
+const (
+	SLC CellType = iota + 1
+	MLC
+	TLC
+)
+
+// String returns the conventional name of the cell type.
+func (c CellType) String() string {
+	switch c {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	case TLC:
+		return "TLC"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// LatencyClasses returns the number of page latency classes for the cell
+// type: pages within a wordline program at different speeds (LSB fast, MSB
+// slow for MLC; low/center/upper for TLC).
+func (c CellType) LatencyClasses() int {
+	switch c {
+	case SLC:
+		return 1
+	case TLC:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Geometry describes the physical organization of the flash backend.
+type Geometry struct {
+	Channels           int // independent ONFi buses
+	PackagesPerChannel int // ways
+	DiesPerPackage     int
+	PlanesPerDie       int
+	BlocksPerPlane     int
+	PagesPerBlock      int
+	PageSize           int // bytes of user data per physical page
+}
+
+// Validate reports a descriptive error if any dimension is non-positive.
+func (g Geometry) Validate() error {
+	check := func(name string, v int) error {
+		if v <= 0 {
+			return fmt.Errorf("nand: geometry %s must be positive, got %d", name, v)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels},
+		{"PackagesPerChannel", g.PackagesPerChannel},
+		{"DiesPerPackage", g.DiesPerPackage},
+		{"PlanesPerDie", g.PlanesPerDie},
+		{"BlocksPerPlane", g.BlocksPerPlane},
+		{"PagesPerBlock", g.PagesPerBlock},
+		{"PageSize", g.PageSize},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalDies returns the number of independently operating dies.
+func (g Geometry) TotalDies() int {
+	return g.Channels * g.PackagesPerChannel * g.DiesPerPackage
+}
+
+// TotalPlanes returns the number of planes across all dies.
+func (g Geometry) TotalPlanes() int { return g.TotalDies() * g.PlanesPerDie }
+
+// TotalBlocks returns the number of physical blocks.
+func (g Geometry) TotalBlocks() int { return g.TotalPlanes() * g.BlocksPerPlane }
+
+// TotalPages returns the number of physical pages.
+func (g Geometry) TotalPages() int64 {
+	return int64(g.TotalBlocks()) * int64(g.PagesPerBlock)
+}
+
+// CapacityBytes returns raw capacity in bytes.
+func (g Geometry) CapacityBytes() int64 { return g.TotalPages() * int64(g.PageSize) }
+
+// Address identifies one physical page (or, for erase, its block).
+type Address struct {
+	Channel int
+	Package int
+	Die     int
+	Plane   int
+	Block   int
+	Page    int
+}
+
+func (a Address) String() string {
+	return fmt.Sprintf("ch%d/pkg%d/die%d/pl%d/blk%d/pg%d",
+		a.Channel, a.Package, a.Die, a.Plane, a.Block, a.Page)
+}
+
+// DieIndex returns the global die index of the address.
+func (g Geometry) DieIndex(a Address) int {
+	return (a.Channel*g.PackagesPerChannel+a.Package)*g.DiesPerPackage + a.Die
+}
+
+// PlaneIndex returns the global plane index of the address.
+func (g Geometry) PlaneIndex(a Address) int {
+	return g.DieIndex(a)*g.PlanesPerDie + a.Plane
+}
+
+// BlockIndex returns the global block index of the address.
+func (g Geometry) BlockIndex(a Address) int {
+	return g.PlaneIndex(a)*g.BlocksPerPlane + a.Block
+}
+
+// PageIndex returns the global physical page number of the address.
+func (g Geometry) PageIndex(a Address) int64 {
+	return int64(g.BlockIndex(a))*int64(g.PagesPerBlock) + int64(a.Page)
+}
+
+// AddressOfBlock is the inverse of BlockIndex with Page zero.
+func (g Geometry) AddressOfBlock(blockIndex int) Address {
+	a := Address{}
+	a.Block = blockIndex % g.BlocksPerPlane
+	rest := blockIndex / g.BlocksPerPlane
+	a.Plane = rest % g.PlanesPerDie
+	rest /= g.PlanesPerDie
+	a.Die = rest % g.DiesPerPackage
+	rest /= g.DiesPerPackage
+	a.Package = rest % g.PackagesPerChannel
+	a.Channel = rest / g.PackagesPerChannel
+	return a
+}
+
+// AddressOfPage is the inverse of PageIndex.
+func (g Geometry) AddressOfPage(pageIndex int64) Address {
+	a := g.AddressOfBlock(int(pageIndex / int64(g.PagesPerBlock)))
+	a.Page = int(pageIndex % int64(g.PagesPerBlock))
+	return a
+}
+
+// CheckAddress reports an error if a falls outside the geometry.
+func (g Geometry) CheckAddress(a Address) error {
+	switch {
+	case a.Channel < 0 || a.Channel >= g.Channels:
+		return fmt.Errorf("nand: channel %d out of range [0,%d)", a.Channel, g.Channels)
+	case a.Package < 0 || a.Package >= g.PackagesPerChannel:
+		return fmt.Errorf("nand: package %d out of range [0,%d)", a.Package, g.PackagesPerChannel)
+	case a.Die < 0 || a.Die >= g.DiesPerPackage:
+		return fmt.Errorf("nand: die %d out of range [0,%d)", a.Die, g.DiesPerPackage)
+	case a.Plane < 0 || a.Plane >= g.PlanesPerDie:
+		return fmt.Errorf("nand: plane %d out of range [0,%d)", a.Plane, g.PlanesPerDie)
+	case a.Block < 0 || a.Block >= g.BlocksPerPlane:
+		return fmt.Errorf("nand: block %d out of range [0,%d)", a.Block, g.BlocksPerPlane)
+	case a.Page < 0 || a.Page >= g.PagesPerBlock:
+		return fmt.Errorf("nand: page %d out of range [0,%d)", a.Page, g.PagesPerBlock)
+	}
+	return nil
+}
+
+// Timing holds the flash transaction timing model (Table I and §V-A): page
+// read (tR) and program (tPROG) ranges whose endpoints are the fast/slow
+// page-class latencies, block erase time, ONFi channel transfer rate and
+// command/address overhead.
+type Timing struct {
+	ReadFast   sim.Duration // tR for the fastest page class
+	ReadSlow   sim.Duration // tR for the slowest page class
+	ProgFast   sim.Duration // tPROG for the fastest page class
+	ProgSlow   sim.Duration // tPROG for the slowest page class
+	Erase      sim.Duration // tERASE
+	BusMTps    float64      // channel transfer rate in megatransfers/s (8-bit bus: 1 MT = 1 byte)
+	CmdCycles  sim.Duration // command + address phase occupancy on the channel
+	ISPPJitter float64      // +/- fractional jitter applied to tPROG draws (incremental step pulse programming)
+}
+
+// Validate reports an error for non-physical timing parameters.
+func (t Timing) Validate() error {
+	if t.ReadFast == 0 || t.ProgFast == 0 || t.Erase == 0 {
+		return fmt.Errorf("nand: timing must set ReadFast, ProgFast and Erase")
+	}
+	if t.ReadSlow < t.ReadFast || t.ProgSlow < t.ProgFast {
+		return fmt.Errorf("nand: slow latencies must be >= fast latencies")
+	}
+	if t.BusMTps <= 0 {
+		return fmt.Errorf("nand: BusMTps must be positive, got %v", t.BusMTps)
+	}
+	if t.ISPPJitter < 0 || t.ISPPJitter >= 1 {
+		return fmt.Errorf("nand: ISPPJitter must be in [0,1), got %v", t.ISPPJitter)
+	}
+	return nil
+}
+
+// BusBytesPerSecond returns the channel bandwidth in bytes per second.
+func (t Timing) BusBytesPerSecond() float64 { return t.BusMTps * 1e6 }
+
+// XferTime returns channel occupancy for moving n bytes of page data.
+func (t Timing) XferTime(n int) sim.Duration {
+	return sim.TransferTime(int64(n), t.BusBytesPerSecond())
+}
+
+// Power holds the per-operation energy model for the storage complex
+// (NANDFlashSim-style): array access energies plus per-byte transfer energy
+// between the internal DRAM and each package's row buffer, and per-die
+// leakage.
+type Power struct {
+	ReadEnergyJ        float64 // array read (tR) energy per page
+	ProgEnergyJ        float64 // program energy per page
+	EraseEnergyJ       float64 // erase energy per block
+	XferEnergyJPerByte float64
+	LeakageWPerDie     float64
+}
+
+// OpKind distinguishes flash transactions.
+type OpKind int
+
+// Flash transaction kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpProgram
+	OpErase
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Result reports the timing of one flash transaction.
+type Result struct {
+	Start sim.Time // when the transaction began occupying its first resource
+	Ready sim.Time // when the die finished the array operation
+	Done  sim.Time // when the transaction fully completed (incl. data transfer)
+}
+
+// Latency returns Done minus the submission time it was computed against.
+func (r Result) Latency(submitted sim.Time) sim.Duration {
+	if r.Done < submitted {
+		return 0
+	}
+	return r.Done - submitted
+}
+
+// Stats aggregates flash activity.
+type Stats struct {
+	Reads         uint64
+	Programs      uint64
+	Erases        uint64
+	BytesRead     uint64
+	BytesWritten  uint64
+	MultiPlaneOps uint64
+}
+
+// blockState tracks per-block physical condition.
+type blockState struct {
+	eraseCount uint32
+	nextPage   int32 // next programmable page (in-order constraint); PagesPerBlock means full
+	written    []bool
+}
+
+// Flash is the storage complex. It is not safe for concurrent use; the
+// whole simulator is single-threaded by design.
+type Flash struct {
+	geo  Geometry
+	tim  Timing
+	pow  Power
+	cell CellType
+
+	channels []*sim.Resource // one per channel bus
+	dies     []*sim.Resource // one per die
+	blocks   []blockState
+
+	trackData bool
+	data      map[int64][]byte
+
+	rng     *sim.RNG
+	stats   Stats
+	energyJ float64
+}
+
+// Options configures optional Flash behavior.
+type Options struct {
+	// TrackData keeps real page contents so reads return the bytes last
+	// programmed. Tests and data-integrity checks enable it; large
+	// performance sweeps leave it off to bound memory.
+	TrackData bool
+	// Seed drives the ISPP jitter stream.
+	Seed uint64
+}
+
+// New constructs a Flash from a validated geometry, timing and power model.
+func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flash, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tim.Validate(); err != nil {
+		return nil, err
+	}
+	if cell.LatencyClasses() == 0 {
+		return nil, fmt.Errorf("nand: invalid cell type %v", cell)
+	}
+	f := &Flash{
+		geo:       geo,
+		tim:       tim,
+		pow:       pow,
+		cell:      cell,
+		trackData: opt.TrackData,
+		rng:       sim.NewRNG(opt.Seed ^ 0xa3b1), // decorrelate from other consumers of the same seed
+	}
+	f.channels = make([]*sim.Resource, geo.Channels)
+	for i := range f.channels {
+		f.channels[i] = sim.NewResource(fmt.Sprintf("nand.ch%d", i))
+	}
+	f.dies = make([]*sim.Resource, geo.TotalDies())
+	for i := range f.dies {
+		f.dies[i] = sim.NewResource(fmt.Sprintf("nand.die%d", i))
+	}
+	f.blocks = make([]blockState, geo.TotalBlocks())
+	for i := range f.blocks {
+		f.blocks[i].written = make([]bool, geo.PagesPerBlock)
+	}
+	if opt.TrackData {
+		f.data = make(map[int64][]byte)
+	}
+	return f, nil
+}
+
+// Geometry returns the physical organization.
+func (f *Flash) Geometry() Geometry { return f.geo }
+
+// Timing returns the timing model.
+func (f *Flash) Timing() Timing { return f.tim }
+
+// Stats returns a copy of the activity counters.
+func (f *Flash) Stats() Stats { return f.stats }
+
+// EnergyJoules returns dynamic energy consumed so far (excluding leakage).
+func (f *Flash) EnergyJoules() float64 { return f.energyJ }
+
+// TotalEnergyJoules returns dynamic plus leakage energy over the elapsed
+// simulated time.
+func (f *Flash) TotalEnergyJoules(elapsed sim.Duration) float64 {
+	return f.energyJ + f.pow.LeakageWPerDie*float64(f.geo.TotalDies())*elapsed.Seconds()
+}
+
+// AveragePowerW returns average power over the elapsed simulated time.
+func (f *Flash) AveragePowerW(elapsed sim.Duration) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return f.TotalEnergyJoules(elapsed) / elapsed.Seconds()
+}
+
+// EraseCount returns the erase count of the block containing a.
+func (f *Flash) EraseCount(a Address) uint32 {
+	return f.blocks[f.geo.BlockIndex(a)].eraseCount
+}
+
+// pageClass returns the latency class of a page within its block: pages are
+// interleaved across classes the way LSB/CSB/MSB pages share wordlines.
+func (f *Flash) pageClass(page int) int {
+	return page % f.cell.LatencyClasses()
+}
+
+// readLatency returns tR for the page, interpolating between fast and slow
+// classes.
+func (f *Flash) readLatency(page int) sim.Duration {
+	return f.classLatency(page, f.tim.ReadFast, f.tim.ReadSlow)
+}
+
+// progLatency returns tPROG for the page with ISPP jitter applied.
+func (f *Flash) progLatency(page int) sim.Duration {
+	base := f.classLatency(page, f.tim.ProgFast, f.tim.ProgSlow)
+	if f.tim.ISPPJitter == 0 {
+		return base
+	}
+	// ISPP: the number of program pulses varies with cell condition, so the
+	// latency jitters around its class nominal.
+	factor := 1 + f.rng.Range(-f.tim.ISPPJitter, f.tim.ISPPJitter)
+	return sim.FromSeconds(base.Seconds() * factor)
+}
+
+func (f *Flash) classLatency(page int, fast, slow sim.Duration) sim.Duration {
+	classes := f.cell.LatencyClasses()
+	if classes == 1 || slow == fast {
+		return fast
+	}
+	cl := f.pageClass(page)
+	span := float64(slow-fast) / float64(classes-1)
+	return fast + sim.Duration(span*float64(cl))
+}
+
+// Read performs a page read: the die is busy for tR, then the channel is
+// occupied streaming the page out. If data tracking is on and dst is
+// non-nil, dst receives the page contents.
+func (f *Flash) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return Result{}, err
+	}
+	blk := &f.blocks[f.geo.BlockIndex(addr)]
+	if !blk.written[addr.Page] {
+		return Result{}, fmt.Errorf("nand: read of unwritten page %v", addr)
+	}
+	ch := f.channels[addr.Channel]
+	die := f.dies[f.geo.DieIndex(addr)]
+
+	// Command/address phase occupies the channel briefly, then the die runs
+	// the array read, then the data streams back over the channel.
+	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
+	_, ready := die.Claim(cmdEnd, f.readLatency(addr.Page))
+	_, done := ch.Claim(ready, f.tim.XferTime(f.geo.PageSize))
+
+	f.stats.Reads++
+	f.stats.BytesRead += uint64(f.geo.PageSize)
+	f.energyJ += f.pow.ReadEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+
+	if f.trackData && dst != nil {
+		stored := f.data[f.geo.PageIndex(addr)]
+		n := copy(dst, stored)
+		for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
+			dst[i] = 0
+		}
+	}
+	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+}
+
+// Program writes one page. It enforces the flash physical constraints: the
+// page must be the next in-order page of its block (no overwrite, ascending
+// program order within a block for MLC/TLC disturb management).
+func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error) {
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return Result{}, err
+	}
+	blk := &f.blocks[f.geo.BlockIndex(addr)]
+	if blk.written[addr.Page] {
+		return Result{}, fmt.Errorf("nand: program of already-written page %v (erase-before-write)", addr)
+	}
+	if int32(addr.Page) != blk.nextPage {
+		return Result{}, fmt.Errorf("nand: out-of-order program of page %d in block (next is %d)", addr.Page, blk.nextPage)
+	}
+	ch := f.channels[addr.Channel]
+	die := f.dies[f.geo.DieIndex(addr)]
+
+	// Data streams over the channel into the die's register, then the die
+	// programs the array.
+	xferStart, xferEnd := ch.Claim(now, f.tim.CmdCycles+f.tim.XferTime(f.geo.PageSize))
+	_, done := die.Claim(xferEnd, f.progLatency(addr.Page))
+
+	blk.written[addr.Page] = true
+	blk.nextPage++
+	f.stats.Programs++
+	f.stats.BytesWritten += uint64(f.geo.PageSize)
+	f.energyJ += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+
+	if f.trackData && data != nil {
+		cp := make([]byte, f.geo.PageSize)
+		copy(cp, data)
+		f.data[f.geo.PageIndex(addr)] = cp
+	}
+	return Result{Start: xferStart, Ready: done, Done: done}, nil
+}
+
+// Erase erases the block containing addr (its Page field is ignored).
+func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
+	addr.Page = 0
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return Result{}, err
+	}
+	bi := f.geo.BlockIndex(addr)
+	blk := &f.blocks[bi]
+	ch := f.channels[addr.Channel]
+	die := f.dies[f.geo.DieIndex(addr)]
+
+	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
+	_, done := die.Claim(cmdEnd, f.tim.Erase)
+
+	blk.eraseCount++
+	blk.nextPage = 0
+	for i := range blk.written {
+		blk.written[i] = false
+	}
+	if f.trackData {
+		base := int64(bi) * int64(f.geo.PagesPerBlock)
+		for p := 0; p < f.geo.PagesPerBlock; p++ {
+			delete(f.data, base+int64(p))
+		}
+	}
+	f.stats.Erases++
+	f.energyJ += f.pow.EraseEnergyJ
+	return Result{Start: cmdStart, Ready: done, Done: done}, nil
+}
+
+// PageWritten reports whether the page at addr currently holds data.
+func (f *Flash) PageWritten(addr Address) bool {
+	return f.blocks[f.geo.BlockIndex(addr)].written[addr.Page]
+}
+
+// NextProgramPage returns the next in-order programmable page of the block
+// containing addr, or PagesPerBlock if the block is full.
+func (f *Flash) NextProgramPage(addr Address) int {
+	return int(f.blocks[f.geo.BlockIndex(addr)].nextPage)
+}
+
+// FreeAt returns the time at which every channel and die becomes idle —
+// the backend quiesce point after outstanding programs/erases drain.
+func (f *Flash) FreeAt() sim.Time {
+	var t sim.Time
+	for _, ch := range f.channels {
+		if ch.FreeAt() > t {
+			t = ch.FreeAt()
+		}
+	}
+	for _, d := range f.dies {
+		if d.FreeAt() > t {
+			t = d.FreeAt()
+		}
+	}
+	return t
+}
+
+// ChannelUtilization returns per-channel bus utilization over elapsed time.
+func (f *Flash) ChannelUtilization(elapsed sim.Duration) []float64 {
+	out := make([]float64, len(f.channels))
+	for i, ch := range f.channels {
+		out[i] = ch.Utilization(elapsed)
+	}
+	return out
+}
+
+// DieUtilization returns per-die utilization over elapsed time.
+func (f *Flash) DieUtilization(elapsed sim.Duration) []float64 {
+	out := make([]float64, len(f.dies))
+	for i, d := range f.dies {
+		out[i] = d.Utilization(elapsed)
+	}
+	return out
+}
+
+// MaxEraseCount returns the highest per-block erase count, the wear-leveling
+// figure of merit.
+func (f *Flash) MaxEraseCount() uint32 {
+	var m uint32
+	for i := range f.blocks {
+		if f.blocks[i].eraseCount > m {
+			m = f.blocks[i].eraseCount
+		}
+	}
+	return m
+}
+
+// MinEraseCount returns the lowest per-block erase count.
+func (f *Flash) MinEraseCount() uint32 {
+	if len(f.blocks) == 0 {
+		return 0
+	}
+	m := f.blocks[0].eraseCount
+	for i := range f.blocks {
+		if f.blocks[i].eraseCount < m {
+			m = f.blocks[i].eraseCount
+		}
+	}
+	return m
+}

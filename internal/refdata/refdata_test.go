@@ -1,0 +1,83 @@
+package refdata
+
+import (
+	"testing"
+
+	"amber/internal/workload"
+)
+
+func TestAllCurvesComplete(t *testing.T) {
+	pats := []workload.Pattern{workload.SeqRead, workload.RandRead, workload.SeqWrite, workload.RandWrite}
+	for _, dev := range DeviceNames() {
+		for _, p := range pats {
+			bw, err := Bandwidth(dev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bw) != len(Depths) {
+				t.Fatalf("%s/%v: %d points for %d depths", dev, p, len(bw), len(Depths))
+			}
+			for i, v := range bw {
+				if v <= 0 {
+					t.Fatalf("%s/%v: nonpositive bandwidth at depth %d", dev, p, Depths[i])
+				}
+			}
+			bb, err := BlockBandwidth(dev, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bb) != len(BlockSizesKiB) {
+				t.Fatalf("%s/%v: %d block points", dev, p, len(bb))
+			}
+		}
+	}
+}
+
+func TestCurveShapes(t *testing.T) {
+	for _, dev := range DeviceNames() {
+		// Reads saturate: monotone non-decreasing with depth.
+		for _, p := range []workload.Pattern{workload.SeqRead, workload.RandRead} {
+			bw, _ := Bandwidth(dev, p)
+			for i := 1; i < len(bw); i++ {
+				if bw[i] < bw[i-1] {
+					t.Fatalf("%s/%v: bandwidth decreases at depth %d", dev, p, Depths[i])
+				}
+			}
+		}
+	}
+	// Device ordering: Z-SSD reads fastest, 850 PRO SATA-bound.
+	z, _ := Bandwidth("zssd", workload.SeqRead)
+	s, _ := Bandwidth("850pro", workload.SeqRead)
+	if z[len(z)-1] <= s[len(s)-1] {
+		t.Fatal("Z-SSD must outread the 850 PRO")
+	}
+	if s[len(s)-1] > 600 {
+		t.Fatal("850 PRO cannot exceed SATA's 600 MB/s")
+	}
+}
+
+func TestLatencyDerivation(t *testing.T) {
+	lat, err := Latency("intel750", workload.RandRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, _ := Bandwidth("intel750", workload.RandRead)
+	// Little's law at depth 32: lat = 32*4096/bw.
+	want := 32.0 * 4096 / (bw[len(bw)-1] * 1e6) * 1e6
+	got := lat[len(lat)-1]
+	if d := got - want; d > 0.01 || d < -0.01 {
+		t.Fatalf("latency = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownDevice(t *testing.T) {
+	if _, err := Bandwidth("nope", workload.SeqRead); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := BlockBandwidth("nope", workload.SeqRead); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := Latency("nope", workload.SeqRead); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

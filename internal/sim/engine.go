@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created by Engine.Schedule/At
+// and may be cancelled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among equal times
+	fn     func()
+	index  int // heap index, -1 once fired or cancelled
+	engine *Engine
+}
+
+// At reports the simulated time at which the event will (or did) fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Pending reports whether the event is still queued.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// Engine is the discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now        Time
+	queue      eventHeap
+	seq        uint64
+	dispatched uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Dispatched returns the total number of events fired so far. It is used by
+// the simulation-speed experiment (Fig. 16) as the work metric.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Schedule queues fn to run after delay. A zero delay fires on the next
+// Step at the current time, after previously queued same-time events.
+func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a harmless no-op, which simplifies timeout patterns.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.engine != e {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Step fires the earliest event and advances the clock to it. It returns
+// false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.at
+	e.dispatched++
+	ev.fn()
+	return true
+}
+
+// Run dispatches events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,195 @@
+// Package stats provides the measurement collectors the experiment harness
+// uses: latency distributions, bandwidth computation, windowed time series
+// (kernel CPU utilization and DRAM usage over time, Fig. 15), and error
+// metrics against reference curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amber/internal/sim"
+)
+
+// Latency collects a latency distribution in microseconds.
+type Latency struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Add records one latency.
+func (l *Latency) Add(d sim.Duration) {
+	v := d.Microseconds()
+	if len(l.samples) == 0 || v < l.min {
+		l.min = v
+	}
+	if len(l.samples) == 0 || v > l.max {
+		l.max = v
+	}
+	l.samples = append(l.samples, v)
+	l.sorted = false
+	l.sum += v
+}
+
+// Count returns the sample count.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean returns the average latency in microseconds.
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.sum / float64(len(l.samples))
+}
+
+// Min returns the smallest sample in microseconds.
+func (l *Latency) Min() float64 { return l.min }
+
+// Max returns the largest sample in microseconds.
+func (l *Latency) Max() float64 { return l.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) in microseconds,
+// using nearest-rank on the sorted samples.
+func (l *Latency) Percentile(p float64) float64 {
+	n := len(l.samples)
+	if n == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.samples[0]
+	}
+	if p >= 100 {
+		return l.samples[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return l.samples[rank-1]
+}
+
+// BandwidthMBps converts bytes moved over a window into MB/s (decimal
+// megabytes, as storage benchmarks report).
+func BandwidthMBps(bytes int64, elapsed sim.Duration) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / elapsed.Seconds()
+}
+
+// IOPS converts an operation count over a window into I/O per second.
+func IOPS(ops int64, elapsed sim.Duration) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(ops) / elapsed.Seconds()
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the sample count.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Mean returns the average sample value.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the largest sample value.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// ErrorRate returns |ref-sim|/ref, the paper's accuracy metric
+// (|Perf_real - Perf_sim| / Perf_real). A zero reference yields NaN-free 0.
+func ErrorRate(ref, simulated float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return math.Abs(ref-simulated) / math.Abs(ref)
+}
+
+// Accuracy returns 1 - ErrorRate clamped to [0, 1], matching the
+// percentage labels in Figs. 8-9.
+func Accuracy(ref, simulated float64) float64 {
+	a := 1 - ErrorRate(ref, simulated)
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// MeanAccuracy averages Accuracy over paired curves.
+func MeanAccuracy(ref, simulated []float64) (float64, error) {
+	if len(ref) != len(simulated) || len(ref) == 0 {
+		return 0, fmt.Errorf("stats: curves must be equal-length and non-empty")
+	}
+	var sum float64
+	for i := range ref {
+		sum += Accuracy(ref[i], simulated[i])
+	}
+	return sum / float64(len(ref)), nil
+}
+
+// Counter is a windowed rate tracker: the runner feeds cumulative values
+// (e.g. CPU busy time) and reads back per-window deltas.
+type Counter struct {
+	lastT sim.Time
+	lastV float64
+}
+
+// Delta returns the rate of change since the previous call: (v-prevV) /
+// (t-prevT in seconds). The first call establishes the baseline and
+// returns 0.
+func (c *Counter) Delta(t sim.Time, v float64) float64 {
+	if c.lastT == 0 && c.lastV == 0 {
+		c.lastT, c.lastV = t, v
+		return 0
+	}
+	dt := (t - c.lastT).Seconds()
+	dv := v - c.lastV
+	c.lastT, c.lastV = t, v
+	if dt <= 0 {
+		return 0
+	}
+	return dv / dt
+}

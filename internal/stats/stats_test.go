@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"amber/internal/sim"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty latency should be zero")
+	}
+	for _, us := range []float64{10, 20, 30, 40, 50} {
+		l.Add(sim.FromMicroseconds(us))
+	}
+	if l.Count() != 5 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	approx := func(got, want float64) bool {
+		d := got - want
+		return d < 1e-5 && d > -1e-5 // picosecond conversion rounding
+	}
+	if !approx(l.Mean(), 30) {
+		t.Fatalf("Mean = %v", l.Mean())
+	}
+	if !approx(l.Min(), 10) || !approx(l.Max(), 50) {
+		t.Fatalf("Min/Max = %v/%v", l.Min(), l.Max())
+	}
+	if p := l.Percentile(50); !approx(p, 30) {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := l.Percentile(100); !approx(p, 50) {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := l.Percentile(0); !approx(p, 10) {
+		t.Fatalf("p0 = %v", p)
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var l Latency
+		for _, v := range vals {
+			l.Add(sim.Time(v) * sim.Microsecond)
+		}
+		prev := l.Min()
+		for p := 5.0; p <= 100; p += 5 {
+			v := l.Percentile(p)
+			if v < prev || v > l.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthAndIOPS(t *testing.T) {
+	if bw := BandwidthMBps(1e6, sim.Second); bw != 1 {
+		t.Fatalf("BandwidthMBps = %v", bw)
+	}
+	if bw := BandwidthMBps(100, 0); bw != 0 {
+		t.Fatal("zero window should give 0")
+	}
+	if io := IOPS(1000, sim.Second); io != 1000 {
+		t.Fatalf("IOPS = %v", io)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should be zero")
+	}
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if s.Len() != 3 || s.Mean() != 20 || s.Max() != 30 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestErrorAndAccuracy(t *testing.T) {
+	if e := ErrorRate(100, 90); e != 0.1 {
+		t.Fatalf("ErrorRate = %v", e)
+	}
+	if e := ErrorRate(0, 90); e != 0 {
+		t.Fatal("zero ref should give 0")
+	}
+	if a := Accuracy(100, 90); a != 0.9 {
+		t.Fatalf("Accuracy = %v", a)
+	}
+	if a := Accuracy(100, 300); a != 0 {
+		t.Fatal("accuracy should clamp at 0")
+	}
+	m, err := MeanAccuracy([]float64{100, 200}, []float64{90, 180})
+	if err != nil || m != 0.9 {
+		t.Fatalf("MeanAccuracy = %v, %v", m, err)
+	}
+	if _, err := MeanAccuracy([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched curves accepted")
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	var c Counter
+	if d := c.Delta(sim.Second, 5); d != 0 {
+		t.Fatal("first call should baseline")
+	}
+	if d := c.Delta(2*sim.Second, 15); d != 10 {
+		t.Fatalf("Delta = %v, want 10/s", d)
+	}
+	if d := c.Delta(2*sim.Second, 20); d != 0 {
+		t.Fatal("zero-width window should give 0")
+	}
+}
