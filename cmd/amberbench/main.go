@@ -4,27 +4,117 @@
 //
 // Usage:
 //
-//	amberbench                 # run everything (full resolution)
-//	amberbench -quick          # reduced request counts / sweep resolution
-//	amberbench -only fig8,fig9 # a subset
+//	amberbench                  # run everything (full resolution)
+//	amberbench -quick           # reduced request counts / sweep resolution
+//	amberbench -only fig8,fig9  # a subset
+//	amberbench -parallel 8      # fan independent device sims out over 8 workers
+//	amberbench -json out.json   # machine-readable results + submit-path microbench
 //	amberbench -list
+//
+// The -parallel fan-out is across independent core.System configurations
+// inside each experiment (each System stays single-threaded by design);
+// tables are byte-identical to a serial run at any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"amber/internal/config"
+	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/workload"
 )
+
+// jsonReport is the machine-readable -json output: the repo's BENCH_*.json
+// perf-trajectory files follow this schema.
+type jsonReport struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	Parallel    int              `json:"parallel"`
+	Quick       bool             `json:"quick"`
+	Experiments []jsonExperiment `json:"experiments"`
+	SubmitBench jsonSubmitBench  `json:"submit_bench"`
+}
+
+type jsonExperiment struct {
+	ID          string     `json:"id"`
+	Title       string     `json:"title"`
+	WallSeconds float64    `json:"wall_seconds"`
+	Header      []string   `json:"header"`
+	Rows        [][]string `json:"rows"`
+}
+
+// jsonSubmitBench reports the built-in submit-path microbench: raw
+// simulator throughput for the full I/O path, mirroring the root
+// BenchmarkSubmitPath in machine-readable form.
+type jsonSubmitBench struct {
+	Requests       int     `json:"requests"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerOp    float64 `json:"allocs_per_op"`
+	BytesPerOp     float64 `json:"bytes_per_op"`
+}
+
+// submitMicrobench measures the synchronous submit path: ns/op, simulated
+// requests and engine events per wall-clock second, and heap traffic.
+func submitMicrobench(n int) (jsonSubmitBench, error) {
+	d := config.SmallTestDevice()
+	d.TrackData = false
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		return jsonSubmitBench{}, err
+	}
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+	if err != nil {
+		return jsonSubmitBench{}, err
+	}
+	submit := func(i int) error {
+		_, err := s.Submit(s.Now(), gen.Next(i), nil)
+		return err
+	}
+	for i := 0; i < 500; i++ { // warm the op pools and the steady state
+		if err := submit(i); err != nil {
+			return jsonSubmitBench{}, err
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	events0 := s.SubmitEventsDispatched()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := submit(500 + i); err != nil {
+			return jsonSubmitBench{}, err
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	sec := wall.Seconds()
+	return jsonSubmitBench{
+		Requests:       n,
+		NsPerOp:        float64(wall.Nanoseconds()) / float64(n),
+		RequestsPerSec: float64(n) / sec,
+		EventsPerSec:   float64(s.SubmitEventsDispatched()-events0) / sec,
+		AllocsPerOp:    float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
+		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
+	}, nil
+}
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced request counts and sweep resolution")
-		only  = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "reduced request counts and sweep resolution")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "workers for independent device sims per experiment (0 = serial, -1 = NumCPU)")
+		jsonOut  = flag.String("json", "", "write machine-readable results (incl. submit-path microbench) to this file")
 	)
 	flag.Parse()
 
@@ -35,14 +125,35 @@ func main() {
 		return
 	}
 
+	workers := *parallel
+	if workers < 0 {
+		workers = exp.AutoParallel()
+	}
+
 	want := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, e := range exp.All() {
+			known[e.ID] = true
+		}
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "amberbench: unknown experiment id %q (see -list)\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
 		}
 	}
 
-	o := exp.Options{Quick: *quick}
+	o := exp.Options{Quick: *quick, Parallel: workers}
+	report := jsonReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Parallel:    workers,
+		Quick:       *quick,
+	}
 	failed := 0
 	for _, e := range exp.All() {
 		if len(want) > 0 && !want[e.ID] {
@@ -55,8 +166,37 @@ func main() {
 			failed++
 			continue
 		}
+		wall := time.Since(start)
 		t.Fprint(os.Stdout)
-		fmt.Printf("  [%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s completed in %v]\n\n", e.ID, wall.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			ID: t.ID, Title: t.Title, WallSeconds: wall.Seconds(),
+			Header: t.Header, Rows: t.Rows,
+		})
+	}
+
+	if *jsonOut != "" {
+		n := 20000
+		if *quick {
+			n = 5000
+		}
+		sb, err := submitMicrobench(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: submit microbench: %v\n", err)
+			failed++
+		} else {
+			report.SubmitBench = sb
+		}
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -1,30 +1,38 @@
-// Command ambersim runs one workload against a configured SSD system and
-// prints the measured bandwidth, latency distribution, firmware activity
-// and power breakdown — the single-run front door to the simulator.
+// Command ambersim runs one workload against one or more configured SSD
+// systems and prints the measured bandwidth, latency distribution,
+// firmware activity and power breakdown — the single-run front door to
+// the simulator.
 //
 // Usage:
 //
 //	ambersim -device intel750 -workload rand-read -bs 4096 -depth 32 -n 20000
 //	ambersim -device zssd -trace 24HRS -n 10000
+//	ambersim -device intel750,zssd,850pro -parallel 3   # one system per device, simulated concurrently
 //	ambersim -list
+//
+// With multiple devices, each gets its own single-threaded core.System;
+// -parallel N simulates up to N of them concurrently. Reports print in
+// the order devices were named regardless of completion order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"amber/internal/config"
 	"amber/internal/core"
+	"amber/internal/exp"
 	"amber/internal/host"
-	"amber/internal/sim"
 	"amber/internal/workload"
 )
 
 func main() {
 	var (
-		device    = flag.String("device", "intel750", "device preset (see -list)")
+		device    = flag.String("device", "intel750", "comma-separated device presets (see -list)")
 		wl        = flag.String("workload", "rand-read", "fio pattern: seq-read|rand-read|seq-write|rand-write")
 		trace     = flag.String("trace", "", "Table III trace instead of fio pattern: 24HR|24HRS|DAP|CFS|MSNFS")
 		bs        = flag.Int("bs", 4096, "block size in bytes (fio patterns)")
@@ -35,6 +43,7 @@ func main() {
 		noPrecond = flag.Bool("no-precondition", false, "skip steady-state preconditioning")
 		list      = flag.Bool("list", false, "list device presets and exit")
 		seed      = flag.Uint64("seed", 42, "workload seed")
+		parallel  = flag.Int("parallel", 0, "concurrently simulated devices (0/1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,99 +61,137 @@ func main() {
 		return
 	}
 
-	d, err := config.Device(*device)
-	if err != nil {
-		fatal(err)
-	}
-	cfg := config.PCSystem(d)
-	if *mobile {
-		cfg = config.MobileSystem(d)
-	}
+	var schedKind host.SchedulerKind
 	switch *sched {
 	case "noop":
-		cfg.Host.Scheduler = host.NoopSched
+		schedKind = host.NoopSched
 	case "cfq":
-		cfg.Host.Scheduler = host.CFQ
+		schedKind = host.CFQ
 	case "bfq":
-		cfg.Host.Scheduler = host.BFQ
+		schedKind = host.BFQ
 	default:
 		fatal(fmt.Errorf("unknown scheduler %q", *sched))
 	}
 
-	s, err := core.NewSystem(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	if !*noPrecond {
-		fmt.Fprintln(os.Stderr, "preconditioning to steady state...")
-		if err := s.Precondition(32); err != nil {
+	devices := strings.Split(*device, ",")
+	for i := range devices {
+		devices[i] = strings.TrimSpace(devices[i])
+		// Validate names up front: a typo in a later device must not cost
+		// the earlier devices' full preconditioning runs first.
+		if _, err := config.Device(devices[i]); err != nil {
 			fatal(err)
 		}
 	}
 
-	var gen workload.Generator
+	// Validate workload naming up front: a typo must not cost a full
+	// preconditioning run first.
+	var pattern workload.Pattern
+	var traceParams workload.TraceParams
 	if *trace != "" {
-		var tp workload.TraceParams
 		found := false
 		for _, t := range workload.Traces() {
 			if t.TraceName == *trace {
-				tp, found = t, true
+				traceParams, found = t, true
 			}
 		}
 		if !found {
 			fatal(fmt.Errorf("unknown trace %q", *trace))
 		}
-		gen, err = workload.NewTrace(tp, s.VolumeBytes(), *seed)
 	} else {
-		var p workload.Pattern
 		switch *wl {
 		case "seq-read":
-			p = workload.SeqRead
+			pattern = workload.SeqRead
 		case "rand-read":
-			p = workload.RandRead
+			pattern = workload.RandRead
 		case "seq-write":
-			p = workload.SeqWrite
+			pattern = workload.SeqWrite
 		case "rand-write":
-			p = workload.RandWrite
+			pattern = workload.RandWrite
 		default:
 			fatal(fmt.Errorf("unknown workload %q", *wl))
 		}
-		gen, err = workload.NewFIO(p, *bs, s.VolumeBytes(), *seed)
 	}
+
+	runOne := func(dev string, w io.Writer) error {
+		d, err := config.Device(dev)
+		if err != nil {
+			return err
+		}
+		cfg := config.PCSystem(d)
+		if *mobile {
+			cfg = config.MobileSystem(d)
+		}
+		cfg.Host.Scheduler = schedKind
+
+		s, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		if !*noPrecond {
+			fmt.Fprintln(os.Stderr, dev+": preconditioning to steady state...")
+			if err := s.Precondition(32); err != nil {
+				return err
+			}
+		}
+
+		var gen workload.Generator
+		if *trace != "" {
+			gen, err = workload.NewTrace(traceParams, s.VolumeBytes(), *seed)
+		} else {
+			gen, err = workload.NewFIO(pattern, *bs, s.VolumeBytes(), *seed)
+		}
+		if err != nil {
+			return err
+		}
+
+		res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth})
+		if err != nil {
+			return err
+		}
+
+		el := res.Elapsed()
+		fmt.Fprintf(w, "workload        %s\n", res.Workload)
+		fmt.Fprintf(w, "device          %s (%s, %d dies)\n", d.Name, d.Protocol.Kind, d.Geometry.TotalDies())
+		fmt.Fprintf(w, "requests        %d at depth %d (effective)\n", res.Requests, res.Depth)
+		fmt.Fprintf(w, "simulated time  %v\n", el)
+		fmt.Fprintf(w, "bandwidth       %.1f MB/s (%.0f IOPS)\n", res.BandwidthMBps(), res.IOPS())
+		fmt.Fprintf(w, "latency         avg %.1f us, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
+			res.AvgLatencyUs(), res.Latency.Percentile(50), res.Latency.Percentile(95),
+			res.Latency.Percentile(99), res.Latency.Max())
+
+		fs := s.FTL.Stats()
+		fmt.Fprintf(w, "ftl             WAF %.2f, GC runs %d, migrated %d, erases %d\n",
+			fs.WAF(), fs.GCRuns, fs.GCMigrated, fs.Erases)
+		cs := s.ICL.Stats()
+		fmt.Fprintf(w, "icl             hit rate %.1f%%, readaheads %d, evictions %d\n",
+			cs.HitRate()*100, cs.Readaheads, cs.Evictions)
+		im := s.DevCPU.Instructions()
+		fmt.Fprintf(w, "firmware        %.1fM instructions (%.0f%% load/store)\n",
+			float64(im.Total())/1e6, im.LoadStoreFraction()*100)
+		full := s.Now() - 0
+		fmt.Fprintf(w, "power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",
+			s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))
+		fmt.Fprintf(w, "host            cpu busy %v, mem used %d MB\n",
+			s.Host.CPU.BusyTime(), s.Host.MemUsed()>>20)
+		return nil
+	}
+
+	outs := make([]strings.Builder, len(devices))
+	err := exp.ForEach(*parallel, len(devices), func(i int) error {
+		if err := runOne(devices[i], &outs[i]); err != nil {
+			return fmt.Errorf("%s: %w", devices[i], err)
+		}
+		return nil
+	})
 	if err != nil {
 		fatal(err)
 	}
-
-	res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth})
-	if err != nil {
-		fatal(err)
+	for i := range devices {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(outs[i].String())
 	}
-
-	el := res.Elapsed()
-	fmt.Printf("workload        %s\n", res.Workload)
-	fmt.Printf("device          %s (%s, %d dies)\n", d.Name, d.Protocol.Kind, d.Geometry.TotalDies())
-	fmt.Printf("requests        %d at depth %d (effective)\n", res.Requests, res.Depth)
-	fmt.Printf("simulated time  %v\n", el)
-	fmt.Printf("bandwidth       %.1f MB/s (%.0f IOPS)\n", res.BandwidthMBps(), res.IOPS())
-	fmt.Printf("latency         avg %.1f us, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
-		res.AvgLatencyUs(), res.Latency.Percentile(50), res.Latency.Percentile(95),
-		res.Latency.Percentile(99), res.Latency.Max())
-
-	fs := s.FTL.Stats()
-	fmt.Printf("ftl             WAF %.2f, GC runs %d, migrated %d, erases %d\n",
-		fs.WAF(), fs.GCRuns, fs.GCMigrated, fs.Erases)
-	cs := s.ICL.Stats()
-	fmt.Printf("icl             hit rate %.1f%%, readaheads %d, evictions %d\n",
-		cs.HitRate()*100, cs.Readaheads, cs.Evictions)
-	im := s.DevCPU.Instructions()
-	fmt.Printf("firmware        %.1fM instructions (%.0f%% load/store)\n",
-		float64(im.Total())/1e6, im.LoadStoreFraction()*100)
-	full := s.Now() - 0
-	fmt.Printf("power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",
-		s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))
-	fmt.Printf("host            cpu busy %v, mem used %d MB\n",
-		s.Host.CPU.BusyTime(), s.Host.MemUsed()>>20)
-	_ = sim.Time(0)
 }
 
 func fatal(err error) {

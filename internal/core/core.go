@@ -27,6 +27,7 @@ import (
 	"amber/internal/nand"
 	"amber/internal/proto"
 	"amber/internal/sim"
+	"amber/internal/workload"
 )
 
 // DeviceConfig describes one SSD.
@@ -136,6 +137,21 @@ type System struct {
 	// prefetches of the same super-page coalesce onto one flash fetch.
 	filling map[int64]map[int]bool // lspn -> subs currently being fetched
 	waiters map[int64][]func()     // lspn -> callbacks to retry at fill completion
+
+	// Submit-path op pools (see submit.go): recycled request and fill
+	// carriers with their step callbacks bound once.
+	opFree   []*submitOp
+	fillFree []*fillOp
+	allSubs  []int // 0..SubPagesPerSuperPage-1, shared read-only by prefetches
+
+	// Reusable state for the synchronous Submit wrapper.
+	subEngine   *sim.Engine
+	subStartFn  func()
+	subFinishFn func(sim.Time, error)
+	subReq      workload.Request
+	subData     []byte
+	subDone     sim.Time
+	subErr      error
 
 	reqs         uint64
 	bytesRead    uint64
@@ -263,6 +279,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		filling: make(map[int64]map[int]bool),
 		waiters: make(map[int64][]func()),
 	}
+	s.allSubs = make([]int, translator.SubPagesPerSuperPage())
+	for i := range s.allSubs {
+		s.allSubs[i] = i
+	}
 	if d.Protocol.HostControllerCopy {
 		s.hba = sim.NewResource("hba")
 	}
@@ -299,6 +319,16 @@ func (s *System) Passive() bool { return s.passive }
 
 // Now returns the system's current simulated time.
 func (s *System) Now() sim.Time { return s.now }
+
+// SubmitEventsDispatched returns the lifetime engine-event count of the
+// synchronous Submit path — the events/sec numerator for simulation-speed
+// reporting (asynchronous Run loops own their engines and are excluded).
+func (s *System) SubmitEventsDispatched() uint64 {
+	if s.subEngine == nil {
+		return 0
+	}
+	return s.subEngine.Dispatched()
+}
 
 // VolumeBytes returns the logical capacity exposed to the host.
 func (s *System) VolumeBytes() int64 {

@@ -392,3 +392,81 @@ func TestNVMeVsSATALatency(t *testing.T) {
 		t.Fatalf("NVMe QD1 latency (%v us) should beat SATA (%v us)", nvme, sata)
 	}
 }
+
+// TestSubmitAllocLean locks in the tentpole guarantee: with TrackData off,
+// a steady-state Submit performs (almost) no heap allocations — the event
+// records, op structs, line buffers and plan storage are all pooled.
+func TestSubmitAllocLean(t *testing.T) {
+	d := config.SmallTestDevice()
+	d.TrackData = false
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every pool (ops, fills, engine records, FTL plan, FIL scratch)
+	// through cache-eviction and GC territory.
+	i := 0
+	for ; i < 2000; i++ {
+		if _, err := s.Submit(s.Now(), gen.Next(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := s.Submit(s.Now(), gen.Next(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// The seed implementation spent ~25 allocs per request; the pooled
+	// pipeline's budget is under one (occasional map/slice growth inside
+	// rare GC plans is tolerated, steady state is zero).
+	if allocs > 1 {
+		t.Fatalf("Submit allocated %.2f objects/op in steady state, want <= 1", allocs)
+	}
+}
+
+// TestSubmitDeterministicAcrossRuns guards the scratch-and-pool refactor
+// against order dependence: completion times must not depend on map
+// iteration order or on which recycled op/fill struct a request happens
+// to draw (stale fields leaking through reuse). The workload interleaves
+// shapes — single-line and multi-line, reads and writes, hits and misses
+// — so recycled ops cross shapes, then the identical sequence is replayed
+// on a second system and every completion time compared.
+func TestSubmitDeterministicAcrossRuns(t *testing.T) {
+	run := func() []sim.Time {
+		s := smallSystem(t, nil)
+		bs := s.Split.LineBytes()
+		var times []sim.Time
+		submit := func(req workload.Request) {
+			done, err := s.Submit(s.Now(), req, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, done)
+		}
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			submit(gen.Next(i))
+			switch i % 4 {
+			case 0: // multi-line write lands in pooled ops sized by 4K ones
+				submit(workload.Request{Write: true, Offset: int64(i%8) * int64(bs), Length: 3 * bs})
+			case 2: // read mixes hit/miss fills through the same pools
+				submit(workload.Request{Offset: int64(i%16) * int64(bs), Length: bs})
+			}
+		}
+		return times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d completed at %v vs %v across identical runs", i, a[i], b[i])
+		}
+	}
+}

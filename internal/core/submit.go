@@ -11,6 +11,182 @@ import (
 	"amber/internal/workload"
 )
 
+// The submit path is staged on pooled op structs rather than per-request
+// closures: a submitOp carries one host request through the pipeline and a
+// fillOp carries one flash fetch to its cache install. Both are recycled
+// through per-System free lists with their step callbacks bound once, so a
+// steady-state request schedules engine events without allocating.
+
+// submitOp pipeline stages.
+const (
+	opDispatch = iota // after queue/parse firmware: start DMA + line ops
+	opWriteOps        // write payload transferred: run the line writes
+	opReadDMA         // all lines staged in cache: move payload to host
+	opFinish          // completion firmware, CQ/interrupt, host ISR
+)
+
+// submitOp is one in-flight host request.
+type submitOp struct {
+	s    *System
+	e    *sim.Engine
+	req  workload.Request
+	data []byte
+	cb   func(sim.Time, error)
+
+	lines []hil.Line // owned buffer, reused across op lifetimes
+	pl    dma.PointerList
+
+	stage   int
+	pending int      // outstanding line reads
+	ready   sim.Time // latest line-ready time (reads)
+	failed  bool
+
+	stepFn func()                // op.step, bound once
+	lineFn func(sim.Time, error) // op.lineDone, bound once
+}
+
+func (s *System) acquireOp(e *sim.Engine, req workload.Request, data []byte, cb func(sim.Time, error)) *submitOp {
+	var op *submitOp
+	if n := len(s.opFree); n > 0 {
+		op = s.opFree[n-1]
+		s.opFree = s.opFree[:n-1]
+	} else {
+		op = &submitOp{s: s}
+		op.stepFn = op.step
+		op.lineFn = op.lineDone
+	}
+	op.e, op.req, op.data, op.cb = e, req, data, cb
+	op.pending, op.ready, op.failed = 0, 0, false
+	return op
+}
+
+func (s *System) releaseOp(op *submitOp) {
+	op.e, op.data, op.cb = nil, nil, nil
+	op.pl = dma.PointerList{}
+	s.opFree = append(s.opFree, op)
+}
+
+// fail reports a pipeline error and retires the op. Only valid on stages
+// with no outstanding line callbacks (writes and the final stages).
+func (op *submitOp) fail(err error) {
+	cb := op.cb
+	op.s.releaseOp(op)
+	cb(0, err)
+}
+
+// step advances the op through its pipeline stages. Each engine event the
+// original closure-per-stage implementation scheduled maps to exactly one
+// step invocation, so resource claims keep their global time order.
+func (op *submitOp) step() {
+	s, e := op.s, op.e
+	switch op.stage {
+	case opDispatch:
+		// Parse finished: fetch the pointer list, then move data. Writes
+		// transfer the payload into the device before the line writes;
+		// reads probe the cache per line first.
+		now := e.Now()
+		walked := s.DMA.WalkList(now, op.pl)
+		if op.req.Write {
+			xferDone := s.DMA.Transfer(walked, op.pl, true)
+			op.stage = opWriteOps
+			e.At(xferDone, op.stepFn)
+			return
+		}
+		op.pending = len(op.lines)
+		op.ready = walked
+		for i := range op.lines {
+			ln := op.lines[i]
+			if op.data == nil {
+				s.readLineAsync(e, ln, nil, op.lineFn)
+				continue
+			}
+			// Data-tracking run (cold path): stage each line through its
+			// own buffer and copy the touched range out on completion.
+			lineBuf := make([]byte, s.Split.LineBytes())
+			s.readLineAsync(e, ln, lineBuf, func(t sim.Time, err error) {
+				if err == nil {
+					start := s.lineByteStart(ln)
+					copy(op.data[ln.ByteOff:ln.ByteOff+ln.ByteLen], lineBuf[start:start+ln.ByteLen])
+				}
+				op.lineFn(t, err)
+			})
+		}
+
+	case opWriteOps:
+		opsDone := e.Now()
+		for i := range op.lines {
+			ln := op.lines[i]
+			var lineData []byte
+			if op.data != nil {
+				lineData = s.lineBuffer(ln, op.data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
+			}
+			done, err := s.writeLine(e.Now(), ln, lineData)
+			if err != nil {
+				op.fail(err)
+				return
+			}
+			if done > opsDone {
+				opsDone = done
+			}
+		}
+		s.bytesWritten += uint64(op.req.Length)
+		op.stage = opFinish
+		e.At(sim.MaxOf(opsDone, e.Now()), op.stepFn)
+
+	case opReadDMA:
+		// All lines staged in cache memory: move the payload to the host.
+		xferDone := s.DMA.Transfer(e.Now(), op.pl, false)
+		s.bytesRead += uint64(op.req.Length)
+		op.stage = opFinish
+		e.At(sim.MaxOf(xferDone, e.Now()), op.stepFn)
+
+	case opFinish:
+		// Completion path: firmware composes the CQ entry / response FIS,
+		// the link carries it, the interrupt fires, the host ISR retires
+		// the request.
+		now := e.Now()
+		_, composed := s.DevCPU.Execute(now, s.coreFor(0), "hil.complete", s.params.CompleteMix)
+		_, cqDone := s.link.Claim(composed, s.params.CompletionTime())
+		intr := cqDone + s.params.InterruptLatency
+		if s.hba != nil {
+			// The single h-type I/O path serializes completions too (§II-A).
+			_, intr = s.hba.Claim(intr, s.params.ControllerLatency/2)
+		}
+		complete := s.Host.Complete(intr, s.params.CompleteInstr)
+		s.reqs++
+		if complete > s.now {
+			s.now = complete
+		}
+		cb := op.cb
+		s.releaseOp(op)
+		cb(complete, nil)
+	}
+}
+
+// lineDone collects one line read. When the last line lands, the payload
+// DMA stage is scheduled at the latest line-ready time.
+func (op *submitOp) lineDone(t sim.Time, err error) {
+	if err != nil && !op.failed {
+		op.failed = true
+		op.cb(0, err)
+	}
+	if t > op.ready {
+		op.ready = t
+	}
+	op.pending--
+	if op.pending > 0 {
+		return
+	}
+	if op.failed {
+		// The error was already reported; retire the op once the last
+		// outstanding line callback has drained.
+		op.s.releaseOp(op)
+		return
+	}
+	op.stage = opReadDMA
+	op.e.At(sim.MaxOf(op.ready, op.e.Now()), op.stepFn)
+}
+
 // SubmitAsync pushes one host request through the full stack, staged on
 // the discrete-event engine so that concurrent requests interleave their
 // resource claims in global time order (the property that makes queue
@@ -44,7 +220,7 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 		// Passive storage (§V-E): pblk runs the cache and FTL on the host,
 		// so requests are served host-side; only cache misses and flushes
 		// cross the link as OCSSD vector commands (charged inside
-		// fillMissesAsync / flushEviction).
+		// startFill / flushEviction).
 		s.submitPassive(e, req, data, cb)
 		return
 	}
@@ -65,24 +241,22 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 	_, parsed := s.DevCPU.Execute(arrived, s.coreFor(0), "hil",
 		s.params.QueueMix.Add(s.params.ParseMix))
 
-	lines, err := s.Split.Split(req.Offset, req.Length)
+	op := s.acquireOp(e, req, data, cb)
+	var err error
+	op.lines, err = s.Split.SplitInto(op.lines[:0], req.Offset, req.Length)
 	if err != nil {
+		s.releaseOp(op)
 		cb(0, err)
 		return
 	}
-	pl, err := dma.Build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
+	op.pl, err = dma.Build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
 	if err != nil {
+		s.releaseOp(op)
 		cb(0, err)
 		return
 	}
-
-	e.At(parsed, func() {
-		if req.Write {
-			s.stageWrite(e, req, lines, pl, data, cb)
-		} else {
-			s.stageRead(e, req, lines, pl, data, cb)
-		}
-	})
+	op.stage = opDispatch
+	e.At(parsed, op.stepFn)
 }
 
 // submitPassive is the OCSSD/pblk request path: the kernel submission
@@ -170,122 +344,31 @@ func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte,
 	})
 }
 
-// stageWrite transfers payload into the device, then caches the lines.
-func (s *System) stageWrite(e *sim.Engine, req workload.Request, lines []hil.Line, pl dma.PointerList, data []byte, cb func(sim.Time, error)) {
-	now := e.Now()
-	walked := s.DMA.WalkList(now, pl)
-	xferDone := s.DMA.Transfer(walked, pl, true)
-	e.At(xferDone, func() {
-		opsDone := e.Now()
-		for _, ln := range lines {
-			var lineData []byte
-			if data != nil {
-				lineData = s.lineBuffer(ln, data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
-			}
-			done, err := s.writeLine(e.Now(), ln, lineData)
-			if err != nil {
-				cb(0, err)
-				return
-			}
-			if done > opsDone {
-				opsDone = done
-			}
-		}
-		s.bytesWritten += uint64(req.Length)
-		s.stageComplete(e, opsDone, cb)
-	})
-}
-
-// stageRead probes the cache and issues flash reads for the misses, then
-// (at flash completion) installs fills, triggers readahead, and DMAs the
-// data to the host.
-func (s *System) stageRead(e *sim.Engine, req workload.Request, lines []hil.Line, pl dma.PointerList, data []byte, cb func(sim.Time, error)) {
-	now := e.Now()
-	walked := s.DMA.WalkList(now, pl)
-
-	pending := len(lines)
-	ready := walked
-	failed := false
-	lineDone := func(t sim.Time, err error) {
-		if failed {
-			return
-		}
-		if err != nil {
-			failed = true
-			cb(0, err)
-			return
-		}
-		if t > ready {
-			ready = t
-		}
-		pending--
-		if pending > 0 {
-			return
-		}
-		// All lines staged in cache memory: move the payload to the host
-		// and complete.
-		e.At(sim.MaxOf(ready, e.Now()), func() {
-			xferDone := s.DMA.Transfer(e.Now(), pl, false)
-			s.bytesRead += uint64(req.Length)
-			s.stageComplete(e, xferDone, cb)
-		})
-	}
-
-	for _, ln := range lines {
-		ln := ln
-		var lineBuf []byte
-		if data != nil {
-			lineBuf = make([]byte, s.Split.LineBytes())
-		}
-		s.readLineAsync(e, ln, lineBuf, func(t sim.Time, err error) {
-			if err == nil && lineBuf != nil {
-				start := s.lineByteStart(ln)
-				copy(data[ln.ByteOff:ln.ByteOff+ln.ByteLen], lineBuf[start:start+ln.ByteLen])
-			}
-			lineDone(t, err)
-		})
-	}
-}
-
-// stageComplete runs the completion path: firmware composes the CQ entry /
-// response FIS, the link carries it, the interrupt fires, the host ISR
-// retires the request.
-func (s *System) stageComplete(e *sim.Engine, opsDone sim.Time, cb func(sim.Time, error)) {
-	e.At(sim.MaxOf(opsDone, e.Now()), func() {
-		now := e.Now()
-		_, composed := s.DevCPU.Execute(now, s.coreFor(0), "hil.complete", s.params.CompleteMix)
-		_, cqDone := s.link.Claim(composed, s.params.CompletionTime())
-		intr := cqDone + s.params.InterruptLatency
-		if s.hba != nil {
-			// The single h-type I/O path serializes completions too (§II-A).
-			_, intr = s.hba.Claim(intr, s.params.ControllerLatency/2)
-		}
-		complete := s.Host.Complete(intr, s.params.CompleteInstr)
-		s.reqs++
-		if complete > s.now {
-			s.now = complete
-		}
-		cb(complete, nil)
-	})
-}
-
 // Submit is the synchronous convenience wrapper around SubmitAsync for a
 // single request: it runs a private event engine to completion and returns
-// the completion time.
+// the completion time. The engine and its dispatch closures are reused
+// across calls, so a submit-per-call workload does not allocate them anew.
 func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Time, error) {
 	if now < s.now {
 		now = s.now
 	}
-	e := sim.NewEngine()
-	var done sim.Time
-	var serr error
-	e.At(now, func() {
-		s.SubmitAsync(e, req, data, func(t sim.Time, err error) {
-			done, serr = t, err
-		})
-	})
+	if s.subEngine == nil {
+		s.subEngine = sim.NewEngine()
+		s.subStartFn = func() {
+			s.SubmitAsync(s.subEngine, s.subReq, s.subData, s.subFinishFn)
+		}
+		s.subFinishFn = func(t sim.Time, err error) {
+			s.subDone, s.subErr = t, err
+		}
+	}
+	e := s.subEngine
+	e.Reset()
+	s.subReq, s.subData = req, data
+	s.subDone, s.subErr = 0, nil
+	e.At(now, s.subStartFn)
 	e.Run()
-	return done, serr
+	s.subReq, s.subData = workload.Request{}, nil
+	return s.subDone, s.subErr
 }
 
 // lineByteStart returns the offset of the request's payload within the
@@ -386,35 +469,79 @@ func (s *System) readLineAttempt(e *sim.Engine, ln hil.Line, lineBuf []byte, cb 
 			}
 		}
 	}
-	s.fillMissesAsync(e, t2, ln.LSPN, res.MissSubs, lineBuf, false, func(d sim.Time, err error) {
-		if err != nil {
-			cb(0, err)
-			return
-		}
-		cb(sim.MaxOf(ready, d), nil)
-	})
+	s.startFill(e, t2, ln.LSPN, res.MissSubs, lineBuf, false, ready, cb)
 }
 
-// fillMissesAsync reads the given subs of lspn from flash (claims at t) and
+// fillOp carries one flash fetch (demand miss or prefetch) from its FTL
+// lookup to the cache install at flash completion. Pooled like submitOp.
+type fillOp struct {
+	s        *System
+	e        *sim.Engine
+	lspn     int64
+	subs     []int         // owned copy (the caller's slice may be scratch)
+	locs     []ftl.PageLoc // lookup buffer, reused
+	fetch    []ftl.PageLoc // mapped subset to read, reused
+	lineBuf  []byte
+	prefetch bool
+	nFetch   int
+	floor    sim.Time // completion lower bound (hit-side readiness)
+	cb       func(sim.Time, error)
+
+	doneFn func() // op.done, bound once
+}
+
+func (s *System) acquireFill(e *sim.Engine) *fillOp {
+	var fo *fillOp
+	if n := len(s.fillFree); n > 0 {
+		fo = s.fillFree[n-1]
+		s.fillFree = s.fillFree[:n-1]
+	} else {
+		fo = &fillOp{s: s}
+		fo.doneFn = fo.done
+	}
+	fo.e = e
+	return fo
+}
+
+func (s *System) releaseFill(fo *fillOp) {
+	fo.e, fo.lineBuf, fo.cb = nil, nil, nil
+	s.fillFree = append(s.fillFree, fo)
+}
+
+// noopFill is the completion callback for prefetches.
+func noopFill(sim.Time, error) {}
+
+// startFill reads the given subs of lspn from flash (claims at t) and
 // installs them in the cache at flash completion, flushing any displaced
-// dirty victim.
-func (s *System) fillMissesAsync(e *sim.Engine, t sim.Time, lspn int64, subs []int, lineBuf []byte, prefetch bool, cb func(sim.Time, error)) {
+// dirty victim. The callback fires with max(floor, install time).
+func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, lineBuf []byte, prefetch bool, floor sim.Time, cb func(sim.Time, error)) {
+	fo := s.acquireFill(e)
+	fo.lspn = lspn
+	fo.subs = append(fo.subs[:0], subs...)
+	fo.lineBuf = lineBuf
+	fo.prefetch = prefetch
+	fo.floor = floor
+	fo.cb = cb
+
 	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
-	locs, err := s.FTL.Lookup(lspn)
+	locs, err := s.FTL.LookupInto(fo.locs[:0], lspn)
 	if err != nil {
+		s.releaseFill(fo)
 		cb(0, err)
 		return
 	}
-	want := make(map[int]bool, len(subs))
-	for _, sub := range subs {
-		want[sub] = true
-	}
-	var fetch []ftl.PageLoc
+	fo.locs = locs[:0]
+	fetch := fo.fetch[:0]
 	for _, loc := range locs {
-		if want[loc.Sub] {
-			fetch = append(fetch, loc)
+		for _, sub := range fo.subs {
+			if loc.Sub == sub {
+				fetch = append(fetch, loc)
+				break
+			}
 		}
 	}
+	fo.fetch = fetch[:0]
+	fo.nFetch = len(fetch)
 
 	flashDone := t2
 	if len(fetch) > 0 {
@@ -435,6 +562,7 @@ func (s *System) fillMissesAsync(e *sim.Engine, t sim.Time, lspn int64, subs []i
 		}
 		flashDone, err = s.FIL.ReadSubs(t3, fetch, dsts)
 		if err != nil {
+			s.releaseFill(fo)
 			cb(0, err)
 			return
 		}
@@ -448,48 +576,61 @@ func (s *System) fillMissesAsync(e *sim.Engine, t sim.Time, lspn int64, subs []i
 		fl = make(map[int]bool)
 		s.filling[lspn] = fl
 	}
-	for _, sub := range subs {
+	for _, sub := range fo.subs {
 		fl[sub] = true
 	}
 
-	e.At(sim.MaxOf(flashDone, e.Now()), func() {
-		for _, sub := range subs {
+	e.At(sim.MaxOf(flashDone, e.Now()), fo.doneFn)
+}
+
+// done installs the fetched subs at flash completion, flushes any
+// displaced dirty victim, wakes coalesced waiters and fires the callback.
+func (fo *fillOp) done() {
+	s, e := fo.s, fo.e
+	if fl := s.filling[fo.lspn]; fl != nil {
+		for _, sub := range fo.subs {
 			delete(fl, sub)
 		}
 		if len(fl) == 0 {
-			delete(s.filling, lspn)
+			delete(s.filling, fo.lspn)
 		}
-		if s.passive && len(fetch) > 0 {
-			// Vector-read payload crosses the link into the host buffer.
-			// Claimed here, inside the completion event, so the claim is
-			// made in global time order.
-			s.link.Claim(e.Now(), sim.TransferTime(int64(len(fetch)*s.ICL.Config().SubSize), s.params.LinkBytesPerSec))
-		}
-		ev, err := s.ICL.Fill(lspn, subs, lineBuf, prefetch)
+	}
+	if s.passive && fo.nFetch > 0 {
+		// Vector-read payload crosses the link into the host buffer.
+		// Claimed here, inside the completion event, so the claim is
+		// made in global time order.
+		s.link.Claim(e.Now(), sim.TransferTime(int64(fo.nFetch*s.ICL.Config().SubSize), s.params.LinkBytesPerSec))
+	}
+	ev, err := s.ICL.Fill(fo.lspn, fo.subs, fo.lineBuf, fo.prefetch)
+	if err != nil {
+		fo.finish(0, err)
+		return
+	}
+	now := e.Now()
+	ready := s.cacheMemAccess(now, fo.lspn, len(fo.subs)*s.ICL.Config().SubSize, true)
+	if ev != nil && ev.IsDirty() {
+		flushDone, err := s.flushEviction(now, ev)
 		if err != nil {
-			cb(0, err)
+			fo.finish(0, err)
 			return
 		}
-		now := e.Now()
-		ready := s.cacheMemAccess(now, lspn, len(subs)*s.ICL.Config().SubSize, true)
-		if ev != nil && ev.IsDirty() {
-			flushDone, err := s.flushEviction(now, ev)
-			if err != nil {
-				cb(0, err)
-				return
-			}
-			if flushDone > ready {
-				ready = flushDone
-			}
+		if flushDone > ready {
+			ready = flushDone
 		}
-		if ws := s.waiters[lspn]; len(ws) > 0 {
-			delete(s.waiters, lspn)
-			for _, w := range ws {
-				w()
-			}
+	}
+	if ws := s.waiters[fo.lspn]; len(ws) > 0 {
+		delete(s.waiters, fo.lspn)
+		for _, w := range ws {
+			w()
 		}
-		cb(ready, nil)
-	})
+	}
+	fo.finish(sim.MaxOf(fo.floor, ready), nil)
+}
+
+func (fo *fillOp) finish(t sim.Time, err error) {
+	cb := fo.cb
+	fo.s.releaseFill(fo)
+	cb(t, err)
 }
 
 // prefetch loads a full super-page in the background (§IV-C readahead):
@@ -501,17 +642,13 @@ func (s *System) prefetch(e *sim.Engine, lspn int64) {
 	if _, busy := s.filling[lspn]; busy {
 		return // a fetch is already in flight
 	}
-	allSubs := make([]int, s.FTL.SubPagesPerSuperPage())
-	for i := range allSubs {
-		allSubs[i] = i
-	}
 	var buf []byte
 	if s.ICL.Config().TrackData {
 		// Prefetched lines must carry real bytes when the system tracks
 		// data, or later hits would serve zeroes.
 		buf = make([]byte, s.Split.LineBytes())
 	}
-	s.fillMissesAsync(e, e.Now(), lspn, allSubs, buf, true, func(sim.Time, error) {})
+	s.startFill(e, e.Now(), lspn, s.allSubs, buf, true, 0, noopFill)
 }
 
 // flushEviction writes a displaced dirty line back through FTL and FIL,

@@ -71,6 +71,12 @@ func (t *Table) String() string {
 // and the bench harness); the default is the full evaluation.
 type Options struct {
 	Quick bool
+	// Parallel is the number of independent device configurations to
+	// simulate concurrently within one experiment (each core.System stays
+	// single-threaded; the fan-out is across systems). Values <= 1 run
+	// serially. Results are byte-identical at any worker count: every
+	// task owns its systems and writes into an index-addressed slot.
+	Parallel int
 }
 
 // requests returns the per-point request budget.

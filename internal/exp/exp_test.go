@@ -55,3 +55,39 @@ func TestOptionsScaling(t *testing.T) {
 		t.Fatal("quick mode should reduce depth resolution")
 	}
 }
+
+// TestParallelDeterminism locks in the harness guarantee: an experiment
+// fanned out over workers produces a table byte-identical to the serial
+// run, because every task owns its systems and writes into an
+// index-addressed slot.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full quick experiments")
+	}
+	serial, err := Figure14(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure14(Options{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("parallel run diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	errs := []error{nil, errTest(1), errTest(2)}
+	got := forEach(Options{Parallel: 3}, 3, func(i int) error { return errs[i] })
+	if got != errs[1] {
+		t.Fatalf("forEach returned %v, want the lowest-index error %v", got, errs[1])
+	}
+	if err := forEach(Options{}, 3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errTest int
+
+func (e errTest) Error() string { return "task error" }

@@ -7,6 +7,7 @@ import (
 	"amber/internal/baseline"
 	"amber/internal/config"
 	"amber/internal/core"
+	"amber/internal/cpu"
 	"amber/internal/host"
 	"amber/internal/refdata"
 	"amber/internal/sim"
@@ -66,19 +67,23 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("qd%d", d))
 	}
 
-	amber, err := newSystem("intel750", nil)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range patterns() {
+	// Each pattern's amber sweep owns a freshly preconditioned system, so
+	// the patterns are independent tasks (the reference and the baseline
+	// replays are deterministic and cheap, computed in the same task).
+	pats := patterns()
+	rowsPerPattern := make([][][]string, len(pats))
+	err := forEach(o, len(pats), func(pi int) error {
+		p := pats[pi]
+		var rows [][]string
+
 		// Reference (real device digitized curve).
 		refBW, err := refdata.Bandwidth("intel750", p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		refLat, err := refdata.Latency("intel750", p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []string{p.String(), "real-device"}
 		for _, d := range depths {
@@ -89,7 +94,7 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 				row = append(row, f0(refBW[i]))
 			}
 		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, row)
 
 		// Baselines.
 		for _, b := range baseline.All() {
@@ -102,15 +107,19 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 					row = append(row, f0(r.BandwidthMBps))
 				}
 			}
-			t.Rows = append(t.Rows, row)
+			rows = append(rows, row)
 		}
 
 		// Amber full model.
+		amber, err := newSystem("intel750", nil)
+		if err != nil {
+			return err
+		}
 		row = []string{p.String(), "amber"}
 		for _, d := range depths {
 			res, err := runPoint(amber, p, 4096, d, n)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if latency {
 				row = append(row, f1(res.AvgLatencyUs()))
@@ -118,11 +127,20 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 				row = append(row, f0(res.BandwidthMBps()))
 			}
 		}
-		t.Rows = append(t.Rows, row)
+		rows = append(rows, row)
+		rowsPerPattern[pi] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPerPattern {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes,
 		"mqsim-like grows linearly (no interface ceiling), ssdsim-like never saturates,",
-		"ssdext/flashsim-like are flat (serialized single path); amber follows the device's curve shape.")
+		"ssdext/flashsim-like are flat (serialized single path); amber follows the device's curve shape.",
+		"each amber pattern runs on a freshly preconditioned device (no state carryover between patterns).")
 	return t, nil
 }
 
@@ -156,26 +174,32 @@ func validationFigure(o Options, latency bool) (*Table, error) {
 	}
 	t.Header = append(t.Header, "accuracy")
 
-	for _, dev := range refdata.DeviceNames() {
+	// One task per reference device: each owns its simulated system and
+	// sweeps patterns x depths on it exactly as the serial run did.
+	devs := refdata.DeviceNames()
+	rowsPerDev := make([][][]string, len(devs))
+	err := forEach(o, len(devs), func(di int) error {
+		dev := devs[di]
 		s, err := newSystem(dev, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		var rows [][]string
 		for _, p := range patterns() {
 			refBW, err := refdata.Bandwidth(dev, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			refLat, err := refdata.Latency(dev, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var refRow, simRow []float64
 			for _, d := range depths {
 				i := depthIndex(d)
 				res, err := runPoint(s, p, 4096, d, n)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if latency {
 					refRow = append(refRow, refLat[i])
@@ -187,7 +211,7 @@ func validationFigure(o Options, latency bool) (*Table, error) {
 			}
 			acc, err := stats.MeanAccuracy(refRow, simRow)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rr := []string{dev, p.String(), "real"}
 			sr := []string{dev, p.String(), "amber"}
@@ -197,8 +221,16 @@ func validationFigure(o Options, latency bool) (*Table, error) {
 			}
 			rr = append(rr, "")
 			sr = append(sr, pct(acc))
-			t.Rows = append(t.Rows, rr, sr)
+			rows = append(rows, rr, sr)
 		}
+		rowsPerDev[di] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPerDev {
+		t.Rows = append(t.Rows, rows...)
 	}
 	t.Notes = append(t.Notes, "accuracy = mean(1 - |real-sim|/real) across the depth axis, the paper's metric.")
 	return t, nil
@@ -219,15 +251,19 @@ func Figure10(o Options) (*Table, error) {
 	}
 	t.Header = append(t.Header, "mean-err")
 
-	for _, dev := range refdata.DeviceNames() {
+	devs := refdata.DeviceNames()
+	rowsPerDev := make([][][]string, len(devs))
+	err := forEach(o, len(devs), func(di int) error {
+		dev := devs[di]
 		s, err := newSystem(dev, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		var rows [][]string
 		for _, p := range patterns() {
 			refAll, err := refdata.BlockBandwidth(dev, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			var refRow, simRow []float64
 			for _, kb := range sizes {
@@ -244,7 +280,7 @@ func Figure10(o Options) (*Table, error) {
 				}
 				res, err := runPoint(s, p, kb*1024, 32, nn)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				simRow = append(simRow, res.BandwidthMBps())
 			}
@@ -261,8 +297,16 @@ func Figure10(o Options) (*Table, error) {
 			}
 			rr = append(rr, "")
 			sr = append(sr, pct(meanErr))
-			t.Rows = append(t.Rows, rr, sr)
+			rows = append(rows, rr, sr)
 		}
+		rowsPerDev[di] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPerDev {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -283,36 +327,45 @@ func Figure11(o Options) (*Table, error) {
 		t.Header = append(t.Header, pct(op))
 	}
 
-	for _, bs := range sizes {
-		bws := make([]float64, len(ops))
-		for i, op := range ops {
-			d, err := config.Device("intel750")
-			if err != nil {
-				return nil, err
-			}
-			d.OPRatio = op
-			cfg := config.PCSystem(d)
-			s, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if err := s.Precondition(32); err != nil {
-				return nil, err
-			}
-			// Worst-case stress: random overwrite of 2x the volume.
-			if err := s.StressFill(bs, 0.25); err != nil {
-				return nil, err
-			}
-			s.Drain()
-			res, err := runPoint(s, workload.RandWrite, bs, 32, n)
-			if err != nil {
-				return nil, err
-			}
-			bws[i] = res.BandwidthMBps()
+	// Every (block size, OP ratio) point stresses its own device from
+	// scratch: a fully independent task.
+	bws := make([]float64, len(sizes)*len(ops))
+	err := forEach(o, len(bws), func(ti int) error {
+		bs := sizes[ti/len(ops)]
+		op := ops[ti%len(ops)]
+		d, err := config.Device("intel750")
+		if err != nil {
+			return err
 		}
+		d.OPRatio = op
+		cfg := config.PCSystem(d)
+		s, err := core.NewSystem(cfg)
+		if err != nil {
+			return err
+		}
+		if err := s.Precondition(32); err != nil {
+			return err
+		}
+		// Worst-case stress: random overwrite of 2x the volume.
+		if err := s.StressFill(bs, 0.25); err != nil {
+			return err
+		}
+		s.Drain()
+		res, err := runPoint(s, workload.RandWrite, bs, 32, n)
+		if err != nil {
+			return err
+		}
+		bws[ti] = res.BandwidthMBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, bs := range sizes {
+		base := bws[si*len(ops)]
 		row := []string{fmt.Sprintf("%dK", bs/1024)}
-		for _, bw := range bws {
-			row = append(row, fmt.Sprintf("%.2f", bw/bws[0]))
+		for oi := range ops {
+			row = append(row, fmt.Sprintf("%.2f", bws[si*len(ops)+oi]/base))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -326,32 +379,48 @@ func Figure12(o Options) (*Table, error) {
 	n := o.requests(2500)
 	t := &Table{ID: "fig12", Title: "Performance impact of OS version (kernel 4.4/CFQ vs 4.14/BFQ), MB/s"}
 	t.Header = []string{"interface", "workload", "kernel4.4 (CFQ)", "kernel4.14 (BFQ)", "4.4/4.14"}
-	for _, iface := range []string{"nvme", "sata"} {
+
+	ifaces := []string{"nvme", "sata"}
+	traces := workload.Traces()
+	scheds := []host.SchedulerKind{host.CFQ, host.BFQ}
+	// One task per (interface, trace, scheduler): each builds its own
+	// preconditioned system.
+	bw := make([]float64, len(ifaces)*len(traces)*len(scheds))
+	err := forEach(o, len(bw), func(ti int) error {
+		ii := ti / (len(traces) * len(scheds))
+		rest := ti % (len(traces) * len(scheds))
+		wi, si := rest/len(scheds), rest%len(scheds)
 		dev := "intel750"
-		if iface == "sata" {
+		if ifaces[ii] == "sata" {
 			dev = "850pro"
 		}
-		for _, tp := range workload.Traces() {
-			var bw [2]float64
-			for i, sched := range []host.SchedulerKind{host.CFQ, host.BFQ} {
-				s, err := newSystem(dev, func(c *core.SystemConfig) {
-					c.Host.Scheduler = sched
-				})
-				if err != nil {
-					return nil, err
-				}
-				gen, err := workload.NewTrace(tp, s.VolumeBytes(), 13)
-				if err != nil {
-					return nil, err
-				}
-				res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
-				if err != nil {
-					return nil, err
-				}
-				bw[i] = res.BandwidthMBps()
-			}
+		sched := scheds[si]
+		s, err := newSystem(dev, func(c *core.SystemConfig) {
+			c.Host.Scheduler = sched
+		})
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewTrace(traces[wi], s.VolumeBytes(), 13)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
+		if err != nil {
+			return err
+		}
+		bw[ti] = res.BandwidthMBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ii, iface := range ifaces {
+		for wi, tp := range traces {
+			base := (ii*len(traces) + wi) * len(scheds)
+			cfq, bfq := bw[base], bw[base+1]
 			t.Rows = append(t.Rows, []string{
-				iface, tp.TraceName, f0(bw[0]), f0(bw[1]), fmt.Sprintf("%.2f", bw[0]/bw[1]),
+				iface, tp.TraceName, f0(cfq), f0(bfq), fmt.Sprintf("%.2f", cfq/bfq),
 			})
 		}
 	}
@@ -365,36 +434,46 @@ func Figure13a(o Options) (*Table, error) {
 	n := o.requests(2500)
 	t := &Table{ID: "fig13a", Title: "Handheld vs general computing: UFS vs NVMe bandwidth (MB/s), mobile host"}
 	t.Header = []string{"workload", "ufs", "nvme", "nvme/ufs"}
-	var ratios float64
-	for _, tp := range workload.Traces() {
-		var bw [2]float64
-		for i, dev := range []string{"ufs", "mobile-nvme"} {
-			d, err := config.Device(dev)
-			if err != nil {
-				return nil, err
-			}
-			s, err := core.NewSystem(config.MobileSystem(d))
-			if err != nil {
-				return nil, err
-			}
-			if err := s.Precondition(32); err != nil {
-				return nil, err
-			}
-			gen, err := workload.NewTrace(tp, s.VolumeBytes(), 17)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
-			if err != nil {
-				return nil, err
-			}
-			bw[i] = res.BandwidthMBps()
+
+	traces := workload.Traces()
+	devs := []string{"ufs", "mobile-nvme"}
+	bw := make([]float64, len(traces)*len(devs))
+	err := forEach(o, len(bw), func(ti int) error {
+		tp := traces[ti/len(devs)]
+		dev := devs[ti%len(devs)]
+		d, err := config.Device(dev)
+		if err != nil {
+			return err
 		}
-		ratios += bw[1] / bw[0]
-		t.Rows = append(t.Rows, []string{tp.TraceName, f0(bw[0]), f0(bw[1]), fmt.Sprintf("%.2f", bw[1]/bw[0])})
+		s, err := core.NewSystem(config.MobileSystem(d))
+		if err != nil {
+			return err
+		}
+		if err := s.Precondition(32); err != nil {
+			return err
+		}
+		gen, err := workload.NewTrace(tp, s.VolumeBytes(), 17)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
+		if err != nil {
+			return err
+		}
+		bw[ti] = res.BandwidthMBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ratios float64
+	for wi, tp := range traces {
+		ufs, nvme := bw[wi*2], bw[wi*2+1]
+		ratios += nvme / ufs
+		t.Rows = append(t.Rows, []string{tp.TraceName, f0(ufs), f0(nvme), fmt.Sprintf("%.2f", nvme/ufs)})
 	}
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("mean NVMe/UFS ratio = %.2f (paper: 1.81x, limited by low mobile compute for small workloads).", ratios/float64(len(workload.Traces()))))
+		fmt.Sprintf("mean NVMe/UFS ratio = %.2f (paper: 1.81x, limited by low mobile compute for small workloads).", ratios/float64(len(traces))))
 	return t, nil
 }
 
@@ -404,28 +483,31 @@ func Figure13b(o Options) (*Table, error) {
 	n := o.requests(3000)
 	t := &Table{ID: "fig13b", Title: "SSD power breakdown (W): embedded CPU vs DRAM vs NAND"}
 	t.Header = []string{"interface", "cpu", "dram", "nand", "total"}
-	for _, dev := range []string{"ufs", "mobile-nvme"} {
-		d, err := config.Device(dev)
+
+	devs := []string{"ufs", "mobile-nvme"}
+	rows := make([][]string, len(devs))
+	err := forEach(o, len(devs), func(di int) error {
+		d, err := config.Device(devs[di])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := core.NewSystem(config.MobileSystem(d))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.Precondition(32); err != nil {
-			return nil, err
+			return err
 		}
 		gen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 19)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cpu0 := s.DevCPU.EnergyJoules()
 		dram0 := s.DevDRAM.EnergyJoules()
 		nand0 := s.Flash.EnergyJoules()
 		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		el := res.Elapsed()
 		// Windowed power: dynamic-energy delta over the run, plus the
@@ -440,11 +522,16 @@ func Figure13b(o Options) (*Table, error) {
 		cpuW := window(cpu0, s.DevCPU.EnergyJoules(), s.DevCPU.TotalEnergyJoules(el), s.DevCPU.EnergyJoules())
 		dramW := window(dram0, s.DevDRAM.EnergyJoules(), s.DevDRAM.TotalEnergyJoules(el), s.DevDRAM.EnergyJoules())
 		nandW := window(nand0, s.Flash.EnergyJoules(), s.Flash.TotalEnergyJoules(el), s.Flash.EnergyJoules())
-		t.Rows = append(t.Rows, []string{
+		rows[di] = []string{
 			s.Protocol().Kind.String(), fmt.Sprintf("%.2f", cpuW), fmt.Sprintf("%.2f", dramW),
 			fmt.Sprintf("%.2f", nandW), fmt.Sprintf("%.2f", cpuW+dramW+nandW),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	t.Notes = append(t.Notes, "paper: the embedded CPU is the most power-hungry component; UFS total ~2W, mostly CPU.")
 	return t, nil
 }
@@ -455,36 +542,35 @@ func Figure13c(o Options) (*Table, error) {
 	n := o.requests(3000)
 	t := &Table{ID: "fig13c", Title: "Firmware instruction breakdown (millions) over an equal time window"}
 	t.Header = []string{"interface", "branch", "load", "store", "arith", "fp", "other", "total", "ld/st frac"}
-	var totals []float64
-	var window sim.Duration
-	for _, dev := range []string{"ufs", "mobile-nvme"} {
-		d, err := config.Device(dev)
+
+	type devRun struct {
+		kind string
+		m    cpu.InstrMix // delta over the measured run
+		el   sim.Duration
+	}
+	devs := []string{"ufs", "mobile-nvme"}
+	runs := make([]devRun, len(devs))
+	err := forEach(o, len(devs), func(di int) error {
+		d, err := config.Device(devs[di])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := core.NewSystem(config.MobileSystem(d))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.Precondition(32); err != nil {
-			return nil, err
+			return err
 		}
 		base := s.DevCPU.Instructions()
 		gen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 23)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 32})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Normalize both devices to the first run's time window: the paper
-		// counts instructions executed "within a same time period".
-		el := res.Elapsed()
-		if window == 0 {
-			window = el
-		}
-		scale := window.Seconds() / el.Seconds()
 		m := s.DevCPU.Instructions()
 		m.Branch -= base.Branch
 		m.Load -= base.Load
@@ -492,12 +578,24 @@ func Figure13c(o Options) (*Table, error) {
 		m.Arith -= base.Arith
 		m.FP -= base.FP
 		m.Other -= base.Other
+		runs[di] = devRun{kind: s.Protocol().Kind.String(), m: m, el: res.Elapsed()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize both devices to the first run's time window: the paper
+	// counts instructions executed "within a same time period".
+	window := runs[0].el
+	var totals []float64
+	for _, r := range runs {
+		scale := window.Seconds() / r.el.Seconds()
 		mm := func(v uint64) string { return fmt.Sprintf("%.2f", float64(v)*scale/1e6) }
-		tot := float64(m.Total()) * scale
+		tot := float64(r.m.Total()) * scale
 		totals = append(totals, tot)
 		t.Rows = append(t.Rows, []string{
-			s.Protocol().Kind.String(), mm(m.Branch), mm(m.Load), mm(m.Store), mm(m.Arith), mm(m.FP), mm(m.Other),
-			fmt.Sprintf("%.2f", tot/1e6), fmt.Sprintf("%.2f", m.LoadStoreFraction()),
+			r.kind, mm(r.m.Branch), mm(r.m.Load), mm(r.m.Store), mm(r.m.Arith), mm(r.m.FP), mm(r.m.Other),
+			fmt.Sprintf("%.2f", tot/1e6), fmt.Sprintf("%.2f", r.m.LoadStoreFraction()),
 		})
 	}
 	if len(totals) == 2 && totals[0] > 0 {
@@ -529,21 +627,29 @@ func Figure14(o Options) (*Table, error) {
 	if ifaceLevel > deviceLevel {
 		ifaceLevel = deviceLevel
 	}
-	for _, f := range freqs {
+	user := make([]float64, len(freqs))
+	err = forEach(o, len(freqs), func(fi int) error {
+		f := freqs[fi]
 		s, err := newSystem("zssd", func(c *core.SystemConfig) {
 			c.Host.FreqMHz = f
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := runPoint(s, workload.SeqRead, 131072, 32, n/4)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		user := res.BandwidthMBps()
+		user[fi] = res.BandwidthMBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range freqs {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%.0fGHz", f/1000), f0(deviceLevel), f0(ifaceLevel), f0(user),
-			pct(1 - user/deviceLevel),
+			fmt.Sprintf("%.0fGHz", f/1000), f0(deviceLevel), f0(ifaceLevel), f0(user[fi]),
+			pct(1 - user[fi]/deviceLevel),
 		})
 	}
 	t.Notes = append(t.Notes, "paper: kernel execution at 2GHz costs 41% of device-level bandwidth, recovering to 29% at 8GHz.")
@@ -556,27 +662,40 @@ func Figure15a(o Options) (*Table, error) {
 	n := o.requests(2000)
 	t := &Table{ID: "fig15a", Title: "Active (NVMe) vs passive (OCSSD+pblk) bandwidth (MB/s)"}
 	t.Header = []string{"pattern", "block", "nvme", "ocssd", "ocssd/nvme"}
-	for _, p := range []workload.Pattern{workload.RandRead, workload.RandWrite, workload.SeqRead, workload.SeqWrite} {
-		for _, bs := range []int{4096, 65536} {
-			var bw [2]float64
-			for i, dev := range []string{"intel750", "ocssd"} {
-				s, err := newSystem(dev, nil)
-				if err != nil {
-					return nil, err
-				}
-				nn := n
-				if bs > 4096 {
-					nn = n / 4
-				}
-				res, err := runPoint(s, p, bs, 32, nn)
-				if err != nil {
-					return nil, err
-				}
-				bw[i] = res.BandwidthMBps()
-			}
+
+	pats := []workload.Pattern{workload.RandRead, workload.RandWrite, workload.SeqRead, workload.SeqWrite}
+	blocks := []int{4096, 65536}
+	devs := []string{"intel750", "ocssd"}
+	bw := make([]float64, len(pats)*len(blocks)*len(devs))
+	err := forEach(o, len(bw), func(ti int) error {
+		pi := ti / (len(blocks) * len(devs))
+		rest := ti % (len(blocks) * len(devs))
+		bi, di := rest/len(devs), rest%len(devs)
+		s, err := newSystem(devs[di], nil)
+		if err != nil {
+			return err
+		}
+		nn := n
+		if blocks[bi] > 4096 {
+			nn = n / 4
+		}
+		res, err := runPoint(s, pats[pi], blocks[bi], 32, nn)
+		if err != nil {
+			return err
+		}
+		bw[ti] = res.BandwidthMBps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range pats {
+		for bi, bs := range blocks {
+			base := (pi*len(blocks) + bi) * len(devs)
+			nvme, ocssd := bw[base], bw[base+1]
 			t.Rows = append(t.Rows, []string{
-				p.String(), fmt.Sprintf("%dK", bs/1024), f0(bw[0]), f0(bw[1]),
-				fmt.Sprintf("%.2f", bw[1]/bw[0]),
+				p.String(), fmt.Sprintf("%dK", bs/1024), f0(nvme), f0(ocssd),
+				fmt.Sprintf("%.2f", ocssd/nvme),
 			})
 		}
 	}
@@ -599,10 +718,14 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 	n := o.requests(4000)
 	t := &Table{ID: id, Title: title}
 	t.Header = []string{"device", "phase", "mean", "max"}
-	for _, dev := range []string{"intel750", "ocssd"} {
+
+	devs := []string{"intel750", "ocssd"}
+	rowsPerDev := make([][][]string, len(devs))
+	err := forEach(o, len(devs), func(di int) error {
+		dev := devs[di]
 		s, err := newSystem(dev, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		runMem := int64(280 << 20) // FIO + NVMe protocol management (~280MB)
 		if dev == "ocssd" {
@@ -610,7 +733,7 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 		}
 		gen, err := workload.NewMixed("write-then-read", n/2, 4096, s.VolumeBytes()/4, 29)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run(gen, core.RunConfig{
 			Requests: n, IODepth: 32,
@@ -618,7 +741,7 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 			RunMemBytes: runMem,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		series := res.HostCPUUtil
 		scale := 100.0
@@ -627,10 +750,11 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 			scale = 1
 		}
 		// Split samples at the write->read boundary (half the requests).
+		var rows [][]string
 		half := len(series.Points) / 2
 		phase := func(name string, pts []stats.Point) {
 			sub := stats.Series{Points: pts}
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				dev, name, f1(sub.Mean() * scale), f1(sub.Max() * scale),
 			})
 		}
@@ -640,6 +764,14 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 		} else {
 			phase("all", series.Points)
 		}
+		rowsPerDev[di] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPerDev {
+		t.Rows = append(t.Rows, rows...)
 	}
 	if mem {
 		t.Notes = append(t.Notes, "paper: pblk allocates ~64MB at init and reuses it; FIO+NVMe needs ~280MB.")
@@ -651,7 +783,8 @@ func passiveSeries(o Options, mem bool) (*Table, error) {
 
 // Figure16 measures simulation speed: wall-clock time for the baseline
 // simulators vs the full Amber stack over the same request count
-// (paper Fig. 16).
+// (paper Fig. 16). It always runs serially: concurrent simulations would
+// contend for cores and distort the wall-clock metric being measured.
 func Figure16(o Options) (*Table, error) {
 	n := o.requests(5000)
 	t := &Table{ID: "fig16", Title: "Simulation speed: wall-clock seconds per 100k simulated 4K requests"}
@@ -700,6 +833,7 @@ func TableIV(o Options) (*Table, error) {
 		{"queue arbitration (FIFO/RR/WRR)", "yes", "hil.Arbiter"},
 		{"data transfer emulation (real bytes)", "yes", "dma, nand.Options.TrackData"},
 		{"functional + timing DMA modes", "yes", "dma.Mode"},
+		{"parallel multi-system experiment harness", "yes", "exp.Options.Parallel"},
 	}
 	t.Rows = rows
 	return t, nil

@@ -47,6 +47,31 @@ type FIL struct {
 	flash  *nand.Flash
 	addrOf AddrFunc
 	stats  Stats
+
+	// Per-Execute scratch state, reused across calls so plan execution is
+	// allocation-free in steady state. The pre-read index is a persistent
+	// map (GC plans can carry thousands of migration reads, so lookups
+	// must stay O(1)); the super-block ordering slots are a small linear
+	// list (a plan touches few distinct super-blocks).
+	reads    map[SubKey]planRead // completed pre-reads of this plan
+	sbTimes  []sbTime            // per-super-block erase completion / latest touch
+	sbIndex  map[int]int         // super-block -> sbTimes slot
+	readBufs [][]byte            // pooled page buffers backing planRead.data
+	readBufN int                 // buffers handed out for the current plan
+}
+
+// planRead records one completed pre-read: its completion time and (when
+// data is tracked) the page contents.
+type planRead struct {
+	done sim.Time
+	data []byte
+}
+
+// sbTime tracks in-plan per-super-block ordering state.
+type sbTime struct {
+	sb      int
+	erased  sim.Time // completion of an in-plan erase, zero if none
+	touched sim.Time // latest op completion touching the super-block
 }
 
 // New constructs a FIL over the storage complex.
@@ -66,9 +91,60 @@ type SubKey struct {
 	Sub  int
 }
 
+// PlanData supplies host payload bytes for a plan's writes: the dirty subs
+// of one logical super-page backed by a line-layout buffer. The zero value
+// means "no payload" (timing-only execution). It replaces a per-call
+// map[SubKey][]byte so assembling it is allocation-free.
+type PlanData struct {
+	LSPN    int64
+	Dirty   []bool
+	Data    []byte // line buffer sliced per sub; may be nil with Dirty set
+	SubSize int
+}
+
+// Bytes returns the payload for key k and whether the plan data covers it.
+// A covered key may still carry nil bytes (data tracking off).
+func (d PlanData) Bytes(k SubKey) ([]byte, bool) {
+	if k.LSPN != d.LSPN || d.Dirty == nil || k.Sub < 0 || k.Sub >= len(d.Dirty) || !d.Dirty[k.Sub] {
+		return nil, false
+	}
+	if d.Data == nil {
+		return nil, true
+	}
+	return d.Data[k.Sub*d.SubSize : (k.Sub+1)*d.SubSize], true
+}
+
+// HostData builds the PlanData for Execute from a full line buffer: each
+// dirty sub of lspn maps to its slice of data (which may be nil).
+func HostData(lspn int64, dirty []bool, data []byte, subSize int) PlanData {
+	return PlanData{LSPN: lspn, Dirty: dirty, Data: data, SubSize: subSize}
+}
+
+// sbSlot returns (allocating if needed) the ordering slot for sb. The
+// returned pointer is valid until the next sbSlot call (the slice may
+// grow); callers must not hold it across calls.
+func (f *FIL) sbSlot(sb int) *sbTime {
+	if i, ok := f.sbIndex[sb]; ok {
+		return &f.sbTimes[i]
+	}
+	f.sbIndex[sb] = len(f.sbTimes)
+	f.sbTimes = append(f.sbTimes, sbTime{sb: sb})
+	return &f.sbTimes[len(f.sbTimes)-1]
+}
+
+// readBuf hands out a pooled page buffer for a plan pre-read.
+func (f *FIL) readBuf() []byte {
+	if f.readBufN == len(f.readBufs) {
+		f.readBufs = append(f.readBufs, make([]byte, f.flash.Geometry().PageSize))
+	}
+	buf := f.readBufs[f.readBufN]
+	f.readBufN++
+	return buf
+}
+
 // Execute runs an FTL plan against the flash, walking the plan's causal
-// op order. hostData supplies payload bytes for host writes keyed by
-// (LSPN, sub); entries may be nil when data tracking is off.
+// op order. hostData supplies payload bytes for host writes (the zero
+// PlanData when data tracking is off or the plan has no host writes).
 //
 // Dependency timing: every op starts no earlier than `now`; a GC/RMW
 // rewrite additionally waits for the completion of the pre-read of the
@@ -76,20 +152,26 @@ type SubKey struct {
 // waits for that erase; an erase waits for every earlier op touching the
 // same super-block (its migration reads). Everything else overlaps, bounded
 // only by the channel/die contention modeled inside package nand.
-func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (Result, error) {
+func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, error) {
 	var res Result
 	res.Done = now
-	pageSize := f.flash.Geometry().PageSize
 	g := f.flash.Geometry()
 
-	readDone := make(map[SubKey]sim.Time)
-	readData := make(map[SubKey][]byte)
-	eraseDone := make(map[int]sim.Time) // SB -> in-plan erase completion
-	sbTouched := make(map[int]sim.Time) // SB -> latest op completion
+	if f.reads == nil {
+		f.reads = make(map[SubKey]planRead)
+		f.sbIndex = make(map[int]int)
+	} else {
+		clear(f.reads)
+		clear(f.sbIndex)
+	}
+	f.sbTimes = f.sbTimes[:0]
+	f.readBufN = 0
+	trackData := f.flash.TrackData()
 
 	touch := func(sb int, t sim.Time) {
-		if t > sbTouched[sb] {
-			sbTouched[sb] = t
+		slot := f.sbSlot(sb)
+		if t > slot.touched {
+			slot.touched = t
 		}
 		if t > res.Done {
 			res.Done = t
@@ -99,16 +181,17 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (
 	for _, op := range plan.Ops {
 		switch op.Kind {
 		case ftl.OpRead:
-			start := sim.MaxOf(now, eraseDone[op.Loc.SB])
-			buf := make([]byte, pageSize)
+			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+			var buf []byte
+			if trackData {
+				buf = f.readBuf()
+			}
 			r, err := f.flash.Read(start, f.addrOf(op.Loc), buf)
 			if err != nil {
 				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
 			}
 			f.stats.Reads++
-			k := SubKey{op.LSPN, op.Loc.Sub}
-			readDone[k] = r.Done
-			readData[k] = buf
+			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf}
 			if r.Done > res.ReadsDone {
 				res.ReadsDone = r.Done
 			}
@@ -116,16 +199,16 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (
 
 		case ftl.OpWrite:
 			k := SubKey{op.LSPN, op.Loc.Sub}
-			start := sim.MaxOf(now, eraseDone[op.Loc.SB])
-			data := hostData[k]
-			if t, ok := readDone[k]; ok {
+			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+			data, _ := hostData.Bytes(k)
+			if pr, ok := f.reads[k]; ok {
 				// Rewrite of data sourced from flash: wait for the read.
-				if t > start {
-					start = t
+				if pr.done > start {
+					start = pr.done
 					f.stats.DepStalls++
 				}
 				if data == nil {
-					data = readData[k]
+					data = pr.data
 				}
 			}
 			r, err := f.flash.Program(start, f.addrOf(op.Loc), data)
@@ -142,7 +225,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (
 			// The erase wipes the same block index on every plane, after
 			// all earlier plan ops touching this super-block (the
 			// migration reads) completed.
-			start := sim.MaxOf(now, sbTouched[op.SB])
+			start := sim.MaxOf(now, f.sbSlot(op.SB).touched)
 			var done sim.Time
 			for plane := 0; plane < g.TotalPlanes(); plane++ {
 				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
@@ -155,7 +238,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (
 					done = r.Done
 				}
 			}
-			eraseDone[op.SB] = done
+			f.sbSlot(op.SB).erased = done
 			touch(op.SB, done)
 
 		default:
@@ -166,24 +249,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData map[SubKey][]byte) (
 	return res, nil
 }
 
-// HostData builds the payload map for Execute from a full line buffer:
-// each dirty sub of lspn maps to its slice of data (which may be nil).
-func HostData(lspn int64, dirty []bool, data []byte, subSize int) map[SubKey][]byte {
-	m := make(map[SubKey][]byte)
-	for s, d := range dirty {
-		if !d {
-			continue
-		}
-		var payload []byte
-		if data != nil {
-			payload = data[s*subSize : (s+1)*subSize]
-		}
-		m[SubKey{lspn, s}] = payload
-	}
-	return m
-}
-
-// Key constructs a SubKey; exported for callers assembling payload maps
+// Key constructs a SubKey; exported for callers assembling payload lookups
 // sub by sub.
 func Key(lspn int64, sub int) SubKey { return SubKey{lspn, sub} }
 

@@ -88,7 +88,7 @@ func TestWritesAcrossPlanesOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := f.Execute(0, plan, nil)
+	res, err := f.Execute(0, plan, PlanData{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestDepStallsCounted(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := f.Execute(now, plan, nil)
+		res, err := f.Execute(now, plan, PlanData{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,17 +210,25 @@ func TestRawOCSSDPath(t *testing.T) {
 func TestHostDataHelper(t *testing.T) {
 	buf := make([]byte, 4*512)
 	buf[512] = 0xEE
-	m := HostData(3, []bool{false, true, false, false}, buf, 512)
-	if len(m) != 1 {
-		t.Fatalf("map has %d entries", len(m))
-	}
-	p := m[Key(3, 1)]
-	if p == nil || p[0] != 0xEE {
+	d := HostData(3, []bool{false, true, false, false}, buf, 512)
+	p, ok := d.Bytes(Key(3, 1))
+	if !ok || p == nil || p[0] != 0xEE {
 		t.Fatal("payload slice wrong")
 	}
-	// Nil data gives nil payloads but keeps keys.
-	m2 := HostData(3, []bool{true, true, false, false}, nil, 512)
-	if len(m2) != 2 {
-		t.Fatalf("map2 has %d entries", len(m2))
+	if _, ok := d.Bytes(Key(3, 0)); ok {
+		t.Fatal("clean sub reported as covered")
+	}
+	if _, ok := d.Bytes(Key(4, 1)); ok {
+		t.Fatal("foreign LSPN reported as covered")
+	}
+	// Nil data gives nil payloads but still covers dirty subs.
+	d2 := HostData(3, []bool{true, true, false, false}, nil, 512)
+	p2, ok := d2.Bytes(Key(3, 0))
+	if !ok || p2 != nil {
+		t.Fatal("nil-data coverage wrong")
+	}
+	// The zero value covers nothing.
+	if _, ok := (PlanData{}).Bytes(Key(0, 0)); ok {
+		t.Fatal("zero PlanData covered a key")
 	}
 }

@@ -225,6 +225,11 @@ type FTL struct {
 	userLSPNs int64
 	stats     Stats
 	inGC      bool // reentrancy guard: GC's own writes must not trigger GC
+
+	// scratchOps backs the Ops slice of the plan returned by Write, reused
+	// across calls: the submit path executes each plan synchronously before
+	// the next FTL call, so one growable buffer serves every request.
+	scratchOps []Op
 }
 
 // New constructs an FTL over the given geometry.
@@ -325,10 +330,16 @@ func (f *FTL) checkLSPN(lspn int64) error {
 // Unmapped sub-pages are omitted; reading an entirely unmapped super-page
 // returns an empty slice (the device returns zeroes).
 func (f *FTL) Lookup(lspn int64) ([]PageLoc, error) {
+	return f.LookupInto(make([]PageLoc, 0, f.subCount), lspn)
+}
+
+// LookupInto is Lookup appending into dst, so the submit hot path can
+// reuse a per-request buffer. Pass dst[:0] to recycle capacity.
+func (f *FTL) LookupInto(dst []PageLoc, lspn int64) ([]PageLoc, error) {
 	if err := f.checkLSPN(lspn); err != nil {
 		return nil, err
 	}
-	locs := make([]PageLoc, 0, f.subCount)
+	locs := dst
 	for sub := 0; sub < f.subCount; sub++ {
 		packed := f.fwd[f.fwdIndex(lspn, sub)]
 		if packed >= 0 {
@@ -466,8 +477,12 @@ func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) 
 // the partial-update optimization, a partial write triggers a
 // read-modify-write: the untouched mapped sub-pages are read and rewritten
 // so the whole super-page stays physically contiguous.
+//
+// The returned plan's Ops slice aliases a per-FTL scratch buffer valid
+// until the next Write call; execute (or copy) it before writing again.
 func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
-	var plan Plan
+	plan := Plan{Ops: f.scratchOps[:0]}
+	defer func() { f.scratchOps = plan.Ops[:0] }()
 	if err := f.checkLSPN(lspn); err != nil {
 		return plan, err
 	}

@@ -53,11 +53,17 @@ func (s *Splitter) LineBytes() int { return s.subSize * s.subsPerLine }
 // sub-page boundaries (partial sub-pages touch the whole sub-page, the
 // read-modify-write the paper attributes to small writes).
 func (s *Splitter) Split(offset int64, length int) ([]Line, error) {
+	return s.SplitInto(nil, offset, length)
+}
+
+// SplitInto is Split appending into dst, so per-request buffers can be
+// reused by the submit hot path. Pass dst[:0] to recycle capacity.
+func (s *Splitter) SplitInto(dst []Line, offset int64, length int) ([]Line, error) {
 	if offset < 0 || length <= 0 {
 		return nil, fmt.Errorf("hil: invalid request [%d, +%d)", offset, length)
 	}
 	lineBytes := int64(s.LineBytes())
-	var out []Line
+	out := dst
 	end := offset + int64(length)
 	for pos := offset; pos < end; {
 		lspn := pos / lineBytes

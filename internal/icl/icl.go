@@ -167,6 +167,17 @@ type Cache struct {
 	// LSPN and the current streak length.
 	seqNext   int64
 	seqStreak int
+
+	// scratchEv is the reusable eviction record returned by Fill/Write:
+	// the submit path consumes it synchronously, so one preallocated
+	// buffer per cache avoids a Dirty-mask (and Data) copy per eviction.
+	scratchEv Eviction
+
+	// scratchHits/scratchMisses/scratchRA back ReadResult slices, reused
+	// across Read calls for the same reason.
+	scratchHits   []int
+	scratchMisses []int
+	scratchRA     []int64
 }
 
 // New constructs a Cache from a validated configuration.
@@ -254,19 +265,24 @@ func (c *Cache) victim(lspn int64) *line {
 }
 
 // evictInto resets the victim frame for reuse by lspn and returns the
-// eviction record if the frame held a line.
+// eviction record if the frame held a line. The record aliases the cache's
+// scratch buffers and stays valid only until the next Cache call; callers
+// that keep evictions must copy them (see FlushAll).
 func (c *Cache) evictInto(ln *line, lspn int64) *Eviction {
 	var ev *Eviction
 	if ln.lspn >= 0 {
-		e := Eviction{LSPN: ln.lspn, Dirty: append([]bool(nil), ln.dirty...)}
+		c.scratchEv.LSPN = ln.lspn
+		c.scratchEv.Dirty = append(c.scratchEv.Dirty[:0], ln.dirty...)
 		if c.cfg.TrackData {
-			e.Data = append([]byte(nil), ln.data...)
+			c.scratchEv.Data = append(c.scratchEv.Data[:0], ln.data...)
+		} else {
+			c.scratchEv.Data = nil
 		}
 		c.stats.Evictions++
-		if e.IsDirty() {
+		if c.scratchEv.IsDirty() {
 			c.stats.DirtyEvictions++
 		}
-		ev = &e
+		ev = &c.scratchEv
 	}
 	ln.lspn = lspn
 	ln.prefetched = false
@@ -290,7 +306,9 @@ func (c *Cache) touch(ln *line) {
 	ln.lastUse = c.tick
 }
 
-// ReadResult reports the outcome of a cache read probe.
+// ReadResult reports the outcome of a cache read probe. Its slices alias
+// per-cache scratch buffers and stay valid only until the next Read call;
+// callers that defer consumption (e.g. into a scheduled event) must copy.
 type ReadResult struct {
 	// HitSubs are sub-pages served from DRAM.
 	HitSubs []int
@@ -307,7 +325,11 @@ func (c *Cache) Read(lspn int64, firstSub, nSubs int, dst []byte) (ReadResult, e
 	if err := c.checkRange(firstSub, nSubs); err != nil {
 		return ReadResult{}, err
 	}
-	var res ReadResult
+	res := ReadResult{
+		HitSubs:   c.scratchHits[:0],
+		MissSubs:  c.scratchMisses[:0],
+		Readahead: c.scratchRA[:0],
+	}
 	ln := c.find(lspn)
 	anyMiss := false
 	for s := firstSub; s < firstSub+nSubs; s++ {
@@ -362,6 +384,9 @@ func (c *Cache) Read(lspn int64, firstSub, nSubs int, dst []byte) (ReadResult, e
 			}
 		}
 	}
+	c.scratchHits = res.HitSubs[:0]
+	c.scratchMisses = res.MissSubs[:0]
+	c.scratchRA = res.Readahead[:0]
 	return res, nil
 }
 

@@ -295,6 +295,72 @@ type blockState struct {
 	written    []bool
 }
 
+// arenaChunkPages is the number of physical pages per arena chunk. Chunks
+// are sized so a typical working set touches a handful of large contiguous
+// allocations instead of one small allocation (plus map bucket churn) per
+// programmed page.
+const arenaChunkPages = 256
+
+// pageArena stores tracked page contents in lazily allocated fixed-size
+// chunks indexed by global physical page number, with a presence bitmap.
+// Compared to the map[int64][]byte it replaces, it performs zero
+// allocations per program in steady state and erases a block by clearing
+// presence bits instead of deleting map entries page by page.
+type pageArena struct {
+	pageSize int
+	chunks   [][]byte // chunk i covers pages [i*arenaChunkPages, (i+1)*arenaChunkPages)
+	present  []uint64 // one bit per physical page
+}
+
+func newPageArena(totalPages int64, pageSize int) *pageArena {
+	nChunks := (totalPages + arenaChunkPages - 1) / arenaChunkPages
+	return &pageArena{
+		pageSize: pageSize,
+		chunks:   make([][]byte, nChunks),
+		present:  make([]uint64, (totalPages+63)/64),
+	}
+}
+
+// slot returns the storage for page idx, allocating its chunk on first use.
+func (a *pageArena) slot(idx int64) []byte {
+	ci := idx / arenaChunkPages
+	if a.chunks[ci] == nil {
+		a.chunks[ci] = make([]byte, arenaChunkPages*a.pageSize)
+	}
+	off := int(idx%arenaChunkPages) * a.pageSize
+	return a.chunks[ci][off : off+a.pageSize]
+}
+
+func (a *pageArena) has(idx int64) bool {
+	return a.present[idx/64]&(1<<(uint(idx)%64)) != 0
+}
+
+// put stores data (shorter payloads are zero-padded) as page idx's contents.
+func (a *pageArena) put(idx int64, data []byte) {
+	dst := a.slot(idx)
+	n := copy(dst, data)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	a.present[idx/64] |= 1 << (uint(idx) % 64)
+}
+
+// get returns page idx's contents, or nil when nothing was stored.
+func (a *pageArena) get(idx int64) []byte {
+	if !a.has(idx) {
+		return nil
+	}
+	return a.slot(idx)
+}
+
+// clearRange drops presence for pages [base, base+n). The chunk bytes stay
+// allocated for reuse by the block's next program cycle.
+func (a *pageArena) clearRange(base int64, n int) {
+	for idx := base; idx < base+int64(n); idx++ {
+		a.present[idx/64] &^= 1 << (uint(idx) % 64)
+	}
+}
+
 // Flash is the storage complex. It is not safe for concurrent use; the
 // whole simulator is single-threaded by design.
 type Flash struct {
@@ -308,7 +374,7 @@ type Flash struct {
 	blocks   []blockState
 
 	trackData bool
-	data      map[int64][]byte
+	data      *pageArena
 
 	rng     *sim.RNG
 	stats   Stats
@@ -357,10 +423,13 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 		f.blocks[i].written = make([]bool, geo.PagesPerBlock)
 	}
 	if opt.TrackData {
-		f.data = make(map[int64][]byte)
+		f.data = newPageArena(geo.TotalPages(), geo.PageSize)
 	}
 	return f, nil
 }
+
+// TrackData reports whether the flash stores real page contents.
+func (f *Flash) TrackData() bool { return f.trackData }
 
 // Geometry returns the physical organization.
 func (f *Flash) Geometry() Geometry { return f.geo }
@@ -452,7 +521,7 @@ func (f *Flash) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
 	f.energyJ += f.pow.ReadEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
 
 	if f.trackData && dst != nil {
-		stored := f.data[f.geo.PageIndex(addr)]
+		stored := f.data.get(f.geo.PageIndex(addr))
 		n := copy(dst, stored)
 		for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
 			dst[i] = 0
@@ -490,9 +559,7 @@ func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error)
 	f.energyJ += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
 
 	if f.trackData && data != nil {
-		cp := make([]byte, f.geo.PageSize)
-		copy(cp, data)
-		f.data[f.geo.PageIndex(addr)] = cp
+		f.data.put(f.geo.PageIndex(addr), data)
 	}
 	return Result{Start: xferStart, Ready: done, Done: done}, nil
 }
@@ -517,10 +584,7 @@ func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
 		blk.written[i] = false
 	}
 	if f.trackData {
-		base := int64(bi) * int64(f.geo.PagesPerBlock)
-		for p := 0; p < f.geo.PagesPerBlock; p++ {
-			delete(f.data, base+int64(p))
-		}
+		f.data.clearRange(int64(bi)*int64(f.geo.PagesPerBlock), f.geo.PagesPerBlock)
 	}
 	f.stats.Erases++
 	f.energyJ += f.pow.EraseEnergyJ

@@ -1,0 +1,62 @@
+// Package sim provides the discrete-event simulation core used by every
+// Amber subsystem: a picosecond-resolution clock, a cancellable event
+// queue, time-reservation resources that model contention on buses, dies,
+// controllers and CPU cores, and a deterministic RNG.
+//
+// All of Amber is single-threaded and deterministic: components reserve
+// spans of simulated time on shared resources and schedule completion
+// events; the engine dispatches events in non-decreasing time order, with
+// FIFO ordering among events at the same instant.
+//
+// # Engine design: pooled records, index heap, generation handles
+//
+// The engine is the innermost loop of every experiment — the Fig. 16
+// simulation-speed claim lives or dies here — so its data layout is chosen
+// to make Schedule/Step allocation-free and cache-friendly in steady state:
+//
+//   - Event records live in one flat []eventRecord slice. A fired or
+//     cancelled record's slot goes onto a free list and is reused by the
+//     next Schedule, so a workload with bounded in-flight events reaches a
+//     fixed pool size and never allocates again. The callback reference is
+//     cleared on release to keep closures collectable.
+//
+//   - Ordering is an index-based 4-ary min-heap: a []int32 of record ids
+//     keyed by (time, sequence). Compared to the pointer-based binary
+//     container/heap this needs no per-event heap object, no interface
+//     boxing on push/pop, walks half the levels per sift, and touches a
+//     quarter the cache lines (four children share a 16-byte span of the
+//     index slice). The sequence number makes same-time dispatch FIFO, so
+//     simulation output is deterministic for a given schedule order.
+//
+//   - The Event handle returned by Schedule/At is a value
+//     {engine, slot id, generation}. Each release bumps the slot's
+//     generation, so a stale handle (its event fired or was cancelled, the
+//     slot possibly reused) simply compares unequal: Pending reports
+//     false and Cancel is a no-op. This keeps the timeout pattern — keep a
+//     handle, cancel it if the guarded event happens first — safe with
+//     aggressive slot reuse, with no allocation and no epoch bookkeeping
+//     at the call sites.
+//
+//   - Reset rewinds the clock and recycles all queued records, keeping the
+//     pool. The synchronous core.Submit wrapper reuses one engine this way
+//     for its per-request private simulation.
+//
+// # Resources
+//
+// Resource and Pool model FCFS servers by time reservation: Claim(now, dur)
+// returns the [start, end) service interval, queueing behind the previous
+// reservation. ClaimAt(start, dur) is the trace-replay variant: it reserves
+// exactly at start (the caller asserts the resource is genuinely free then)
+// and only pushes the next-free time forward. This is exact for FCFS
+// disciplines and removes any explicit queue processes from the hot path.
+//
+// # Related arenas
+//
+// The same pooling discipline extends up the stack: package nand stores
+// tracked page contents in a chunked arena indexed by physical page number
+// (256 pages per chunk, presence bitmap, erase clears bits without freeing
+// chunks), and package core recycles its per-request submit and fill op
+// structs through free lists with their event callbacks bound once. See
+// those packages for details; together they make the submit path
+// zero-allocation in steady state.
+package sim

@@ -107,7 +107,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelMiddleOfHeap(t *testing.T) {
 	e := NewEngine()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, e.Schedule(Time(i)*Nanosecond, func() { got = append(got, i) }))
@@ -389,6 +389,130 @@ func TestRNGBoolBias(t *testing.T) {
 	frac := float64(hits) / n
 	if frac < 0.23 || frac > 0.27 {
 		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+// TestEngineHandleStaleAfterReuse locks in the generation scheme: a handle
+// to a fired event must stay stale even after its pooled record slot is
+// reused by a later event.
+func TestEngineHandleStaleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	first := e.Schedule(Nanosecond, func() {})
+	e.Run()
+	if first.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	// The next schedule reuses the freed slot; the old handle must not
+	// alias it.
+	second := e.Schedule(Nanosecond, func() {})
+	if first.Pending() {
+		t.Fatal("stale handle aliases the reused slot")
+	}
+	fired := false
+	third := e.Schedule(2*Nanosecond, func() { fired = true })
+	e.Cancel(first) // stale cancel must not disturb live events
+	if !second.Pending() || !third.Pending() {
+		t.Fatal("stale cancel removed a live event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(5*Nanosecond, func() { fired = true })
+	e.Schedule(7*Nanosecond, func() { fired = true })
+	e.RunUntil(2 * Nanosecond)
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 {
+		t.Fatalf("Reset left Pending=%d Now=%v", e.Pending(), e.Now())
+	}
+	if ev.Pending() {
+		t.Fatal("handle survived Reset")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("event fired after Reset")
+	}
+	// The engine is fully usable after Reset.
+	n := 0
+	e.Schedule(Nanosecond, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatal("engine unusable after Reset")
+	}
+}
+
+// TestEngineScheduleStepAllocFree locks in the tentpole guarantee: in
+// steady state (pool warmed up), Schedule+Step allocate nothing.
+func TestEngineScheduleStepAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(10*Nanosecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Step allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestEngineStressRandomOrder(t *testing.T) {
+	e := NewEngine()
+	rng := NewRNG(3)
+	var prev Time
+	fired := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(rng.Intn(1000))*Nanosecond, func() {
+			if e.Now() < prev {
+				t.Fatalf("time went backwards: %v after %v", e.Now(), prev)
+			}
+			prev = e.Now()
+			fired++
+		})
+	}
+	e.Run()
+	if fired != n {
+		t.Fatalf("fired %d of %d", fired, n)
+	}
+}
+
+func TestResourceClaimAtExactStart(t *testing.T) {
+	r := NewResource("trace")
+	s1, e1 := r.ClaimAt(100, 10)
+	if s1 != 100 || e1 != 110 {
+		t.Fatalf("ClaimAt = [%v,%v), want [100,110)", s1, e1)
+	}
+	// ClaimAt never queues: even though the resource is busy until 110,
+	// the reservation starts exactly at the requested time.
+	s2, e2 := r.ClaimAt(105, 10)
+	if s2 != 105 || e2 != 115 {
+		t.Fatalf("ClaimAt = [%v,%v), want [105,115)", s2, e2)
+	}
+	if r.FreeAt() != 115 {
+		t.Fatalf("FreeAt = %v, want 115", r.FreeAt())
+	}
+	// An earlier exact claim must not rewind the free time.
+	r.ClaimAt(50, 5)
+	if r.FreeAt() != 115 {
+		t.Fatalf("FreeAt rewound to %v", r.FreeAt())
+	}
+	if r.BusyTime() != 25 {
+		t.Fatalf("BusyTime = %v, want 25", r.BusyTime())
+	}
+	// Claim still queues behind everything.
+	s3, _ := r.Claim(60, 5)
+	if s3 != 115 {
+		t.Fatalf("Claim after ClaimAt started at %v, want 115", s3)
 	}
 }
 

@@ -33,11 +33,20 @@ func (r *Resource) Claim(now Time, dur Duration) (start, end Time) {
 	return start, end
 }
 
-// ClaimAt reserves dur starting exactly at start if the resource is free
-// then, or at its next free time otherwise. It is Claim with an explicit
-// earliest start.
+// ClaimAt reserves dur starting exactly at start, even if that overlaps an
+// earlier reservation: the caller asserts the resource is genuinely free
+// then (e.g. a replayed trace with externally known timing). The returned
+// actualStart always equals start; the resource's next free time only moves
+// forward, to max(freeAt, start+dur). Use Claim when queueing delay should
+// be modeled instead.
 func (r *Resource) ClaimAt(start Time, dur Duration) (actualStart, end Time) {
-	return r.Claim(start, dur)
+	end = start + dur
+	if end > r.freeAt {
+		r.freeAt = end
+	}
+	r.busy += dur
+	r.claims++
+	return start, end
 }
 
 // FreeAt returns the time at which the resource next becomes idle.

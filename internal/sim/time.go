@@ -1,12 +1,3 @@
-// Package sim provides the discrete-event simulation core used by every
-// Amber subsystem: a picosecond-resolution clock, a cancellable event queue,
-// and time-reservation resources that model contention on buses, dies,
-// controllers and CPU cores.
-//
-// All of Amber is single-threaded and deterministic: components reserve
-// spans of simulated time on shared resources and schedule completion
-// events; the engine dispatches events in non-decreasing time order, with
-// FIFO ordering among events at the same instant.
 package sim
 
 import (
