@@ -15,6 +15,7 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/simbench"
 	"amber/internal/workload"
 )
 
@@ -131,6 +132,29 @@ func BenchmarkAblation_GCPolicy(b *testing.B) {
 		})
 		b.ReportMetric(cb/greedy, "costbenefit-vs-greedy")
 	}
+}
+
+// BenchmarkEngineHotLoop measures raw engine throughput under
+// schedule/cancel/step churn at a realistic total queue depth (the shared
+// simbench harness, also run by amberbench -json). The "global" case puts
+// every event in the default domain — the single global heap the engine
+// used before sharding — while "sharded" spreads the same population
+// across the Intel 750 preset's scheduling domains (12 NAND channels +
+// host + cpu + icl.dram + dma), so each dispatch sifts a heap 1/16th the
+// size plus an O(log S) tournament repair.
+func BenchmarkEngineHotLoop(b *testing.B) {
+	run := func(b *testing.B, domains int) {
+		h := simbench.NewHotLoop(domains)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Op()
+		}
+		b.StopTimer()
+		h.Drain()
+	}
+	b.Run("global", func(b *testing.B) { run(b, 1) })
+	b.Run("sharded16", func(b *testing.B) { run(b, simbench.HotLoopDomains) })
 }
 
 // BenchmarkSubmitPath measures the raw simulator throughput of the full

@@ -28,19 +28,21 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/simbench"
 	"amber/internal/workload"
 )
 
 // jsonReport is the machine-readable -json output: the repo's BENCH_*.json
 // perf-trajectory files follow this schema.
 type jsonReport struct {
-	GeneratedAt string           `json:"generated_at"`
-	GoVersion   string           `json:"go_version"`
-	NumCPU      int              `json:"num_cpu"`
-	Parallel    int              `json:"parallel"`
-	Quick       bool             `json:"quick"`
-	Experiments []jsonExperiment `json:"experiments"`
-	SubmitBench jsonSubmitBench  `json:"submit_bench"`
+	GeneratedAt   string           `json:"generated_at"`
+	GoVersion     string           `json:"go_version"`
+	NumCPU        int              `json:"num_cpu"`
+	Parallel      int              `json:"parallel"`
+	Quick         bool             `json:"quick"`
+	Experiments   []jsonExperiment `json:"experiments"`
+	SubmitBench   jsonSubmitBench  `json:"submit_bench"`
+	EngineHotLoop jsonEngineBench  `json:"engine_hot_loop"`
 }
 
 type jsonExperiment struct {
@@ -53,7 +55,9 @@ type jsonExperiment struct {
 
 // jsonSubmitBench reports the built-in submit-path microbench: raw
 // simulator throughput for the full I/O path, mirroring the root
-// BenchmarkSubmitPath in machine-readable form.
+// BenchmarkSubmitPath in machine-readable form, plus engine totals —
+// lifetime dispatched events and how they spread across the scheduling
+// domain shards.
 type jsonSubmitBench struct {
 	Requests       int     `json:"requests"`
 	NsPerOp        float64 `json:"ns_per_op"`
@@ -61,6 +65,61 @@ type jsonSubmitBench struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerOp    float64 `json:"allocs_per_op"`
 	BytesPerOp     float64 `json:"bytes_per_op"`
+	// Events and DomainEvents count the measured window only (warmup
+	// requests subtracted), like EventsPerSec.
+	Events       uint64            `json:"events"`
+	DomainEvents []jsonDomainCount `json:"domain_events"`
+}
+
+// jsonDomainCount is one scheduling domain's lifetime dispatch count.
+type jsonDomainCount struct {
+	Domain string `json:"domain"`
+	Events uint64 `json:"events"`
+}
+
+// jsonEngineBench reports the engine hot-loop microbench: ns per
+// schedule/cancel/step op at a fixed queue depth, with the event
+// population in one global shard versus spread across the device's
+// scheduling domains — the root BenchmarkEngineHotLoop in
+// machine-readable form.
+type jsonEngineBench struct {
+	QueueDepth      int     `json:"queue_depth"`
+	Ops             int     `json:"ops"`
+	Domains         int     `json:"domains"`
+	GlobalNsPerOp   float64 `json:"global_ns_per_op"`
+	ShardedNsPerOp  float64 `json:"sharded_ns_per_op"`
+	ShardedSpeedup  float64 `json:"sharded_speedup"`
+	GlobalAllocsOp  float64 `json:"global_allocs_per_op"`
+	ShardedAllocsOp float64 `json:"sharded_allocs_per_op"`
+}
+
+// engineHotLoopBench measures raw engine throughput under
+// schedule/cancel/step churn (the shared simbench harness, same loop as
+// the root BenchmarkEngineHotLoop), in one global shard and spread over
+// the device's scheduling domains.
+func engineHotLoopBench(ops int) jsonEngineBench {
+	run := func(domains int) (nsPerOp, allocsPerOp float64) {
+		h := simbench.NewHotLoop(domains)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			h.Op()
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		h.Drain()
+		return float64(wall.Nanoseconds()) / float64(ops),
+			float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	}
+	b := jsonEngineBench{QueueDepth: simbench.QueueDepth, Ops: ops, Domains: simbench.HotLoopDomains}
+	b.GlobalNsPerOp, b.GlobalAllocsOp = run(1)
+	b.ShardedNsPerOp, b.ShardedAllocsOp = run(b.Domains)
+	if b.ShardedNsPerOp > 0 {
+		b.ShardedSpeedup = b.GlobalNsPerOp / b.ShardedNsPerOp
+	}
+	return b
 }
 
 // submitMicrobench measures the synchronous submit path: ns/op, simulated
@@ -89,6 +148,10 @@ func submitMicrobench(n int) (jsonSubmitBench, error) {
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	events0 := s.SubmitEventsDispatched()
+	domains0 := map[string]uint64{}
+	for _, d := range s.SubmitEngineDomainStats() {
+		domains0[d.Name] = d.Dispatched
+	}
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		if err := submit(500 + i); err != nil {
@@ -98,14 +161,21 @@ func submitMicrobench(n int) (jsonSubmitBench, error) {
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
 	sec := wall.Seconds()
-	return jsonSubmitBench{
+	sb := jsonSubmitBench{
 		Requests:       n,
 		NsPerOp:        float64(wall.Nanoseconds()) / float64(n),
 		RequestsPerSec: float64(n) / sec,
 		EventsPerSec:   float64(s.SubmitEventsDispatched()-events0) / sec,
 		AllocsPerOp:    float64(ms1.Mallocs-ms0.Mallocs) / float64(n),
 		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
-	}, nil
+		Events:         s.SubmitEventsDispatched() - events0,
+	}
+	for _, d := range s.SubmitEngineDomainStats() {
+		if delta := d.Dispatched - domains0[d.Name]; delta > 0 {
+			sb.DomainEvents = append(sb.DomainEvents, jsonDomainCount{Domain: d.Name, Events: delta})
+		}
+	}
+	return sb, nil
 }
 
 func main() {
@@ -187,6 +257,7 @@ func main() {
 		} else {
 			report.SubmitBench = sb
 		}
+		report.EngineHotLoop = engineHotLoopBench(10 * n)
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amberbench: %v\n", err)

@@ -44,6 +44,7 @@ func main() {
 		list      = flag.Bool("list", false, "list device presets and exit")
 		seed      = flag.Uint64("seed", 42, "workload seed")
 		parallel  = flag.Int("parallel", 0, "concurrently simulated devices (0/1 = serial)")
+		contigDMA = flag.Bool("contig-dma", false, "model payload buffers as physically contiguous host pages (Timing-mode DMA batches descriptors)")
 	)
 	flag.Parse()
 
@@ -122,6 +123,7 @@ func main() {
 			cfg = config.MobileSystem(d)
 		}
 		cfg.Host.Scheduler = schedKind
+		cfg.ContiguousDMA = *contigDMA
 
 		s, err := core.NewSystem(cfg)
 		if err != nil {
@@ -168,6 +170,23 @@ func main() {
 		im := s.DevCPU.Instructions()
 		fmt.Fprintf(w, "firmware        %.1fM instructions (%.0f%% load/store)\n",
 			float64(im.Total())/1e6, im.LoadStoreFraction()*100)
+		ds := s.DMA.Stats()
+		fmt.Fprintf(w, "dma             %d descriptors / %d entries (%s mode), %.1f MB moved\n",
+			ds.Descriptors, ds.Entries, s.DMA.Mode(), float64(ds.BytesMoved)/1e6)
+		fmt.Fprintf(w, "engine          %d events", res.Events)
+		// The busiest scheduling domains, most-loaded first.
+		sort.Slice(res.DomainEvents, func(i, j int) bool {
+			return res.DomainEvents[i].Dispatched > res.DomainEvents[j].Dispatched
+		})
+		shown := 0
+		for _, d := range res.DomainEvents {
+			if d.Dispatched == 0 || shown == 4 {
+				break
+			}
+			fmt.Fprintf(w, "  %s %d", d.Name, d.Dispatched)
+			shown++
+		}
+		fmt.Fprintln(w)
 		full := s.Now() - 0
 		fmt.Fprintf(w, "power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",
 			s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))

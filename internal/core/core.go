@@ -102,6 +102,12 @@ type SystemConfig struct {
 	// HostPageSize is the system-memory page size pointer lists reference.
 	// Zero defaults to 4096.
 	HostPageSize int
+	// ContiguousDMA models request payload buffers as physically
+	// contiguous host pages (hugepage-backed or pinned pool allocation),
+	// letting Timing-mode DMA coalesce adjacent pointer-list entries into
+	// descriptor batches. Off, every entry arbitrates on its own, the
+	// conservative historical behavior.
+	ContiguousDMA bool
 }
 
 // System is a full simulated machine: host plus SSD. Not safe for
@@ -143,6 +149,9 @@ type System struct {
 	opFree   []*submitOp
 	fillFree []*fillOp
 	allSubs  []int // 0..SubPagesPerSuperPage-1, shared read-only by prefetches
+
+	// Per-engine scheduling-domain cache (see domainsFor).
+	domTab []*engineDomains
 
 	// Reusable state for the synchronous Submit wrapper.
 	subEngine   *sim.Engine
@@ -308,6 +317,61 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	return s, nil
 }
 
+// engineDomains is one engine's resolved scheduling-domain ids: the shard
+// each subsystem's stage-boundary events are ordered in. Resolving names
+// once per engine keeps the hot path free of map lookups.
+type engineDomains struct {
+	e    *sim.Engine
+	host sim.DomainID   // request issue slots, kernel submit/complete
+	cpu  sim.DomainID   // firmware parse boundaries
+	icl  sim.DomainID   // cache/DRAM write-back boundaries
+	dma  sim.DomainID   // payload-transfer boundaries
+	nand []sim.DomainID // per-channel flash completions
+}
+
+// domainsFor resolves (registering on first use) this system's scheduling
+// domains on e. The cache is a small linear-scan table: a System drives at
+// most a couple of engines at a time (its reusable Submit engine plus one
+// per Run loop), so a scan beats a map and keeps steady state
+// allocation-free.
+func (s *System) domainsFor(e *sim.Engine) *engineDomains {
+	for _, d := range s.domTab {
+		if d.e == e {
+			return d
+		}
+	}
+	d := &engineDomains{
+		e:    e,
+		host: e.Domain(host.Domain),
+		cpu:  e.Domain(cpu.Domain),
+		icl:  e.Domain(dram.Domain),
+		dma:  e.Domain(dma.Domain),
+	}
+	channels := s.cfg.Device.Geometry.Channels
+	d.nand = make([]sim.DomainID, channels)
+	for ch := 0; ch < channels; ch++ {
+		d.nand[ch] = e.Domain(nand.ChannelDomain(ch))
+	}
+	if len(s.domTab) >= 4 {
+		// Stale entries from completed Run loops: keep the long-lived
+		// Submit engine's entry (so the synchronous path stays
+		// allocation-free), zero the rest for the collector. An evicted
+		// live engine just re-resolves (idempotent).
+		kept := s.domTab[:0]
+		for _, t := range s.domTab {
+			if t.e == s.subEngine {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(s.domTab); i++ {
+			s.domTab[i] = nil
+		}
+		s.domTab = kept
+	}
+	s.domTab = append(s.domTab, d)
+	return d
+}
+
 // Config returns the system configuration.
 func (s *System) Config() SystemConfig { return s.cfg }
 
@@ -328,6 +392,16 @@ func (s *System) SubmitEventsDispatched() uint64 {
 		return 0
 	}
 	return s.subEngine.Dispatched()
+}
+
+// SubmitEngineDomainStats returns the per-domain event counts of the
+// synchronous Submit path's engine, nil before the first Submit. Reporting
+// tools use it to show how engine traffic spreads across shards.
+func (s *System) SubmitEngineDomainStats() []sim.DomainStat {
+	if s.subEngine == nil {
+		return nil
+	}
+	return s.subEngine.DomainStats()
 }
 
 // VolumeBytes returns the logical capacity exposed to the host.

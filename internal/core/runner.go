@@ -42,6 +42,11 @@ type RunResult struct {
 	// Time series (populated when sampling was enabled).
 	HostCPUUtil stats.Series // fraction of all host cores busy
 	HostMemMB   stats.Series // resident host memory in MB
+
+	// Engine activity of this run's event loop: total dispatched events
+	// and how they spread across the scheduling-domain shards.
+	Events       uint64
+	DomainEvents []sim.DomainStat
 }
 
 // Elapsed returns the wall-clock span of the run in simulated time.
@@ -111,6 +116,7 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	// shared engine makes concurrent requests claim resources in global
 	// time order.
 	e := sim.NewEngine()
+	doms := s.domainsFor(e)
 	issued := 0
 	var runErr error
 	var issueNext func()
@@ -152,13 +158,15 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 					nextSample += rc.SampleEvery
 				}
 			}
-			e.At(sim.MaxOf(done, e.Now()), issueNext)
+			e.AtIn(doms.host, sim.MaxOf(done, e.Now()), issueNext)
 		})
 	}
 	for i := 0; i < depth; i++ {
-		e.At(res.Start, issueNext)
+		e.AtIn(doms.host, res.Start, issueNext)
 	}
 	e.Run()
+	res.Events = e.Dispatched()
+	res.DomainEvents = e.DomainStats()
 	if runErr != nil {
 		return nil, runErr
 	}

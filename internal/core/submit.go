@@ -29,6 +29,7 @@ const (
 type submitOp struct {
 	s    *System
 	e    *sim.Engine
+	doms *engineDomains
 	req  workload.Request
 	data []byte
 	cb   func(sim.Time, error)
@@ -56,12 +57,13 @@ func (s *System) acquireOp(e *sim.Engine, req workload.Request, data []byte, cb 
 		op.lineFn = op.lineDone
 	}
 	op.e, op.req, op.data, op.cb = e, req, data, cb
+	op.doms = s.domainsFor(e)
 	op.pending, op.ready, op.failed = 0, 0, false
 	return op
 }
 
 func (s *System) releaseOp(op *submitOp) {
-	op.e, op.data, op.cb = nil, nil, nil
+	op.e, op.doms, op.data, op.cb = nil, nil, nil, nil
 	op.pl = dma.PointerList{}
 	s.opFree = append(s.opFree, op)
 }
@@ -89,7 +91,7 @@ func (op *submitOp) step() {
 		if op.req.Write {
 			xferDone := s.DMA.Transfer(walked, op.pl, true)
 			op.stage = opWriteOps
-			e.At(xferDone, op.stepFn)
+			e.AtIn(op.doms.dma, xferDone, op.stepFn)
 			return
 		}
 		op.pending = len(op.lines)
@@ -131,14 +133,14 @@ func (op *submitOp) step() {
 		}
 		s.bytesWritten += uint64(op.req.Length)
 		op.stage = opFinish
-		e.At(sim.MaxOf(opsDone, e.Now()), op.stepFn)
+		e.AtIn(op.doms.icl, sim.MaxOf(opsDone, e.Now()), op.stepFn)
 
 	case opReadDMA:
 		// All lines staged in cache memory: move the payload to the host.
 		xferDone := s.DMA.Transfer(e.Now(), op.pl, false)
 		s.bytesRead += uint64(op.req.Length)
 		op.stage = opFinish
-		e.At(sim.MaxOf(xferDone, e.Now()), op.stepFn)
+		e.AtIn(op.doms.dma, sim.MaxOf(xferDone, e.Now()), op.stepFn)
 
 	case opFinish:
 		// Completion path: firmware composes the CQ entry / response FIS,
@@ -184,7 +186,7 @@ func (op *submitOp) lineDone(t sim.Time, err error) {
 		return
 	}
 	op.stage = opReadDMA
-	op.e.At(sim.MaxOf(op.ready, op.e.Now()), op.stepFn)
+	op.e.AtIn(op.doms.dma, sim.MaxOf(op.ready, op.e.Now()), op.stepFn)
 }
 
 // SubmitAsync pushes one host request through the full stack, staged on
@@ -249,14 +251,18 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 		cb(0, err)
 		return
 	}
-	op.pl, err = dma.Build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
+	build := dma.Build
+	if s.cfg.ContiguousDMA {
+		build = dma.BuildContiguous
+	}
+	op.pl, err = build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
 	if err != nil {
 		s.releaseOp(op)
 		cb(0, err)
 		return
 	}
 	op.stage = opDispatch
-	e.At(parsed, op.stepFn)
+	e.AtIn(op.doms.cpu, parsed, op.stepFn)
 }
 
 // submitPassive is the OCSSD/pblk request path: the kernel submission
@@ -264,6 +270,7 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 // traffic happens only for misses and write-back flushes, as vector
 // commands issued by lightNVM.
 func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte, cb func(sim.Time, error)) {
+	doms := s.domainsFor(e)
 	now := e.Now()
 	sequential := req.Offset == s.lastEnd
 	s.lastEnd = req.Offset + int64(req.Length)
@@ -278,7 +285,7 @@ func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte,
 	finish := func(done sim.Time) {
 		// Stage the completion as its own event so the host-CPU claim
 		// happens in global time order, not call order.
-		e.At(sim.MaxOf(done, e.Now()), func() {
+		e.AtIn(doms.host, sim.MaxOf(done, e.Now()), func() {
 			complete := s.Host.Complete(e.Now(), s.params.CompleteInstr/2)
 			s.reqs++
 			if complete > s.now {
@@ -288,7 +295,7 @@ func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte,
 		})
 	}
 
-	e.At(subEnd, func() {
+	e.AtIn(doms.host, subEnd, func() {
 		if req.Write {
 			done := e.Now()
 			for _, ln := range lines {
@@ -365,7 +372,7 @@ func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Ti
 	e.Reset()
 	s.subReq, s.subData = req, data
 	s.subDone, s.subErr = 0, nil
-	e.At(now, s.subStartFn)
+	e.AtIn(s.domainsFor(e).host, now, s.subStartFn)
 	e.Run()
 	s.subReq, s.subData = workload.Request{}, nil
 	return s.subDone, s.subErr
@@ -580,7 +587,15 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 		fl[sub] = true
 	}
 
-	e.At(sim.MaxOf(flashDone, e.Now()), fo.doneFn)
+	// Flash completions land in the fetched channel's shard; a fill with
+	// no flash work (all subs unmapped) is cache-side traffic. The shard
+	// only balances heap depth — dispatch order is domain-independent.
+	doms := s.domainsFor(e)
+	dom := doms.icl
+	if len(fetch) > 0 {
+		dom = doms.nand[s.FIL.ChannelOf(fetch[0])]
+	}
+	e.AtIn(dom, sim.MaxOf(flashDone, e.Now()), fo.doneFn)
 }
 
 // done installs the fetched subs at flash completion, flushes any

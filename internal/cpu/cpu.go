@@ -14,6 +14,11 @@ import (
 	"amber/internal/sim"
 )
 
+// Domain names the scheduling domain (sim.Engine shard) that orders
+// firmware-execution stage boundaries: events whose time was produced by a
+// device-CPU Execute claim.
+const Domain = "cpu"
+
 // InstrMix counts instructions by category, mirroring the breakdown Amber
 // reports in Fig. 13c.
 type InstrMix struct {

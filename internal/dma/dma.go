@@ -5,10 +5,19 @@
 // lists (or SGL) for NVMe/OCSSD.
 //
 // The engine supports the two CPU-model behaviors the paper describes: in
-// Timing mode every pointer-list entry is transferred as its own link and
+// Timing mode every descriptor batch is transferred as its own link and
 // memory transaction (fine-grained arbitration, as with gem5's timing
 // CPUs); in Functional mode the whole request aggregates into one transfer
 // (as with AtomicSimpleCPU).
+//
+// Real controllers do not arbitrate per host page: adjacent pointer-list
+// entries that are physically contiguous (and move in the same direction)
+// coalesce into one DMA descriptor per arbitration round. Timing mode
+// models that by batching contiguous runs (PointerList.Contig or
+// consecutive PointerList.Frames) into single link/memory claims, which
+// also collapses the event count large blocks generate. Lists with
+// unknown physical layout keep the historical per-entry arbitration
+// exactly.
 package dma
 
 import (
@@ -16,6 +25,11 @@ import (
 
 	"amber/internal/sim"
 )
+
+// Domain names the scheduling domain (sim.Engine shard) that orders
+// payload-transfer stage boundaries: events whose time was produced by a
+// DMA Transfer completion.
+const Domain = "dma"
 
 // ListKind identifies the pointer-list structure being walked.
 type ListKind int
@@ -81,15 +95,25 @@ func (m Mode) String() string {
 // PointerList describes the system-memory pages of one request. Entries
 // reference host page frames; Data optionally carries the real bytes
 // (Amber's SSD emulation), sliced per entry.
+//
+// Physical layout: Contig marks every referenced page physically
+// contiguous (one run of frames); Frames optionally gives the explicit
+// per-entry frame numbers of a scattered buffer. When neither is set the
+// layout is unknown and the engine conservatively treats every entry as
+// its own physical extent, which preserves the historical per-entry
+// Timing-mode arbitration exactly.
 type PointerList struct {
 	Kind     ListKind
 	PageSize int
 	Length   int // total payload bytes
 	Data     []byte
+	Contig   bool
+	Frames   []int64 // host frame number per entry; nil = unknown layout
 }
 
 // Build constructs a pointer list for n bytes of payload over hostPageSize
 // pages. data may be nil (timing-only run) or must be at least n bytes.
+// The physical layout is left unknown (no descriptor batching).
 func Build(kind ListKind, n, hostPageSize int, data []byte) (PointerList, error) {
 	if n <= 0 || hostPageSize <= 0 {
 		return PointerList{}, fmt.Errorf("dma: length and page size must be positive")
@@ -98,6 +122,42 @@ func Build(kind ListKind, n, hostPageSize int, data []byte) (PointerList, error)
 		return PointerList{}, fmt.Errorf("dma: data shorter than length (%d < %d)", len(data), n)
 	}
 	return PointerList{Kind: kind, PageSize: hostPageSize, Length: n, Data: data}, nil
+}
+
+// BuildContiguous is Build for a payload whose host pages are physically
+// contiguous (a hugepage-backed or freshly allocated pinned buffer):
+// Timing-mode transfers may coalesce adjacent entries into descriptor
+// batches.
+func BuildContiguous(kind ListKind, n, hostPageSize int, data []byte) (PointerList, error) {
+	pl, err := Build(kind, n, hostPageSize, data)
+	if err != nil {
+		return PointerList{}, err
+	}
+	pl.Contig = true
+	return pl, nil
+}
+
+// BuildFrames is Build with an explicit physical frame number per entry;
+// runs of consecutive frames may coalesce into descriptor batches.
+func BuildFrames(kind ListKind, n, hostPageSize int, data []byte, frames []int64) (PointerList, error) {
+	pl, err := Build(kind, n, hostPageSize, data)
+	if err != nil {
+		return PointerList{}, err
+	}
+	if len(frames) < pl.Entries() {
+		return PointerList{}, fmt.Errorf("dma: %d frames for %d entries", len(frames), pl.Entries())
+	}
+	pl.Frames = frames
+	return pl, nil
+}
+
+// contiguousWith reports whether entry i+1 is the physical successor of
+// entry i, i.e. the two can share a descriptor batch.
+func (pl PointerList) contiguousWith(i int) bool {
+	if pl.Contig {
+		return true
+	}
+	return pl.Frames != nil && pl.Frames[i+1] == pl.Frames[i]+1
 }
 
 // Entries returns the number of pointer-list entries (host pages spanned).
@@ -122,9 +182,15 @@ func (pl PointerList) EntrySlice(i int) []byte {
 	return pl.Data[lo:hi]
 }
 
-// Stats aggregates DMA engine activity.
+// Stats aggregates DMA engine activity. Descriptors counts modeled
+// arbitration rounds (one link + memory claim each, post-batching) while
+// Entries counts pointer-list entries walked (pre-batching); the two
+// differ exactly by how much Timing-mode coalescing collapsed contiguous
+// runs, and Functional mode always aggregates a request into one
+// descriptor.
 type Stats struct {
-	Transfers       uint64 // page-granularity transfers
+	Descriptors     uint64 // arbitration rounds: one link+memory claim each
+	Entries         uint64 // pointer-list entries covered by those rounds
 	BytesMoved      uint64
 	ListWalks       uint64
 	DescriptorBytes uint64
@@ -139,6 +205,7 @@ type Engine struct {
 	hostMemBW float64
 	mode      Mode
 	hostCopy  bool // h-type: stage through host controller buffer (second copy)
+	maxBatch  int  // max entries per descriptor batch, 0 = unlimited
 	stats     Stats
 }
 
@@ -153,6 +220,10 @@ type Config struct {
 	// controller first copies pages from system memory into its own buffer
 	// before the link transfer (§II-A).
 	HostControllerCopy bool
+	// MaxBatchEntries caps how many physically contiguous pointer-list
+	// entries one Timing-mode descriptor batch may cover (the controller's
+	// maximum burst). Zero means unlimited.
+	MaxBatchEntries int
 }
 
 // New constructs an Engine.
@@ -163,6 +234,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.LinkBytesPerSec <= 0 || cfg.HostMemBytesPerSec <= 0 {
 		return nil, fmt.Errorf("dma: bandwidths must be positive")
 	}
+	if cfg.MaxBatchEntries < 0 {
+		return nil, fmt.Errorf("dma: MaxBatchEntries must be non-negative")
+	}
 	return &Engine{
 		link:      cfg.Link,
 		linkBW:    cfg.LinkBytesPerSec,
@@ -170,6 +244,7 @@ func New(cfg Config) (*Engine, error) {
 		hostMemBW: cfg.HostMemBytesPerSec,
 		mode:      cfg.Mode,
 		hostCopy:  cfg.HostControllerCopy,
+		maxBatch:  cfg.MaxBatchEntries,
 	}, nil
 }
 
@@ -191,19 +266,21 @@ func (e *Engine) WalkList(now sim.Time, pl PointerList) sim.Time {
 
 // Transfer moves the payload described by pl between host memory and the
 // device, starting at now, and returns completion. toDevice is true for
-// writes (host -> SSD). The per-entry loop claims host memory and the link
-// for each page in Timing mode; Functional mode performs one aggregate
-// claim.
+// writes (host -> SSD). In Timing mode every descriptor batch claims host
+// memory and the link once; a batch is a run of physically contiguous
+// entries of the same direction (the whole call shares one direction), so
+// a list with unknown layout degenerates to the per-entry arbitration of
+// fine-grained timing CPUs. Functional mode performs one aggregate claim.
 func (e *Engine) Transfer(now sim.Time, pl PointerList, toDevice bool) sim.Time {
 	if pl.Length <= 0 {
 		return now
 	}
-	move := func(start sim.Time, n int) sim.Time {
+	move := func(start sim.Time, n, entries int) sim.Time {
 		// Host memory access (read for writes, write for reads).
 		memTime := sim.TransferTime(int64(n), e.hostMemBW)
 		_, memDone := e.hostMem.Claim(start, memTime)
 		if e.hostCopy {
-			// h-type double copy: host controller stages the page in its
+			// h-type double copy: host controller stages the batch in its
 			// buffer — a second pass over host memory.
 			_, memDone = e.hostMem.Claim(memDone, memTime)
 		}
@@ -215,26 +292,35 @@ func (e *Engine) Transfer(now sim.Time, pl PointerList, toDevice bool) sim.Time 
 			// but occupancy is identical.
 			_ = linkDone
 		}
-		e.stats.Transfers++
+		e.stats.Descriptors++
+		e.stats.Entries += uint64(entries)
 		e.stats.BytesMoved += uint64(n)
 		return linkDone
 	}
 
+	entries := pl.Entries()
 	if e.mode == Functional {
-		return move(now, pl.Length)
+		return move(now, pl.Length, entries)
 	}
 	done := now
-	entries := pl.Entries()
-	for i := 0; i < entries; i++ {
-		n := pl.PageSize
-		if (i+1)*pl.PageSize > pl.Length {
-			n = pl.Length - i*pl.PageSize
+	for i := 0; i < entries; {
+		// Coalesce a run of physically contiguous entries into one
+		// descriptor batch, bounded by the controller's burst limit.
+		j := i + 1
+		for j < entries && pl.contiguousWith(j-1) && (e.maxBatch == 0 || j-i < e.maxBatch) {
+			j++
 		}
-		// Entries pipeline: each starts as soon as the engine can issue it;
+		n := j * pl.PageSize
+		if n > pl.Length {
+			n = pl.Length
+		}
+		n -= i * pl.PageSize
+		// Batches pipeline: each starts as soon as the engine can issue it;
 		// the shared resources serialize where physics requires.
-		if t := move(now, n); t > done {
+		if t := move(now, n, j-i); t > done {
 			done = t
 		}
+		i = j
 	}
 	return done
 }

@@ -84,8 +84,9 @@ func TestTransferTimeScalesWithSize(t *testing.T) {
 	if d2 <= d1 {
 		t.Fatalf("64K (%v) should take longer than 4K (%v)", d2, d1)
 	}
-	if e2.Stats().Transfers != 16 {
-		t.Fatalf("Transfers = %d, want 16", e2.Stats().Transfers)
+	if e2.Stats().Descriptors != 16 || e2.Stats().Entries != 16 {
+		t.Fatalf("Descriptors/Entries = %d/%d, want 16/16 (unknown layout must not batch)",
+			e2.Stats().Descriptors, e2.Stats().Entries)
 	}
 	if e2.Stats().BytesMoved != 65536 {
 		t.Fatalf("BytesMoved = %d", e2.Stats().BytesMoved)
@@ -96,8 +97,106 @@ func TestFunctionalAggregates(t *testing.T) {
 	e := newEngine(t, Functional, false)
 	pl, _ := Build(PRP, 65536, 4096, nil)
 	e.Transfer(0, pl, true)
-	if e.Stats().Transfers != 1 {
-		t.Fatalf("functional mode made %d transfers", e.Stats().Transfers)
+	if e.Stats().Descriptors != 1 {
+		t.Fatalf("functional mode made %d descriptors", e.Stats().Descriptors)
+	}
+	if e.Stats().Entries != 16 {
+		t.Fatalf("functional mode walked %d entries, want 16", e.Stats().Entries)
+	}
+}
+
+// TestContiguousBatching locks in the descriptor-batching contract: a
+// physically contiguous Timing-mode list claims link/memory once for the
+// whole run, while stats keep the pre-batching entry count.
+func TestContiguousBatching(t *testing.T) {
+	link := sim.NewResource("link")
+	e, err := New(Config{
+		Link: link, LinkBytesPerSec: 3.2e9,
+		HostMem: sim.NewResource("m"), HostMemBytesPerSec: 12.8e9,
+		Mode: Timing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildContiguous(PRP, 65536, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Transfer(0, pl, true)
+	st := e.Stats()
+	if st.Descriptors != 1 || st.Entries != 16 {
+		t.Fatalf("Descriptors/Entries = %d/%d, want 1/16", st.Descriptors, st.Entries)
+	}
+	if st.BytesMoved != 65536 {
+		t.Fatalf("BytesMoved = %d", st.BytesMoved)
+	}
+	if link.Claims() != 1 {
+		t.Fatalf("link claimed %d times, want 1", link.Claims())
+	}
+}
+
+// TestFramesBatchingSplitsAtGaps: consecutive frames coalesce, a gap
+// starts a new descriptor batch.
+func TestFramesBatchingSplitsAtGaps(t *testing.T) {
+	e := newEngine(t, Timing, false)
+	// 4 entries: frames 10,11 contiguous; 20 breaks; 21 continues.
+	pl, err := BuildFrames(PRP, 4*4096, 4096, nil, []int64{10, 11, 20, 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Transfer(0, pl, true)
+	st := e.Stats()
+	if st.Descriptors != 2 || st.Entries != 4 {
+		t.Fatalf("Descriptors/Entries = %d/%d, want 2/4", st.Descriptors, st.Entries)
+	}
+}
+
+// TestMaxBatchEntriesCapsRuns: the controller burst limit splits an
+// otherwise fully contiguous run.
+func TestMaxBatchEntriesCapsRuns(t *testing.T) {
+	e, err := New(Config{
+		Link: sim.NewResource("link"), LinkBytesPerSec: 3.2e9,
+		HostMem: sim.NewResource("m"), HostMemBytesPerSec: 12.8e9,
+		Mode: Timing, MaxBatchEntries: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := BuildContiguous(PRP, 65536, 4096, nil) // 16 entries
+	e.Transfer(0, pl, true)
+	if st := e.Stats(); st.Descriptors != 4 || st.Entries != 16 {
+		t.Fatalf("Descriptors/Entries = %d/%d, want 4/16", st.Descriptors, st.Entries)
+	}
+}
+
+// TestBuildFramesValidation rejects frame slices shorter than the list.
+func TestBuildFramesValidation(t *testing.T) {
+	if _, err := BuildFrames(PRP, 4*4096, 4096, nil, []int64{1, 2}); err == nil {
+		t.Fatal("short frame slice accepted")
+	}
+}
+
+// TestNonContiguousTimingUnchanged: an unknown-layout list must produce
+// exactly the same claim sequence (and therefore the same completion time)
+// as the historical per-entry loop.
+func TestNonContiguousTimingUnchanged(t *testing.T) {
+	plain := newEngine(t, Timing, false)
+	pl, _ := Build(PRP, 65536, 4096, nil)
+	got := plain.Transfer(0, pl, true)
+
+	// Reference: replay the per-entry arbitration by hand.
+	link := sim.NewResource("link")
+	mem := sim.NewResource("m")
+	want := sim.Time(0)
+	for i := 0; i < 16; i++ {
+		_, memDone := mem.Claim(0, sim.TransferTime(4096, 12.8e9))
+		_, linkDone := link.Claim(memDone, sim.TransferTime(4096, 3.2e9))
+		if linkDone > want {
+			want = linkDone
+		}
+	}
+	if got != want {
+		t.Fatalf("unknown-layout Timing transfer changed: got %v, want %v", got, want)
 	}
 }
 

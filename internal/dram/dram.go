@@ -12,6 +12,11 @@ import (
 	"amber/internal/sim"
 )
 
+// Domain names the scheduling domain (sim.Engine shard) that orders
+// ICL/DRAM stage boundaries: events whose time was produced by cache-memory
+// accesses and write-back completions.
+const Domain = "icl.dram"
+
 // PagePolicy selects the controller's row-buffer management policy.
 type PagePolicy int
 

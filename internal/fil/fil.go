@@ -304,3 +304,11 @@ func (f *FIL) EraseBlock(now sim.Time, addr nand.Address) (nand.Result, error) {
 
 // Flash exposes the underlying storage complex for stats/energy queries.
 func (f *FIL) Flash() *nand.Flash { return f.flash }
+
+// ChannelOf returns the NAND channel a page location maps to. The core
+// uses it to place flash-completion events into that channel's scheduling
+// domain (nand.ChannelDomain), keeping per-channel traffic in its own
+// engine shard.
+func (f *FIL) ChannelOf(loc ftl.PageLoc) int {
+	return f.addrOf(loc).Channel
+}

@@ -13,6 +13,11 @@ import (
 	"amber/internal/sim"
 )
 
+// Domain names the scheduling domain (sim.Engine shard) that orders
+// host-side events: request issue slots, kernel submission boundaries and
+// completion/ISR events (the host/HIL traffic).
+const Domain = "host"
+
 // SchedulerKind selects the block-layer I/O scheduler model.
 type SchedulerKind int
 

@@ -13,6 +13,7 @@ package nand
 
 import (
 	"fmt"
+	"strconv"
 
 	"amber/internal/sim"
 )
@@ -112,6 +113,13 @@ func (g Geometry) TotalPages() int64 {
 
 // CapacityBytes returns raw capacity in bytes.
 func (g Geometry) CapacityBytes() int64 { return g.TotalPages() * int64(g.PageSize) }
+
+// ChannelDomain names the scheduling domain (sim.Engine shard) that orders
+// flash-completion events of one channel. Each channel gets its own shard
+// so the dominant per-channel traffic sifts within a per-channel heap.
+func ChannelDomain(channel int) string {
+	return "nand.ch" + strconv.Itoa(channel)
+}
 
 // Address identifies one physical page (or, for erase, its block).
 type Address struct {

@@ -8,7 +8,7 @@
 // events; the engine dispatches events in non-decreasing time order, with
 // FIFO ordering among events at the same instant.
 //
-// # Engine design: pooled records, index heap, generation handles
+// # Engine design: pooled records, sharded index heaps, generation handles
 //
 // The engine is the innermost loop of every experiment — the Fig. 16
 // simulation-speed claim lives or dies here — so its data layout is chosen
@@ -20,13 +20,30 @@
 //     fixed pool size and never allocates again. The callback reference is
 //     cleared on release to keep closures collectable.
 //
-//   - Ordering is an index-based 4-ary min-heap: a []int32 of record ids
-//     keyed by (time, sequence). Compared to the pointer-based binary
-//     container/heap this needs no per-event heap object, no interface
-//     boxing on push/pop, walks half the levels per sift, and touches a
-//     quarter the cache lines (four children share a 16-byte span of the
-//     index slice). The sequence number makes same-time dispatch FIFO, so
-//     simulation output is deterministic for a given schedule order.
+//   - Ordering is sharded by scheduling domain: each domain (registered
+//     with Engine.Domain, targeted with ScheduleIn/AtIn, one per NAND
+//     channel plus host/HIL, ICL/DRAM, CPU, DMA and a default shard in a
+//     full system) owns an index-based 4-ary min-heap — a []int32 of
+//     record ids keyed by (time, sequence). Compared to the pointer-based
+//     binary container/heap this needs no per-event heap object, no
+//     interface boxing on push/pop, walks half the levels per sift, and
+//     touches a quarter the cache lines; sharding additionally cuts the
+//     sift depth from log4(N_total) to log4(N_shard) on the dominant
+//     per-channel traffic.
+//
+//   - The global minimum is read from a tournament (winner) tree over the
+//     shard heads. Each node caches the winning head's (time, sequence)
+//     key inline, so when one shard's head changes — push of a new head,
+//     dispatch, head cancel — repairing replays only that leaf's root
+//     path, one sibling load and compare per level with an early exit
+//     once a node's value stops changing: O(log S) worst case. Dispatch
+//     order is provably identical to one global heap: the sequence
+//     counter is engine-global and unique, every comparison (in-shard and
+//     cross-shard) is by the same (time, sequence) key, so the tournament
+//     winner is the global minimum and FIFO among equal times holds
+//     across shards. The golden equivalence test locks this in against an
+//     independent single-queue reference through random Schedule/Cancel/
+//     Step/RunUntil/Reset interleavings.
 //
 //   - The Event handle returned by Schedule/At is a value
 //     {engine, slot id, generation}. Each release bumps the slot's
@@ -38,8 +55,9 @@
 //     at the call sites.
 //
 //   - Reset rewinds the clock and recycles all queued records, keeping the
-//     pool. The synchronous core.Submit wrapper reuses one engine this way
-//     for its per-request private simulation.
+//     pool, the registered domains and the lifetime per-domain dispatch
+//     counters. The synchronous core.Submit wrapper reuses one engine this
+//     way for its per-request private simulation.
 //
 // # Resources
 //

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 )
 
 // Event is a generation-stamped handle to a scheduled callback. It is a
@@ -32,6 +33,14 @@ func (ev Event) Pending() bool {
 	return rec.gen == ev.gen && rec.heapIdx >= 0
 }
 
+// DomainID names one scheduling domain (shard) of an Engine. The zero
+// value is the default domain every event lands in unless the caller
+// schedules with ScheduleIn/AtIn.
+type DomainID int32
+
+// DefaultDomain is the domain Schedule and At use.
+const DefaultDomain DomainID = 0
+
 // eventRecord is one pooled event slot. Records live in a flat slice and
 // are reused through a free list; the generation counter invalidates
 // handles to freed slots.
@@ -40,69 +49,200 @@ type eventRecord struct {
 	seq     uint64
 	fn      func()
 	gen     uint32
-	heapIdx int32 // index into Engine.heap, -1 when free/fired/cancelled
+	heapIdx int32    // index into the owning shard's heap, -1 when free/fired/cancelled
+	dom     DomainID // owning shard while queued
+}
+
+// shard is one scheduling domain: a pooled 4-ary min-heap of record ids
+// plus its lifetime dispatch counter.
+type shard struct {
+	name       string
+	heap       []int32 // record ids ordered as a 4-ary min-heap by (at, seq)
+	dispatched uint64
+}
+
+// DomainStat reports one domain's activity.
+type DomainStat struct {
+	ID         DomainID
+	Name       string
+	Dispatched uint64 // lifetime events fired from this domain
+	Pending    int    // currently queued events
 }
 
 // Engine is the discrete-event simulator. The zero value is not usable;
 // construct with NewEngine. Scheduling and dispatch are allocation-free in
-// steady state: event records are pooled in a flat slice and ordered by an
-// index-based 4-ary min-heap (see doc.go for the layout rationale).
+// steady state: event records are pooled in a flat slice, each scheduling
+// domain orders its own events in an index-based 4-ary min-heap, and the
+// global minimum is read from a tournament (winner) tree over the shard
+// heads that is repaired in O(log S) when a single shard's head changes
+// (see doc.go for the layout rationale). Dispatch order is identical to a
+// single global heap: the tree compares shard heads by (time, sequence)
+// and the sequence counter is engine-global, so FIFO among equal times
+// holds across shards.
 type Engine struct {
 	now        Time
 	seq        uint64
 	dispatched uint64
+	pending    int
 
 	records []eventRecord // slot storage, indexed by Event.id
 	free    []int32       // free-list of record slots
-	heap    []int32       // record ids ordered as a 4-ary min-heap by (at, seq)
+
+	shards  []shard
+	domains map[string]DomainID
+
+	// Tournament (winner) tree over shard heads: tree[leafCap+s] mirrors
+	// shard s's head, each internal node caches the winner of its two
+	// children, tree[1] is the overall winner. Nodes carry the head
+	// event's (at, seq) key inline, so replaying a match after one
+	// shard's head changes is a single sibling load and compare per
+	// level — no pointer chasing into the shard heaps — with an early
+	// exit as soon as a path node's value stops changing: O(log S) worst
+	// case, often O(1). leafCap is the smallest power of two
+	// >= len(shards).
+	tree    []treeNode
+	leafCap int
 }
 
-// NewEngine returns an empty engine at time zero.
+// treeNode is one tournament slot: a shard-head key ordered by (at, seq).
+// key packs seq<<16 | shard, which both identifies the winning shard and
+// breaks same-time ties exactly like the heap comparison (the sequence
+// counter is engine-global and unique; the shard bits are only reached on
+// a seq tie, which cannot happen). The packing caps an engine at 65535
+// domains and 2^48 lifetime events per Reset — both far beyond any
+// simulation.
+type treeNode struct {
+	at  Time
+	key uint64
+}
+
+// emptyNode loses to every real head: its at is the maximum Time and its
+// key compares above every packed (seq, shard).
+var emptyNode = treeNode{at: Time(math.MaxInt64), key: ^uint64(0)}
+
+// beats reports whether n's head fires before m's.
+func (n treeNode) beats(m treeNode) bool {
+	return n.at < m.at || (n.at == m.at && n.key < m.key)
+}
+
+// NewEngine returns an empty engine at time zero with only the default
+// domain registered.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{domains: make(map[string]DomainID, 4)}
+	e.shards = append(e.shards, shard{name: "default"})
+	e.domains["default"] = DefaultDomain
+	e.growTree()
+	return e
+}
+
+// Domain returns the id of the named scheduling domain, registering it on
+// first use. Registration is cheap but not allocation-free; callers are
+// expected to resolve domains at setup time and reuse the ids in the hot
+// path. "default" names the default domain.
+func (e *Engine) Domain(name string) DomainID {
+	if id, ok := e.domains[name]; ok {
+		return id
+	}
+	if len(e.shards) >= 1<<16 {
+		panic("sim: too many scheduling domains (max 65536)")
+	}
+	id := DomainID(len(e.shards))
+	e.shards = append(e.shards, shard{name: name})
+	e.domains[name] = id
+	e.growTree()
+	return id
+}
+
+// NumDomains returns the number of registered domains (including the
+// default one).
+func (e *Engine) NumDomains() int { return len(e.shards) }
+
+// DomainName returns the name of a registered domain.
+func (e *Engine) DomainName(dom DomainID) string { return e.shards[dom].name }
+
+// DomainStats returns per-domain lifetime dispatch counts and queue
+// depths, in registration order. It allocates; it is a reporting call,
+// not a hot-path one.
+func (e *Engine) DomainStats() []DomainStat {
+	out := make([]DomainStat, len(e.shards))
+	for i := range e.shards {
+		out[i] = DomainStat{
+			ID:         DomainID(i),
+			Name:       e.shards[i].name,
+			Dispatched: e.shards[i].dispatched,
+			Pending:    len(e.shards[i].heap),
+		}
+	}
+	return out
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
-// Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of queued events across all domains.
+func (e *Engine) Pending() int { return e.pending }
 
 // Dispatched returns the total number of events fired so far. It is used by
 // the simulation-speed experiment (Fig. 16) as the work metric.
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
 // Reset drops all queued events and rewinds the clock to zero, keeping the
-// pooled storage so a reused engine schedules without reallocating. The
-// dispatched counter is preserved (it tracks lifetime work for the
-// simulation-speed metric). All outstanding handles become stale.
+// pooled storage and the registered domains so a reused engine schedules
+// without reallocating. The dispatched counters (global and per-domain)
+// are preserved (they track lifetime work for the simulation-speed
+// metric). All outstanding handles become stale.
 func (e *Engine) Reset() {
-	for _, id := range e.heap {
-		rec := &e.records[id]
-		rec.fn = nil
-		rec.gen++
-		rec.heapIdx = -1
-		e.free = append(e.free, id)
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for _, id := range sh.heap {
+			rec := &e.records[id]
+			rec.fn = nil
+			rec.gen++
+			rec.heapIdx = -1
+			e.free = append(e.free, id)
+		}
+		sh.heap = sh.heap[:0]
 	}
-	e.heap = e.heap[:0]
+	// Every shard is now empty; the tree is all sentinels.
+	for i := range e.tree {
+		e.tree[i] = emptyNode
+	}
+	e.pending = 0
 	e.now = 0
 	e.seq = 0
 }
 
-// Schedule queues fn to run after delay. A zero delay fires on the next
-// Step at the current time, after previously queued same-time events.
+// Schedule queues fn to run after delay in the default domain. A zero
+// delay fires on the next Step at the current time, after previously
+// queued same-time events.
 func (e *Engine) Schedule(delay Duration, fn func()) Event {
-	return e.At(e.now+delay, fn)
+	return e.AtIn(DefaultDomain, e.now+delay, fn)
 }
 
-// At queues fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: it would silently reorder causality.
+// ScheduleIn queues fn to run after delay in the given domain. The domain
+// only selects the shard that orders the event; dispatch order across the
+// whole engine is the same for every placement.
+func (e *Engine) ScheduleIn(dom DomainID, delay Duration, fn func()) Event {
+	return e.AtIn(dom, e.now+delay, fn)
+}
+
+// At queues fn to run at absolute time t in the default domain.
+// Scheduling in the past is a programming error and panics: it would
+// silently reorder causality.
 func (e *Engine) At(t Time, fn func()) Event {
+	return e.AtIn(DefaultDomain, t, fn)
+}
+
+// AtIn queues fn to run at absolute time t in the given domain.
+func (e *Engine) AtIn(dom DomainID, t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil event function")
+	}
+	if dom < 0 || int(dom) >= len(e.shards) {
+		panic(fmt.Sprintf("sim: scheduling into unregistered domain %d", dom))
 	}
 	var id int32
 	if n := len(e.free); n > 0 {
@@ -116,10 +256,17 @@ func (e *Engine) At(t Time, fn func()) Event {
 	rec.at = t
 	rec.seq = e.seq
 	rec.fn = fn
+	rec.dom = dom
 	e.seq++
-	rec.heapIdx = int32(len(e.heap))
-	e.heap = append(e.heap, id)
-	e.siftUp(int(rec.heapIdx))
+	sh := &e.shards[dom]
+	rec.heapIdx = int32(len(sh.heap))
+	sh.heap = append(sh.heap, id)
+	e.siftUp(sh.heap, int(rec.heapIdx))
+	e.pending++
+	if sh.heap[0] == id {
+		// Only a new shard head can change the tournament outcome.
+		e.repair(int(dom))
+	}
 	return Event{engine: e, id: id, gen: rec.gen}
 }
 
@@ -133,8 +280,16 @@ func (e *Engine) Cancel(ev Event) {
 	if rec.gen != ev.gen || rec.heapIdx < 0 {
 		return
 	}
-	e.removeAt(int(rec.heapIdx))
+	dom := rec.dom
+	i := int(rec.heapIdx)
+	e.heapRemoveAt(&e.shards[dom], i)
 	e.release(ev.id)
+	e.pending--
+	if i == 0 {
+		// The shard lost its head (a non-head removal cannot promote a
+		// new minimum), so the tournament must be replayed on its path.
+		e.repair(int(dom))
+	}
 }
 
 // release returns a record slot to the free list, bumping its generation so
@@ -147,19 +302,26 @@ func (e *Engine) release(id int32) {
 	e.free = append(e.free, id)
 }
 
-// Step fires the earliest event and advances the clock to it. It returns
-// false when the queue is empty. The fired record is recycled before its
-// callback runs, so callbacks can schedule freely without growing the pool.
+// Step fires the earliest event across all domains and advances the clock
+// to it. It returns false when every shard is empty. The fired record is
+// recycled before its callback runs, so callbacks can schedule freely
+// without growing the pool.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	head := e.tree[1]
+	if head == emptyNode {
 		return false
 	}
-	id := e.heap[0]
-	e.removeAt(0)
+	w := int(head.key & 0xffff)
+	sh := &e.shards[w]
+	id := sh.heap[0]
+	e.heapRemoveAt(sh, 0)
+	sh.dispatched++
+	e.repair(w)
 	rec := &e.records[id]
 	fn := rec.fn
 	e.now = rec.at
 	e.release(id)
+	e.pending--
 	e.dispatched++
 	fn()
 	return true
@@ -174,7 +336,10 @@ func (e *Engine) Run() {
 // RunUntil dispatches events with time <= t, then advances the clock to t.
 // Events scheduled beyond t remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 && e.records[e.heap[0]].at <= t {
+	for {
+		if head := e.tree[1]; head == emptyNode || head.at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
@@ -182,11 +347,83 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// The heap is 4-ary: children of node i are 4i+1..4i+4. Compared to the
-// binary container/heap it does ~half the levels per sift with better
+// Tournament tree. The leaves are the shard heads; each internal node
+// caches the winner (earlier (at, seq)) of its two children, so reading
+// the global minimum is O(1) and repairing after one shard's head change
+// replays only that leaf's root path: O(log S) comparisons, each touching
+// the two record structs involved. Compared to re-heapifying one global
+// queue, a dispatch costs log4(N_shard) sift steps plus log2(S) match
+// replays instead of log4(N_total) sift steps.
+
+// growTree resizes the tree to the next power of two covering all shards
+// and rebuilds it. Called only from Domain registration.
+func (e *Engine) growTree() {
+	leafCap := 1
+	for leafCap < len(e.shards) {
+		leafCap *= 2
+	}
+	if leafCap != e.leafCap {
+		e.leafCap = leafCap
+		e.tree = make([]treeNode, 2*leafCap)
+	}
+	e.rebuildTree()
+}
+
+// leafNode builds the tournament leaf for shard s from its current head.
+func (e *Engine) leafNode(s int) treeNode {
+	if s >= len(e.shards) || len(e.shards[s].heap) == 0 {
+		return emptyNode
+	}
+	rec := &e.records[e.shards[s].heap[0]]
+	return treeNode{at: rec.at, key: rec.seq<<16 | uint64(s)}
+}
+
+// rebuildTree recomputes every node from the current shard heads. Only
+// domain registration pays this O(S); steady-state mutations use repair.
+func (e *Engine) rebuildTree() {
+	for i := 0; i < e.leafCap; i++ {
+		e.tree[e.leafCap+i] = e.leafNode(i)
+	}
+	for k := e.leafCap - 1; k >= 1; k-- {
+		win := e.tree[2*k]
+		if e.tree[2*k+1].beats(win) {
+			win = e.tree[2*k+1]
+		}
+		e.tree[k] = win
+	}
+}
+
+// repair replays the matches on shard s's path to the root after its head
+// changed (new head, head dispatched/cancelled, or shard emptied). The
+// candidate winner is carried upward so each level costs one sibling load
+// and one comparison, and the walk stops as soon as a node's stored value
+// is already the recomputed winner: every node off the path is correct by
+// construction, so an unchanged path node proves the ancestors are
+// consistent too.
+func (e *Engine) repair(s int) {
+	k := e.leafCap + s
+	cand := e.leafNode(s)
+	for {
+		if e.tree[k] == cand {
+			return
+		}
+		e.tree[k] = cand
+		if k == 1 {
+			return
+		}
+		if sib := e.tree[k^1]; sib.beats(cand) {
+			cand = sib
+		}
+		k >>= 1
+	}
+}
+
+// Each shard heap is 4-ary: children of node i are 4i+1..4i+4. Compared to
+// the binary container/heap it does ~half the levels per sift with better
 // locality over the flat []int32, and needs no interface boxing.
 
-// less orders records by (time, sequence): FIFO among equal times.
+// less orders records by (time, sequence): FIFO among equal times. The
+// sequence counter is engine-global, so the order is total across shards.
 func (e *Engine) less(a, b int32) bool {
 	ra, rb := &e.records[a], &e.records[b]
 	if ra.at != rb.at {
@@ -195,25 +432,25 @@ func (e *Engine) less(a, b int32) bool {
 	return ra.seq < rb.seq
 }
 
-func (e *Engine) siftUp(i int) {
-	id := e.heap[i]
+func (e *Engine) siftUp(heap []int32, i int) {
+	id := heap[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		pid := e.heap[parent]
+		pid := heap[parent]
 		if !e.less(id, pid) {
 			break
 		}
-		e.heap[i] = pid
+		heap[i] = pid
 		e.records[pid].heapIdx = int32(i)
 		i = parent
 	}
-	e.heap[i] = id
+	heap[i] = id
 	e.records[id].heapIdx = int32(i)
 }
 
-func (e *Engine) siftDown(i int) {
-	id := e.heap[i]
-	n := len(e.heap)
+func (e *Engine) siftDown(heap []int32, i int) {
+	id := heap[i]
+	n := len(heap)
 	for {
 		first := 4*i + 1
 		if first >= n {
@@ -225,38 +462,38 @@ func (e *Engine) siftDown(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(e.heap[c], e.heap[best]) {
+			if e.less(heap[c], heap[best]) {
 				best = c
 			}
 		}
-		bid := e.heap[best]
+		bid := heap[best]
 		if !e.less(bid, id) {
 			break
 		}
-		e.heap[i] = bid
+		heap[i] = bid
 		e.records[bid].heapIdx = int32(i)
 		i = best
 	}
-	e.heap[i] = id
+	heap[i] = id
 	e.records[id].heapIdx = int32(i)
 }
 
-// removeAt deletes the heap entry at index i, restoring heap order. The
-// record itself is untouched (the caller releases or reads it).
-func (e *Engine) removeAt(i int) {
-	n := len(e.heap) - 1
-	moved := e.heap[n]
-	removed := e.heap[i]
-	e.heap = e.heap[:n]
+// heapRemoveAt deletes the shard-heap entry at index i, restoring heap
+// order. The record itself is untouched (the caller releases or reads it).
+func (e *Engine) heapRemoveAt(sh *shard, i int) {
+	n := len(sh.heap) - 1
+	moved := sh.heap[n]
+	removed := sh.heap[i]
+	sh.heap = sh.heap[:n]
 	e.records[removed].heapIdx = -1
 	if i == n {
 		return
 	}
-	e.heap[i] = moved
+	sh.heap[i] = moved
 	e.records[moved].heapIdx = int32(i)
-	if i > 0 && e.less(moved, e.heap[(i-1)/4]) {
-		e.siftUp(i)
+	if i > 0 && e.less(moved, sh.heap[(i-1)/4]) {
+		e.siftUp(sh.heap, i)
 	} else {
-		e.siftDown(i)
+		e.siftDown(sh.heap, i)
 	}
 }

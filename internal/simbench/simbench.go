@@ -1,0 +1,61 @@
+// Package simbench is the shared harness for the engine hot-loop
+// microbenchmark: schedule/cancel/step churn at a fixed queue depth with
+// the event population spread over a configurable number of scheduling
+// domains. The root BenchmarkEngineHotLoop and the amberbench -json
+// engine_hot_loop section both drive this one loop, so the CI bench smoke
+// and the per-commit BENCH artifact always measure the same thing.
+package simbench
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+)
+
+// QueueDepth is the steady event population the hot loop churns at.
+const QueueDepth = 4096
+
+// HotLoopDomains is the sharded variant's domain count: the Intel 750
+// preset's 12 NAND channels plus the host/cpu/icl.dram/dma shards
+// (16 with the default shard).
+const HotLoopDomains = 16
+
+// HotLoop is one prepared churn run over a fresh engine.
+type HotLoop struct {
+	e    *sim.Engine
+	doms []sim.DomainID
+	fn   func()
+	i    int
+}
+
+// NewHotLoop builds an engine with the given number of domains (1 = the
+// single global heap) and fills it to QueueDepth pending events.
+func NewHotLoop(domains int) *HotLoop {
+	h := &HotLoop{e: sim.NewEngine(), fn: func() {}}
+	h.doms = make([]sim.DomainID, domains)
+	h.doms[0] = sim.DefaultDomain
+	for i := 1; i < domains; i++ {
+		h.doms[i] = h.e.Domain(fmt.Sprintf("shard%d", i))
+	}
+	for i := 0; i < QueueDepth; i++ {
+		h.e.ScheduleIn(h.doms[i%domains], sim.Duration(i%977), h.fn)
+	}
+	return h
+}
+
+// Op runs one churn iteration: a schedule, every seventh time a cancel
+// plus a replacement schedule, and one dispatch — queue depth stays at
+// QueueDepth.
+func (h *HotLoop) Op() {
+	dom := h.doms[h.i%len(h.doms)]
+	ev := h.e.ScheduleIn(dom, sim.Duration(500+h.i%977), h.fn)
+	if h.i%7 == 0 {
+		h.e.Cancel(ev)
+		h.e.ScheduleIn(dom, sim.Duration(600+h.i%199), h.fn)
+	}
+	h.e.Step()
+	h.i++
+}
+
+// Drain dispatches the remaining population.
+func (h *HotLoop) Drain() { h.e.Run() }
