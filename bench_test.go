@@ -157,6 +157,70 @@ func BenchmarkEngineHotLoop(b *testing.B) {
 	b.Run("sharded16", func(b *testing.B) { run(b, simbench.HotLoopDomains) })
 }
 
+// BenchmarkIntraParallel measures horizon-synchronized parallel intra-device
+// dispatch on the shared simbench harness: 16 channel shards each receiving
+// page-copy events between horizons (the shape of deferred flash bookkeeping
+// on a data-tracking device). "serial" is the plain single-goroutine
+// dispatcher; the worker variants fan the channel shards out between
+// synchronization horizons. Wall-clock speedup requires multiple cores
+// (GOMAXPROCS); on a single-core machine the variants measure the barrier
+// overhead instead.
+func BenchmarkIntraParallel(b *testing.B) {
+	const channels, perChannel, rounds = 16, 64, 25
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l := simbench.NewIntraLoop(channels, perChannel, rounds)
+			l.Run(workers)
+			if got, want := l.Dispatched(), uint64(channels*perChannel*rounds+rounds+1); got != want {
+				b.Fatalf("dispatched %d events, want %d", got, want)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("workers2", func(b *testing.B) { run(b, 2) })
+	b.Run("workers4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkIntraParallelSystem measures the full-system effect on a wide
+// (8-channel) data-tracking device: sequential reads with payload buffers,
+// serial dispatch vs horizon-synchronized dispatch at 4 workers. The two
+// modes are byte-identical in results (locked by
+// core.TestIntraParallelGoldenEquivalence); this benchmark records their
+// wall-clock cost.
+func BenchmarkIntraParallelSystem(b *testing.B) {
+	build := func() *core.System {
+		d := config.SmallTestDevice()
+		d.Geometry.Channels = 8
+		d.Geometry.PackagesPerChannel = 1
+		d.Geometry.BlocksPerPlane = 10
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Precondition(16); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	run := func(b *testing.B, workers int) {
+		s := build()
+		gen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(gen, core.RunConfig{Requests: 300, IODepth: 16, IntraWorkers: workers, WithData: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("workers4", func(b *testing.B) { run(b, 4) })
+}
+
 // BenchmarkSubmitPath measures the raw simulator throughput of the full
 // I/O path (requests simulated per second of wall clock).
 func BenchmarkSubmitPath(b *testing.B) {

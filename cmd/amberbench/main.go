@@ -8,12 +8,15 @@
 //	amberbench -quick           # reduced request counts / sweep resolution
 //	amberbench -only fig8,fig9  # a subset
 //	amberbench -parallel 8      # fan independent device sims out over 8 workers
-//	amberbench -json out.json   # machine-readable results + submit-path microbench
+//	amberbench -intra-parallel 4 # channel shards step concurrently inside each run
+//	amberbench -json out.json   # machine-readable results + submit/engine/intra microbenches
 //	amberbench -list
 //
 // The -parallel fan-out is across independent core.System configurations
-// inside each experiment (each System stays single-threaded by design);
-// tables are byte-identical to a serial run at any worker count.
+// inside each experiment; -intra-parallel additionally parallelizes the
+// event dispatch inside each measured run between synchronization horizons
+// (sim.Engine.RunParallel). Both are byte-identical to a serial run at any
+// worker count.
 package main
 
 import (
@@ -43,6 +46,8 @@ type jsonReport struct {
 	Experiments   []jsonExperiment `json:"experiments"`
 	SubmitBench   jsonSubmitBench  `json:"submit_bench"`
 	EngineHotLoop jsonEngineBench  `json:"engine_hot_loop"`
+	IntraParallel jsonIntraBench   `json:"intra_parallel"`
+	IntraSystem   jsonIntraSystem  `json:"intra_system"`
 }
 
 type jsonExperiment struct {
@@ -69,6 +74,12 @@ type jsonSubmitBench struct {
 	// requests subtracted), like EventsPerSec.
 	Events       uint64            `json:"events"`
 	DomainEvents []jsonDomainCount `json:"domain_events"`
+	// DMA descriptor batching over the measured window: arbitration rounds
+	// after coalescing vs pointer-list entries before it (the PR-2
+	// batching win the trajectory tracks).
+	DMADescriptors uint64 `json:"dma_descriptors"`
+	DMAEntries     uint64 `json:"dma_entries"`
+	DMABytesMoved  uint64 `json:"dma_bytes_moved"`
 }
 
 // jsonDomainCount is one scheduling domain's lifetime dispatch count.
@@ -91,6 +102,122 @@ type jsonEngineBench struct {
 	ShardedSpeedup  float64 `json:"sharded_speedup"`
 	GlobalAllocsOp  float64 `json:"global_allocs_per_op"`
 	ShardedAllocsOp float64 `json:"sharded_allocs_per_op"`
+}
+
+// jsonIntraBench reports the horizon-synchronized intra-device dispatch
+// microbench (the shared simbench.IntraLoop, same loop as the root
+// BenchmarkIntraParallel): wall-clock for the plain serial dispatcher vs
+// the horizon loop at >= 2 workers, over channel shards carrying page-copy
+// events. The speedup has two components: batch shard drains (present even
+// at GOMAXPROCS=1) and thread parallelism (needs cores).
+type jsonIntraBench struct {
+	Channels            int     `json:"channels"`
+	EventsPerChannel    int     `json:"events_per_channel_per_horizon"`
+	Horizons            int     `json:"horizons"`
+	Workers             int     `json:"workers"`
+	SerialNsPerEvent    float64 `json:"serial_ns_per_event"`
+	ParallelNsPerEvent  float64 `json:"parallel_ns_per_event"`
+	Speedup             float64 `json:"speedup"`
+	MeanLocalPerHorizon float64 `json:"mean_local_events_per_horizon"`
+}
+
+// jsonIntraSystem reports the full-system intra-parallel run: a wide
+// (8-channel) data-tracking device under sequential reads, serial dispatch
+// vs RunConfig.IntraWorkers, with the horizon structure of the parallel
+// run. The two modes are byte-identical in simulated results (locked by the
+// core golden equivalence test); this records their wall-clock cost.
+type jsonIntraSystem struct {
+	Channels            int     `json:"channels"`
+	Requests            int     `json:"requests"`
+	Workers             int     `json:"workers"`
+	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
+	Speedup             float64 `json:"speedup"`
+	Horizons            uint64  `json:"horizons"`
+	LocalEvents         uint64  `json:"local_events"`
+	CrossEvents         uint64  `json:"cross_events"`
+	MeanLocalPerHorizon float64 `json:"mean_local_events_per_horizon"`
+	Identical           bool    `json:"identical"` // serial/parallel end-time and event-count match
+}
+
+// intraParallelBench measures the engine-level horizon loop.
+func intraParallelBench() jsonIntraBench {
+	const channels, perChannel, rounds = 16, 64, 50
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > channels {
+		workers = channels
+	}
+	b := jsonIntraBench{Channels: channels, EventsPerChannel: perChannel, Horizons: rounds, Workers: workers}
+	events := float64(channels * perChannel * rounds)
+
+	serial := simbench.NewIntraLoop(channels, perChannel, rounds)
+	start := time.Now()
+	serial.Run(0)
+	b.SerialNsPerEvent = float64(time.Since(start).Nanoseconds()) / events
+
+	parallel := simbench.NewIntraLoop(channels, perChannel, rounds)
+	start = time.Now()
+	st := parallel.Run(workers)
+	b.ParallelNsPerEvent = float64(time.Since(start).Nanoseconds()) / events
+	if b.ParallelNsPerEvent > 0 {
+		b.Speedup = b.SerialNsPerEvent / b.ParallelNsPerEvent
+	}
+	b.MeanLocalPerHorizon = st.MeanLocalPerHorizon()
+	return b
+}
+
+// intraSystemBench measures the full-system intra-parallel run.
+func intraSystemBench(n int) (jsonIntraSystem, error) {
+	const channels = 8
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > channels {
+		workers = channels
+	}
+	b := jsonIntraSystem{Channels: channels, Requests: n, Workers: workers}
+
+	run := func(intraWorkers int) (*core.RunResult, float64, error) {
+		d := config.SmallTestDevice()
+		d.Geometry.Channels = channels
+		d.Geometry.PackagesPerChannel = 1
+		d.Geometry.BlocksPerPlane = 10
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := s.Precondition(16); err != nil {
+			return nil, 0, err
+		}
+		gen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 5)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 16, IntraWorkers: intraWorkers, WithData: true})
+		return res, time.Since(start).Seconds(), err
+	}
+	sres, swall, err := run(0)
+	if err != nil {
+		return b, err
+	}
+	pres, pwall, err := run(workers)
+	if err != nil {
+		return b, err
+	}
+	b.SerialWallSeconds, b.ParallelWallSeconds = swall, pwall
+	if pwall > 0 {
+		b.Speedup = swall / pwall
+	}
+	st := pres.Intra
+	b.Horizons, b.LocalEvents, b.CrossEvents = st.Horizons, st.LocalEvents, st.CrossEvents
+	b.MeanLocalPerHorizon = st.MeanLocalPerHorizon()
+	b.Identical = sres.End == pres.End && sres.Events == pres.Events
+	return b, nil
 }
 
 // engineHotLoopBench measures raw engine throughput under
@@ -148,6 +275,7 @@ func submitMicrobench(n int) (jsonSubmitBench, error) {
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	events0 := s.SubmitEventsDispatched()
+	dma0 := s.DMA.Stats()
 	domains0 := map[string]uint64{}
 	for _, d := range s.SubmitEngineDomainStats() {
 		domains0[d.Name] = d.Dispatched
@@ -170,6 +298,10 @@ func submitMicrobench(n int) (jsonSubmitBench, error) {
 		BytesPerOp:     float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(n),
 		Events:         s.SubmitEventsDispatched() - events0,
 	}
+	dma := s.DMA.Stats()
+	sb.DMADescriptors = dma.Descriptors - dma0.Descriptors
+	sb.DMAEntries = dma.Entries - dma0.Entries
+	sb.DMABytesMoved = dma.BytesMoved - dma0.BytesMoved
 	for _, d := range s.SubmitEngineDomainStats() {
 		if delta := d.Dispatched - domains0[d.Name]; delta > 0 {
 			sb.DomainEvents = append(sb.DomainEvents, jsonDomainCount{Domain: d.Name, Events: delta})
@@ -184,6 +316,7 @@ func main() {
 		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", 0, "workers for independent device sims per experiment (0 = serial, -1 = NumCPU)")
+		intraPar = flag.Int("intra-parallel", 0, "workers for horizon-synchronized dispatch inside each measured run (channel shards step concurrently; byte-identical tables; 0/1 = serial)")
 		jsonOut  = flag.String("json", "", "write machine-readable results (incl. submit-path microbench) to this file")
 	)
 	flag.Parse()
@@ -216,7 +349,7 @@ func main() {
 		}
 	}
 
-	o := exp.Options{Quick: *quick, Parallel: workers}
+	o := exp.Options{Quick: *quick, Parallel: workers, IntraWorkers: *intraPar}
 	report := jsonReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
@@ -258,6 +391,14 @@ func main() {
 			report.SubmitBench = sb
 		}
 		report.EngineHotLoop = engineHotLoopBench(10 * n)
+		report.IntraParallel = intraParallelBench()
+		is, err := intraSystemBench(n / 20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: intra-system bench: %v\n", err)
+			failed++
+		} else {
+			report.IntraSystem = is
+		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amberbench: %v\n", err)

@@ -8,6 +8,7 @@
 //	ambersim -device intel750 -workload rand-read -bs 4096 -depth 32 -n 20000
 //	ambersim -device zssd -trace 24HRS -n 10000
 //	ambersim -device intel750,zssd,850pro -parallel 3   # one system per device, simulated concurrently
+//	ambersim -device intel750 -intra-parallel 4         # channel shards step concurrently between horizons
 //	ambersim -list
 //
 // With multiple devices, each gets its own single-threaded core.System;
@@ -45,6 +46,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "workload seed")
 		parallel  = flag.Int("parallel", 0, "concurrently simulated devices (0/1 = serial)")
 		contigDMA = flag.Bool("contig-dma", false, "model payload buffers as physically contiguous host pages (Timing-mode DMA batches descriptors)")
+		intraPar  = flag.Int("intra-parallel", 0, "workers for horizon-synchronized intra-device dispatch: NAND channel shards step concurrently between cross-domain events, byte-identical to serial (0/1 = serial)")
 	)
 	flag.Parse()
 
@@ -146,7 +148,7 @@ func main() {
 			return err
 		}
 
-		res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth})
+		res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth, IntraWorkers: *intraPar})
 		if err != nil {
 			return err
 		}
@@ -187,6 +189,11 @@ func main() {
 			shown++
 		}
 		fmt.Fprintln(w)
+		if *intraPar > 1 {
+			st := res.Intra
+			fmt.Fprintf(w, "intra-parallel  %d horizons (%d fanned out over %d workers), %d local + %d cross events, %.1f local events/horizon\n",
+				st.Horizons, st.ParallelHorizons, *intraPar, st.LocalEvents, st.CrossEvents, st.MeanLocalPerHorizon())
+		}
 		full := s.Now() - 0
 		fmt.Fprintf(w, "power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",
 			s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))

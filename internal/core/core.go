@@ -320,13 +320,24 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // engineDomains is one engine's resolved scheduling-domain ids: the shard
 // each subsystem's stage-boundary events are ordered in. Resolving names
 // once per engine keeps the hot path free of map lookups.
+//
+// The domains split into the two classes the horizon-synchronized engine
+// distinguishes (sim.MarkDomainLocal, doc.go): the per-channel nand shards
+// are domain-local — they carry only the flash reads' deferred per-channel
+// bookkeeping (nand.ReadDeferred), which touches nothing outside its
+// channel — while host/cpu/icl/dma/fil order every event that reads or
+// writes cross-channel state (firmware stages, cache installs, transfers,
+// GC) and stay cross-domain. That classification is what makes
+// RunConfig.IntraWorkers sound: channels step concurrently between
+// horizons, everything else dispatches serially in global order.
 type engineDomains struct {
 	e    *sim.Engine
 	host sim.DomainID   // request issue slots, kernel submit/complete
 	cpu  sim.DomainID   // firmware parse boundaries
 	icl  sim.DomainID   // cache/DRAM write-back boundaries
 	dma  sim.DomainID   // payload-transfer boundaries
-	nand []sim.DomainID // per-channel flash completions
+	fil  sim.DomainID   // flash-completion continuations (cache install, waiter wakeup)
+	nand []sim.DomainID // per-channel deferred flash bookkeeping (domain-local)
 }
 
 // domainsFor resolves (registering on first use) this system's scheduling
@@ -346,11 +357,13 @@ func (s *System) domainsFor(e *sim.Engine) *engineDomains {
 		cpu:  e.Domain(cpu.Domain),
 		icl:  e.Domain(dram.Domain),
 		dma:  e.Domain(dma.Domain),
+		fil:  e.Domain(fil.Domain),
 	}
 	channels := s.cfg.Device.Geometry.Channels
 	d.nand = make([]sim.DomainID, channels)
 	for ch := 0; ch < channels; ch++ {
 		d.nand[ch] = e.Domain(nand.ChannelDomain(ch))
+		e.MarkDomainLocal(d.nand[ch])
 	}
 	if len(s.domTab) >= 4 {
 		// Stale entries from completed Run loops: keep the long-lived

@@ -1,0 +1,177 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"amber/internal/config"
+	"amber/internal/core"
+	"amber/internal/nand"
+	"amber/internal/workload"
+)
+
+// wideSystem builds a TrackData system whose device has many NAND channels,
+// the shape intra-device parallelism targets.
+func wideSystem(t *testing.T) *core.System {
+	t.Helper()
+	d := config.SmallTestDevice()
+	d.Geometry = nand.Geometry{
+		Channels:           8,
+		PackagesPerChannel: 1,
+		DiesPerPackage:     1,
+		PlanesPerDie:       2,
+		BlocksPerPlane:     10,
+		PagesPerBlock:      16,
+		PageSize:           4096,
+	}
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// intraTrajectory drives one system through the GC-triggering write +
+// mixed-read trajectory the equivalence test compares, and renders every
+// observable — experiment-table rows, per-domain dispatch counts, component
+// stats, read-back payloads — into one golden string.
+func intraTrajectory(t *testing.T, s *core.System, workers int) string {
+	t.Helper()
+	if err := s.Precondition(16); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	table := func(name string, res *core.RunResult) {
+		fmt.Fprintf(&out, "%s | reqs %d depth %d | %d..%d | rd %d wr %d | lat mean %.6f p50 %.6f p95 %.6f max %.6f | events %d\n",
+			name, res.Requests, res.Depth, res.Start, res.End, res.BytesRead, res.BytesWritten,
+			res.Latency.Mean(), res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Max(),
+			res.Events)
+		for _, d := range res.DomainEvents {
+			if d.Dispatched > 0 {
+				fmt.Fprintf(&out, "  dom %s dispatched %d pending %d\n", d.Name, d.Dispatched, d.Pending)
+			}
+		}
+	}
+
+	// Phase 1: random overwrites on the preconditioned (fully mapped)
+	// volume — the GC-triggering write workload.
+	wgen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(wgen, core.RunConfig{Requests: 400, IODepth: 16, IntraWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table("rand-write", res)
+	if s.FTL.Stats().GCRuns == 0 {
+		t.Fatal("write phase did not trigger GC; the equivalence must cover a GC-triggering workload")
+	}
+	s.Drain()
+
+	// Phase 2: sequential reads with payload buffers, so the channels'
+	// deferred tracked-data copies are exercised and checked byte-for-byte.
+	rgen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(rgen, core.RunConfig{Requests: 200, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table("seq-read", res)
+
+	// Phase 3: random reads at depth (coalescing, readahead churn).
+	rrgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(rrgen, core.RunConfig{Requests: 300, IODepth: 16, IntraWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table("rand-read", res)
+
+	fs := s.Flash.Stats()
+	fmt.Fprintf(&out, "flash %+v energy %.18g\n", fs, s.Flash.EnergyJoules())
+	for ch := 0; ch < s.Config().Device.Geometry.Channels; ch++ {
+		fmt.Fprintf(&out, "  ch%d %+v\n", ch, s.Flash.ChannelStats(ch))
+	}
+	fmt.Fprintf(&out, "ftl %+v\n", s.FTL.Stats())
+	fmt.Fprintf(&out, "icl %+v\n", s.ICL.Stats())
+	fmt.Fprintf(&out, "fil %+v\n", s.FIL.Stats())
+	fmt.Fprintf(&out, "now %v\n", s.Now())
+
+	// Read a deterministic sample of payloads back synchronously and
+	// fingerprint the bytes: the data path must be identical too.
+	bs := 4096
+	for i := 0; i < 16; i++ {
+		off := (int64(i) * 977 * int64(bs)) % (s.VolumeBytes() - int64(bs))
+		off -= off % int64(bs)
+		buf := make([]byte, bs)
+		if _, err := s.Submit(s.Now(), workload.Request{Offset: off, Length: bs}, buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := uint64(0)
+		for j, b := range buf {
+			sum += uint64(b) * uint64(j+1)
+		}
+		fmt.Fprintf(&out, "data@%d sum %d\n", off, sum)
+	}
+	return out.String()
+}
+
+// TestIntraParallelGoldenEquivalence is the acceptance bar of the
+// horizon-synchronized execution model: a run with IntraWorkers > 1 must
+// produce byte-identical experiment tables, per-domain dispatch counts,
+// component statistics and payload bytes versus the plain serial dispatch,
+// on a multi-channel device and through a GC-triggering write phase. Run
+// under -race it also proves the channel shards share nothing.
+func TestIntraParallelGoldenEquivalence(t *testing.T) {
+	serial := intraTrajectory(t, wideSystem(t), 0)
+	parallel := intraTrajectory(t, wideSystem(t), 4)
+	if serial != parallel {
+		t.Fatalf("intra-parallel run diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty trajectory")
+	}
+}
+
+// TestIntraParallelHorizonStats sanity-checks the reported horizon
+// structure: windows exist, local events flow through them, and the mean
+// local events per horizon is positive.
+func TestIntraParallelHorizonStats(t *testing.T) {
+	s := wideSystem(t)
+	if err := s.Precondition(16); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewFIO(workload.RandRead, 16384, s.VolumeBytes(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(gen, core.RunConfig{Requests: 300, IODepth: 16, IntraWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Intra
+	if st.Horizons == 0 || st.LocalEvents == 0 || st.CrossEvents == 0 {
+		t.Fatalf("degenerate horizon stats: %+v", st)
+	}
+	if st.MeanLocalPerHorizon() <= 0 {
+		t.Fatalf("MeanLocalPerHorizon = %v", st.MeanLocalPerHorizon())
+	}
+	// Every window-dispatched event is a nand-channel event and vice versa:
+	// the per-domain counters must reconcile with the horizon stats.
+	var local uint64
+	for _, d := range res.DomainEvents {
+		if strings.HasPrefix(d.Name, "nand.ch") {
+			local += d.Dispatched
+		}
+	}
+	if local != st.LocalEvents {
+		t.Fatalf("per-domain nand dispatches %d != window local events %d", local, st.LocalEvents)
+	}
+}

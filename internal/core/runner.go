@@ -25,6 +25,12 @@ type RunConfig struct {
 	// WithData attaches payload buffers to every request so real bytes
 	// move end to end (requires a TrackData system for integrity checks).
 	WithData bool
+	// IntraWorkers enables horizon-synchronized parallel intra-device
+	// dispatch: between two cross-domain events, the per-NAND-channel
+	// domain-local shards step concurrently over up to this many workers
+	// (sim.Engine.RunParallel). Results are byte-identical to the serial
+	// dispatch at any worker count; <= 1 keeps the plain serial loop.
+	IntraWorkers int
 }
 
 // RunResult reports a completed run.
@@ -47,6 +53,11 @@ type RunResult struct {
 	// and how they spread across the scheduling-domain shards.
 	Events       uint64
 	DomainEvents []sim.DomainStat
+
+	// Intra reports the horizon structure when the run used
+	// RunConfig.IntraWorkers > 1 (zero value otherwise): synchronization
+	// horizons, events stepped inside windows vs dispatched serially.
+	Intra sim.ParallelStats
 }
 
 // Elapsed returns the wall-clock span of the run in simulated time.
@@ -164,7 +175,11 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	for i := 0; i < depth; i++ {
 		e.AtIn(doms.host, res.Start, issueNext)
 	}
-	e.Run()
+	if rc.IntraWorkers > 1 {
+		res.Intra = e.RunParallel(rc.IntraWorkers)
+	} else {
+		e.Run()
+	}
 	res.Events = e.Dispatched()
 	res.DomainEvents = e.DomainStats()
 	if runErr != nil {

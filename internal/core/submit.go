@@ -550,6 +550,7 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 	fo.fetch = fetch[:0]
 	fo.nFetch = len(fetch)
 
+	doms := s.domainsFor(e)
 	flashDone := t2
 	if len(fetch) > 0 {
 		t3 := s.chargeFirmware(t2, 2, "fil", s.filScheduleMix(len(fetch)))
@@ -567,7 +568,11 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 				dsts[i] = lineBuf[loc.Sub*subSize : (loc.Sub+1)*subSize]
 			}
 		}
-		flashDone, err = s.FIL.ReadSubs(t3, fetch, dsts)
+		// Each read's per-channel bookkeeping (counters, energy, the copy
+		// into its dst slice) rides the owning channel's domain-local
+		// shard, scheduled here — before fo.doneFn — so among same-time
+		// events every copy orders before the install that consumes it.
+		flashDone, err = s.FIL.ReadSubsOn(e, doms.nand, t3, fetch, dsts)
 		if err != nil {
 			s.releaseFill(fo)
 			cb(0, err)
@@ -587,13 +592,14 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 		fl[sub] = true
 	}
 
-	// Flash completions land in the fetched channel's shard; a fill with
-	// no flash work (all subs unmapped) is cache-side traffic. The shard
-	// only balances heap depth — dispatch order is domain-independent.
-	doms := s.domainsFor(e)
+	// The continuation installs into the ICL, charges cache memory and
+	// wakes coalesced waiters — cross-channel state — so it must ride a
+	// cross-domain shard for the intra-parallel horizon computation to be
+	// sound: the fil shard for flash-backed fills, the icl shard for fills
+	// with no flash work (all subs unmapped, pure cache-side traffic).
 	dom := doms.icl
 	if len(fetch) > 0 {
-		dom = doms.nand[s.FIL.ChannelOf(fetch[0])]
+		dom = doms.fil
 	}
 	e.AtIn(dom, sim.MaxOf(flashDone, e.Now()), fo.doneFn)
 }

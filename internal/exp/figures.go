@@ -67,23 +67,53 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("qd%d", d))
 	}
 
-	// Each pattern's amber sweep owns a freshly preconditioned system, so
-	// the patterns are independent tasks (the reference and the baseline
-	// replays are deterministic and cheap, computed in the same task).
 	pats := patterns()
-	rowsPerPattern := make([][][]string, len(pats))
-	err := forEach(o, len(pats), func(pi int) error {
-		p := pats[pi]
-		var rows [][]string
 
-		// Reference (real device digitized curve).
-		refBW, err := refdata.Bandwidth("intel750", p)
+	// Amber: one task per (pattern, depth) sweep point, each owning a
+	// freshly built and preconditioned System, so the whole depth axis fans
+	// out under Options.Parallel like fig8/9/10 do per device.
+	//
+	// Preconditioning-state methodology: the depth axis used to be swept on
+	// one shared preconditioned system per pattern, so each point inherited
+	// the cache contents and (for writes) the mapping/GC state left by the
+	// previous depth's run — qd32's number depended on qd1..qd24 having run
+	// first. Per-point systems pin the choice to "every point starts from
+	// the same freshly preconditioned steady state" (the paper's FIO
+	// methodology: precondition, then measure each configuration), which
+	// makes the points order-independent and deterministic at any worker
+	// count, at the cost of repeating preconditioning once per point.
+	vals := make([]float64, len(pats)*len(depths))
+	err := forEach(o, len(vals), func(ti int) error {
+		pi, di := ti/len(depths), ti%len(depths)
+		amber, err := newSystem("intel750", nil)
 		if err != nil {
 			return err
 		}
-		refLat, err := refdata.Latency("intel750", p)
+		res, err := runPoint(o, amber, pats[pi], 4096, depths[di], n)
 		if err != nil {
 			return err
+		}
+		if latency {
+			vals[ti] = res.AvgLatencyUs()
+		} else {
+			vals[ti] = res.BandwidthMBps()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reference curves and baseline replays are deterministic and cheap;
+	// assemble them inline around the fanned-out amber values.
+	for pi, p := range pats {
+		refBW, err := refdata.Bandwidth("intel750", p)
+		if err != nil {
+			return nil, err
+		}
+		refLat, err := refdata.Latency("intel750", p)
+		if err != nil {
+			return nil, err
 		}
 		row := []string{p.String(), "real-device"}
 		for _, d := range depths {
@@ -94,9 +124,8 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 				row = append(row, f0(refBW[i]))
 			}
 		}
-		rows = append(rows, row)
+		t.Rows = append(t.Rows, row)
 
-		// Baselines.
 		for _, b := range baseline.All() {
 			row := []string{p.String(), b.Name()}
 			for _, d := range depths {
@@ -107,40 +136,23 @@ func baselineFigure(o Options, latency bool) (*Table, error) {
 					row = append(row, f0(r.BandwidthMBps))
 				}
 			}
-			rows = append(rows, row)
+			t.Rows = append(t.Rows, row)
 		}
 
-		// Amber full model.
-		amber, err := newSystem("intel750", nil)
-		if err != nil {
-			return err
-		}
 		row = []string{p.String(), "amber"}
-		for _, d := range depths {
-			res, err := runPoint(amber, p, 4096, d, n)
-			if err != nil {
-				return err
-			}
+		for di := range depths {
 			if latency {
-				row = append(row, f1(res.AvgLatencyUs()))
+				row = append(row, f1(vals[pi*len(depths)+di]))
 			} else {
-				row = append(row, f0(res.BandwidthMBps()))
+				row = append(row, f0(vals[pi*len(depths)+di]))
 			}
 		}
-		rows = append(rows, row)
-		rowsPerPattern[pi] = rows
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, rows := range rowsPerPattern {
-		t.Rows = append(t.Rows, rows...)
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"mqsim-like grows linearly (no interface ceiling), ssdsim-like never saturates,",
 		"ssdext/flashsim-like are flat (serialized single path); amber follows the device's curve shape.",
-		"each amber pattern runs on a freshly preconditioned device (no state carryover between patterns).")
+		"each amber (pattern, depth) point runs on its own freshly preconditioned device (no state carryover between points).")
 	return t, nil
 }
 
@@ -197,7 +209,7 @@ func validationFigure(o Options, latency bool) (*Table, error) {
 			var refRow, simRow []float64
 			for _, d := range depths {
 				i := depthIndex(d)
-				res, err := runPoint(s, p, 4096, d, n)
+				res, err := runPoint(o, s, p, 4096, d, n)
 				if err != nil {
 					return err
 				}
@@ -278,7 +290,7 @@ func Figure10(o Options) (*Table, error) {
 				if kb >= 256 {
 					nn = n / 4 // large blocks move 64x the data per request
 				}
-				res, err := runPoint(s, p, kb*1024, 32, nn)
+				res, err := runPoint(o, s, p, kb*1024, 32, nn)
 				if err != nil {
 					return err
 				}
@@ -351,7 +363,7 @@ func Figure11(o Options) (*Table, error) {
 			return err
 		}
 		s.Drain()
-		res, err := runPoint(s, workload.RandWrite, bs, 32, n)
+		res, err := runPoint(o, s, workload.RandWrite, bs, 32, n)
 		if err != nil {
 			return err
 		}
@@ -636,7 +648,7 @@ func Figure14(o Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		res, err := runPoint(s, workload.SeqRead, 131072, 32, n/4)
+		res, err := runPoint(o, s, workload.SeqRead, 131072, 32, n/4)
 		if err != nil {
 			return err
 		}
@@ -679,7 +691,7 @@ func Figure15a(o Options) (*Table, error) {
 		if blocks[bi] > 4096 {
 			nn = n / 4
 		}
-		res, err := runPoint(s, pats[pi], blocks[bi], 32, nn)
+		res, err := runPoint(o, s, pats[pi], blocks[bi], 32, nn)
 		if err != nil {
 			return err
 		}
@@ -802,7 +814,7 @@ func Figure16(o Options) (*Table, error) {
 		return nil, err
 	}
 	start := time.Now()
-	if _, err := runPoint(s, workload.RandRead, 4096, 16, n); err != nil {
+	if _, err := runPoint(o, s, workload.RandRead, 4096, 16, n); err != nil {
 		return nil, err
 	}
 	el := time.Since(start).Seconds()
@@ -834,6 +846,7 @@ func TableIV(o Options) (*Table, error) {
 		{"data transfer emulation (real bytes)", "yes", "dma, nand.Options.TrackData"},
 		{"functional + timing DMA modes", "yes", "dma.Mode"},
 		{"parallel multi-system experiment harness", "yes", "exp.Options.Parallel"},
+		{"intra-device parallel dispatch (horizon-synchronized)", "yes", "sim.Engine.RunParallel, core.RunConfig.IntraWorkers"},
 	}
 	t.Rows = rows
 	return t, nil

@@ -22,6 +22,16 @@ import (
 // AddrFunc converts an FTL page location to a NAND physical address.
 type AddrFunc func(ftl.PageLoc) nand.Address
 
+// Domain names the cross-domain scheduling shard (sim.Engine) where the
+// core places flash-completion continuations: the cache installs, waiter
+// wakeups and pipeline advances that follow a flash fetch. Those read and
+// write state spanning channels (ICL lines, MSHR maps, DRAM timing), so —
+// unlike the per-channel bookkeeping events in nand.ChannelDomain shards —
+// they must never ride in a domain-local shard: the engine's horizon
+// computation assumes every cross-channel effect lives in a cross-domain
+// shard.
+const Domain = "fil"
+
 // Stats aggregates FIL activity.
 type Stats struct {
 	Reads     uint64
@@ -58,6 +68,10 @@ type FIL struct {
 	sbIndex  map[int]int         // super-block -> sbTimes slot
 	readBufs [][]byte            // pooled page buffers backing planRead.data
 	readBufN int                 // buffers handed out for the current plan
+
+	// addrScratch carries the translated addresses of one ReadSubsOn call
+	// from its validation pass to its issue pass, reused across calls.
+	addrScratch []nand.Address
 }
 
 // planRead records one completed pre-read: its completion time and (when
@@ -275,6 +289,43 @@ func (f *FIL) ReadSubs(now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Tim
 	return done, nil
 }
 
+// ReadSubsOn is ReadSubs with each read's per-channel bookkeeping (counters,
+// energy, tracked-data copy into its dst) deferred into the owning channel's
+// scheduling domain via nand.Flash.ReadDeferred: chDoms[channel] is the
+// channel's domain-local shard. Timing is identical to ReadSubs; the
+// deferred events let an intra-parallel engine run the channels' completion
+// work concurrently between horizons. Every address is validated before any
+// read claims or schedules, so an error leaves no completion events queued
+// against the caller's buffers.
+func (f *FIL) ReadSubsOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
+	addrs := f.addrScratch[:0]
+	for _, loc := range locs {
+		addr := f.addrOf(loc)
+		if err := f.flash.CheckRead(addr); err != nil {
+			f.addrScratch = addrs
+			return now, fmt.Errorf("fil: read %v: %w", loc, err)
+		}
+		addrs = append(addrs, addr)
+	}
+	f.addrScratch = addrs
+	done := now
+	for i, addr := range addrs {
+		var dst []byte
+		if dsts != nil {
+			dst = dsts[i]
+		}
+		r, err := f.flash.ReadDeferred(e, chDoms[addr.Channel], now, addr, dst)
+		if err != nil {
+			return done, fmt.Errorf("fil: read %v: %w", locs[i], err)
+		}
+		f.stats.Reads++
+		if r.Done > done {
+			done = r.Done
+		}
+	}
+	return done, nil
+}
+
 // ReadPage performs a raw physical page read (OCSSD path).
 func (f *FIL) ReadPage(now sim.Time, addr nand.Address, dst []byte) (nand.Result, error) {
 	r, err := f.flash.Read(now, addr, dst)
@@ -304,11 +355,3 @@ func (f *FIL) EraseBlock(now sim.Time, addr nand.Address) (nand.Result, error) {
 
 // Flash exposes the underlying storage complex for stats/energy queries.
 func (f *FIL) Flash() *nand.Flash { return f.flash }
-
-// ChannelOf returns the NAND channel a page location maps to. The core
-// uses it to place flash-completion events into that channel's scheduling
-// domain (nand.ChannelDomain), keeping per-channel traffic in its own
-// engine shard.
-func (f *FIL) ChannelOf(loc ftl.PageLoc) int {
-	return f.addrOf(loc).Channel
-}

@@ -369,8 +369,12 @@ func (a *pageArena) clearRange(base int64, n int) {
 	}
 }
 
-// Flash is the storage complex. It is not safe for concurrent use; the
-// whole simulator is single-threaded by design.
+// Flash is the storage complex. Programs, erases and synchronous reads are
+// not safe for concurrent use; the deferred read-completion events that
+// ReadDeferred schedules touch only per-channel state (the channel-indexed
+// accumulators below and disjoint tracked-page copies), so an engine with
+// the channel domains marked domain-local may dispatch completions of
+// different channels concurrently (sim.Engine.RunParallel).
 type Flash struct {
 	geo  Geometry
 	tim  Timing
@@ -384,9 +388,19 @@ type Flash struct {
 	trackData bool
 	data      *pageArena
 
-	rng     *sim.RNG
-	stats   Stats
-	energyJ float64
+	rng *sim.RNG
+
+	// Activity counters and dynamic energy are accumulated per channel and
+	// merged (in channel order, so float sums stay deterministic) by
+	// Stats/EnergyJoules: a channel's deferred completion events may then
+	// run concurrently with other channels' without sharing a counter.
+	chStats  []Stats
+	chEnergy []float64
+
+	// readOps pools deferred read-completion carriers per channel: acquire
+	// happens at schedule time (serial sections), release inside the
+	// channel's own completion event, so the free lists never cross shards.
+	readOps [][]*readCompletion
 }
 
 // Options configures optional Flash behavior.
@@ -430,6 +444,9 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 	for i := range f.blocks {
 		f.blocks[i].written = make([]bool, geo.PagesPerBlock)
 	}
+	f.chStats = make([]Stats, geo.Channels)
+	f.chEnergy = make([]float64, geo.Channels)
+	f.readOps = make([][]*readCompletion, geo.Channels)
 	if opt.TrackData {
 		f.data = newPageArena(geo.TotalPages(), geo.PageSize)
 	}
@@ -445,16 +462,40 @@ func (f *Flash) Geometry() Geometry { return f.geo }
 // Timing returns the timing model.
 func (f *Flash) Timing() Timing { return f.tim }
 
-// Stats returns a copy of the activity counters.
-func (f *Flash) Stats() Stats { return f.stats }
+// Stats returns the activity counters, merged over the per-channel
+// accumulators in channel order.
+func (f *Flash) Stats() Stats {
+	var s Stats
+	for i := range f.chStats {
+		c := &f.chStats[i]
+		s.Reads += c.Reads
+		s.Programs += c.Programs
+		s.Erases += c.Erases
+		s.BytesRead += c.BytesRead
+		s.BytesWritten += c.BytesWritten
+		s.MultiPlaneOps += c.MultiPlaneOps
+	}
+	return s
+}
 
-// EnergyJoules returns dynamic energy consumed so far (excluding leakage).
-func (f *Flash) EnergyJoules() float64 { return f.energyJ }
+// ChannelStats returns channel ch's activity counters.
+func (f *Flash) ChannelStats(ch int) Stats { return f.chStats[ch] }
+
+// EnergyJoules returns dynamic energy consumed so far (excluding leakage),
+// merged over the per-channel accumulators in channel order so the
+// floating-point sum is identical at any dispatch parallelism.
+func (f *Flash) EnergyJoules() float64 {
+	var e float64
+	for _, v := range f.chEnergy {
+		e += v
+	}
+	return e
+}
 
 // TotalEnergyJoules returns dynamic plus leakage energy over the elapsed
 // simulated time.
 func (f *Flash) TotalEnergyJoules(elapsed sim.Duration) float64 {
-	return f.energyJ + f.pow.LeakageWPerDie*float64(f.geo.TotalDies())*elapsed.Seconds()
+	return f.EnergyJoules() + f.pow.LeakageWPerDie*float64(f.geo.TotalDies())*elapsed.Seconds()
 }
 
 // AveragePowerW returns average power over the elapsed simulated time.
@@ -504,37 +545,146 @@ func (f *Flash) classLatency(page int, fast, slow sim.Duration) sim.Duration {
 	return fast + sim.Duration(span*float64(cl))
 }
 
+// CheckRead reports the error a read of addr would fail with (address out
+// of range, page unwritten), without claiming resources or scheduling
+// anything. Callers batching deferred reads validate every address first so
+// a mid-batch failure cannot leave completion events queued.
+func (f *Flash) CheckRead(addr Address) error {
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return err
+	}
+	if !f.blocks[f.geo.BlockIndex(addr)].written[addr.Page] {
+		return fmt.Errorf("nand: read of unwritten page %v", addr)
+	}
+	return nil
+}
+
+// claimRead reserves the read's three phases: the command/address phase
+// occupies the channel briefly, then the die runs the array read, then the
+// data streams back over the channel. Shared by Read and ReadDeferred so
+// the two paths can never diverge in timing.
+func (f *Flash) claimRead(now sim.Time, addr Address) (cmdStart, ready, done sim.Time) {
+	ch := f.channels[addr.Channel]
+	die := f.dies[f.geo.DieIndex(addr)]
+	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
+	_, ready = die.Claim(cmdEnd, f.readLatency(addr.Page))
+	_, done = ch.Claim(ready, f.tim.XferTime(f.geo.PageSize))
+	return cmdStart, ready, done
+}
+
 // Read performs a page read: the die is busy for tR, then the channel is
 // occupied streaming the page out. If data tracking is on and dst is
 // non-nil, dst receives the page contents.
 func (f *Flash) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
-	if err := f.geo.CheckAddress(addr); err != nil {
+	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	blk := &f.blocks[f.geo.BlockIndex(addr)]
-	if !blk.written[addr.Page] {
-		return Result{}, fmt.Errorf("nand: read of unwritten page %v", addr)
+	cmdStart, ready, done := f.claimRead(now, addr)
+	f.accountRead(addr.Channel)
+	f.copyOut(f.geo.PageIndex(addr), dst)
+	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+}
+
+// accountRead charges one page read to the channel's counters and energy.
+func (f *Flash) accountRead(channel int) {
+	st := &f.chStats[channel]
+	st.Reads++
+	st.BytesRead += uint64(f.geo.PageSize)
+	f.chEnergy[channel] += f.pow.ReadEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+}
+
+// copyOut moves tracked page contents into dst (zero-padding past what was
+// stored), a no-op when data tracking is off or dst is nil.
+func (f *Flash) copyOut(pageIdx int64, dst []byte) {
+	if !f.trackData || dst == nil {
+		return
 	}
-	ch := f.channels[addr.Channel]
-	die := f.dies[f.geo.DieIndex(addr)]
+	stored := f.data.get(pageIdx)
+	n := copy(dst, stored)
+	for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
+		dst[i] = 0
+	}
+}
 
-	// Command/address phase occupies the channel briefly, then the die runs
-	// the array read, then the data streams back over the channel.
-	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
-	_, ready := die.Claim(cmdEnd, f.readLatency(addr.Page))
-	_, done := ch.Claim(ready, f.tim.XferTime(f.geo.PageSize))
+// readCompletion carries one deferred read's per-channel bookkeeping (stats,
+// energy, tracked-data copy) into the channel's scheduling domain. Pooled
+// per channel with the callback bound once, so steady-state deferred reads
+// schedule without allocating.
+//
+// buf stages the page bytes captured at issue time: the array read latches
+// its data before any later erase or program can touch the block (the die
+// resource serializes them), so the bytes a read returns are fixed when it
+// is issued — exactly what the synchronous Read models by copying
+// immediately. Deferring the dst copy without staging would instead observe
+// the arena at completion time, where an interleaved GC erase + reprogram
+// of the same physical page could replace the data. The staging copy runs
+// in the serial section; the (equally sized) copy into dst is the
+// channel-shard work that parallelizes.
+type readCompletion struct {
+	f      *Flash
+	ch     int
+	buf    []byte // page-size staging buffer, lazily allocated, reused
+	staged bool   // buf holds the page bytes captured at issue
+	dst    []byte
+	fn     func()
+}
 
-	f.stats.Reads++
-	f.stats.BytesRead += uint64(f.geo.PageSize)
-	f.energyJ += f.pow.ReadEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+func (f *Flash) acquireReadCompletion(ch int) *readCompletion {
+	free := f.readOps[ch]
+	if n := len(free); n > 0 {
+		op := free[n-1]
+		f.readOps[ch] = free[:n-1]
+		return op
+	}
+	op := &readCompletion{f: f, ch: ch}
+	op.fn = op.complete
+	return op
+}
 
+// complete is the deferred event body. It touches only channel-owned state:
+// the channel's counters and energy accumulator, the op's staged page
+// bytes, the caller's destination slice, and the channel's own op pool —
+// the domain-local contract that lets channels step concurrently.
+func (op *readCompletion) complete() {
+	f := op.f
+	f.accountRead(op.ch)
+	if op.staged {
+		copy(op.dst, op.buf)
+		op.staged = false
+	}
+	op.dst = nil
+	f.readOps[op.ch] = append(f.readOps[op.ch], op)
+}
+
+// ReadDeferred performs a page read with the timing of Read, but defers the
+// per-channel bookkeeping — counters, energy, the tracked-data copy into
+// dst — to an event scheduled in dom at the transaction's completion time.
+// The returned bytes are identical to Read's: the page contents are staged
+// at issue time (see readCompletion.buf). The caller passes the channel's
+// scheduling domain (nand.ChannelDomain); when that domain is marked
+// domain-local, the engine may dispatch the completion concurrently with
+// other channels' between synchronization horizons. dst must stay valid
+// until an event at the returned Done time observes it (the core's fill
+// install, always scheduled after this call, so it orders later among
+// same-time events). An error claims nothing and schedules nothing, but
+// batching callers should prevalidate with CheckRead so no earlier
+// iteration has scheduled yet when a later one fails.
+func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte) (Result, error) {
+	if err := f.CheckRead(addr); err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr)
+
+	op := f.acquireReadCompletion(addr.Channel)
+	op.dst = dst
 	if f.trackData && dst != nil {
-		stored := f.data.get(f.geo.PageIndex(addr))
-		n := copy(dst, stored)
-		for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
-			dst[i] = 0
+		if op.buf == nil {
+			op.buf = make([]byte, f.geo.PageSize)
 		}
+		f.copyOut(f.geo.PageIndex(addr), op.buf)
+		op.staged = true
 	}
+	e.AtIn(dom, done, op.fn)
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
 }
 
@@ -562,9 +712,10 @@ func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error)
 
 	blk.written[addr.Page] = true
 	blk.nextPage++
-	f.stats.Programs++
-	f.stats.BytesWritten += uint64(f.geo.PageSize)
-	f.energyJ += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+	st := &f.chStats[addr.Channel]
+	st.Programs++
+	st.BytesWritten += uint64(f.geo.PageSize)
+	f.chEnergy[addr.Channel] += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
 
 	if f.trackData && data != nil {
 		f.data.put(f.geo.PageIndex(addr), data)
@@ -594,8 +745,8 @@ func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
 	if f.trackData {
 		f.data.clearRange(int64(bi)*int64(f.geo.PagesPerBlock), f.geo.PagesPerBlock)
 	}
-	f.stats.Erases++
-	f.energyJ += f.pow.EraseEnergyJ
+	f.chStats[addr.Channel].Erases++
+	f.chEnergy[addr.Channel] += f.pow.EraseEnergyJ
 	return Result{Start: cmdStart, Ready: done, Done: done}, nil
 }
 

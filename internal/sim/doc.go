@@ -59,6 +59,74 @@
 //     counters. The synchronous core.Submit wrapper reuses one engine this
 //     way for its per-request private simulation.
 //
+// # Domain-local vs cross-domain events, horizon-synchronized parallelism
+//
+// With the per-channel shards in place, the engine distinguishes two event
+// classes (MarkDomainLocal):
+//
+//   - Cross-domain (the default: host/HIL, CPU, ICL/DRAM, DMA, the fil
+//     continuation shard, default). These events may read or write any
+//     simulator state and may schedule or cancel events anywhere. Firmware
+//     stage boundaries, cache installs, GC, transfers and request
+//     completions are all cross-domain: each can observe several channels.
+//
+//   - Domain-local (the per-NAND-channel shards). These events touch only
+//     state owned by their channel — the channel's counters and energy
+//     accumulator, its pooled completion carriers, read-only arena pages
+//     and a destination slice no other event writes — and never call back
+//     into the engine: no scheduling, no cancels, no Now. In the full
+//     system they are exactly the deferred per-channel bookkeeping of
+//     flash reads (nand.Flash.ReadDeferred).
+//
+// RunParallel exploits the split: it computes the horizon — the earliest
+// cross-domain (time, sequence) key (NextCrossDomainTime) — opens a window
+// (BeginWindow), lets workers drain every domain-local shard strictly up
+// to that key (StepDomainUntil, one shard per worker at a time, enforced
+// by an atomic owner guard that panics if two workers ever step one
+// shard), barriers (EndWindow, which merges the staged pending/dispatched
+// deltas, freed record slots in fixed domain order, and the clock), then
+// dispatches the horizon event serially and repeats.
+//
+// Why this is byte-identical to the serial dispatch, at any worker count:
+//
+//  1. Every scheduling call happens in a serial section (cross-domain
+//     callbacks or setup code) — domain-local events never schedule — so
+//     the global sequence counter assigns the same (time, sequence) key to
+//     every event in both modes, and a window's event set is fixed when it
+//     opens.
+//
+//  2. Within one domain, StepDomainUntil pops the shard heap in (time,
+//     sequence) order — the same relative order the serial loop dispatches
+//     those events in.
+//
+//  3. Two domain-local events in different domains commute: their state
+//     partitions are disjoint by the domain-local contract, so dispatching
+//     them in either order (or concurrently) yields the same final state.
+//     Serial-call guards turn contract violations into panics, and the
+//     race job keeps the no-shared-state claim honest under -race.
+//
+//  4. A domain-local event L and a cross-domain event C do not commute (C
+//     may read L's channel state), but their relative order is preserved
+//     exactly: the window dispatches precisely the local events whose key
+//     is strictly before C's key — the same set that precedes C in the
+//     serial total order, including same-time events, which the strict
+//     (time, sequence) bound orders by their engine-global sequence.
+//
+// So the dispatch order restricted to every state partition is identical
+// to serial, all cross-partition reads observe identical state, and the
+// merged bookkeeping (counters in fixed domain order, per-channel float
+// accumulators summed in channel order) is deterministic. The golden tests
+// lock this in at the engine level (TestRunParallelEquivalence) and
+// through the full stack (core's TestIntraParallelGoldenEquivalence:
+// identical experiment tables, per-domain dispatch counts and payload
+// bytes through a GC-triggering workload).
+//
+// The wall-clock win has two parts: batch-draining a shard skips the
+// per-event tournament read/repair the serial loop pays (measurable even
+// single-threaded), and with GOMAXPROCS > 1 the channel shards' work —
+// dominated by tracked-data page copies on data-tracking systems — runs
+// on real cores in parallel.
+//
 // # Resources
 //
 // Resource and Pool model FCFS servers by time reservation: Claim(now, dur)

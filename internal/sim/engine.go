@@ -54,11 +54,21 @@ type eventRecord struct {
 }
 
 // shard is one scheduling domain: a pooled 4-ary min-heap of record ids
-// plus its lifetime dispatch counter.
+// plus its lifetime dispatch counter. The window fields exist for
+// domain-local shards stepped inside a parallel window (see parallel.go):
+// while a window is open exactly one worker owns the shard (enforced by the
+// owner guard) and accumulates dispatch bookkeeping locally; EndWindow
+// merges it back into the engine serially.
 type shard struct {
 	name       string
 	heap       []int32 // record ids ordered as a 4-ary min-heap by (at, seq)
 	dispatched uint64
+
+	local  bool    // domain-local: steppable inside a parallel window
+	owner  int32   // CAS guard: 1 while a worker steps the shard, else 0
+	freed  []int32 // records released during the open window
+	popped int     // events dispatched during the open window
+	maxAt  Time    // latest event time dispatched during the open window
 }
 
 // DomainStat reports one domain's activity.
@@ -90,6 +100,14 @@ type Engine struct {
 
 	shards  []shard
 	domains map[string]DomainID
+	locals  []DomainID // domains marked domain-local, in registration order
+
+	// inWindow is true between BeginWindow and EndWindow: the only legal
+	// engine calls are then StepDomainUntil on distinct domain-local shards
+	// (possibly from concurrent workers). Every serial mutator checks it, so
+	// a window callback that tries to schedule, cancel or step fails loudly
+	// instead of racing.
+	inWindow bool
 
 	// Tournament (winner) tree over shard heads: tree[leafCap+s] mirrors
 	// shard s's head, each internal node caches the winner of its two
@@ -143,6 +161,7 @@ func (e *Engine) Domain(name string) DomainID {
 	if id, ok := e.domains[name]; ok {
 		return id
 	}
+	e.checkSerial()
 	if len(e.shards) >= 1<<16 {
 		panic("sim: too many scheduling domains (max 65536)")
 	}
@@ -192,6 +211,7 @@ func (e *Engine) Dispatched() uint64 { return e.dispatched }
 // are preserved (they track lifetime work for the simulation-speed
 // metric). All outstanding handles become stale.
 func (e *Engine) Reset() {
+	e.checkSerial()
 	for s := range e.shards {
 		sh := &e.shards[s]
 		for _, id := range sh.heap {
@@ -235,6 +255,7 @@ func (e *Engine) At(t Time, fn func()) Event {
 
 // AtIn queues fn to run at absolute time t in the given domain.
 func (e *Engine) AtIn(dom DomainID, t Time, fn func()) Event {
+	e.checkSerial()
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -273,6 +294,7 @@ func (e *Engine) AtIn(dom DomainID, t Time, fn func()) Event {
 // Cancel removes a pending event. Cancelling a fired, already-cancelled or
 // stale event is a harmless no-op, which simplifies timeout patterns.
 func (e *Engine) Cancel(ev Event) {
+	e.checkSerial()
 	if ev.engine != e || ev.id < 0 || int(ev.id) >= len(e.records) {
 		return
 	}
@@ -307,6 +329,7 @@ func (e *Engine) release(id int32) {
 // recycled before its callback runs, so callbacks can schedule freely
 // without growing the pool.
 func (e *Engine) Step() bool {
+	e.checkSerial()
 	head := e.tree[1]
 	if head == emptyNode {
 		return false

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Horizon-synchronized parallel dispatch. Every scheduling domain is one of
+// two classes:
+//
+//   - cross-domain (the default): its events may read or write any
+//     simulator state and may schedule further events anywhere. They are
+//     always dispatched serially, in global (time, sequence) order.
+//
+//   - domain-local (marked with MarkDomainLocal): its events touch only
+//     state owned by that domain (per-NAND-channel buses, dies, counters,
+//     tracked-page copies) and never call back into the engine — no
+//     scheduling, no cancels, no Step. Between two cross-domain events,
+//     events in distinct domain-local shards are causally independent, so
+//     they may be dispatched concurrently by different workers without
+//     changing any observable result.
+//
+// RunParallel exploits this: it repeatedly computes the horizon — the
+// (time, sequence) key of the earliest pending cross-domain event — lets
+// workers drain every domain-local shard strictly up to that key
+// (StepDomainUntil), barriers (EndWindow), then dispatches the horizon
+// event serially and repeats. doc.go states the full determinism argument;
+// the short form is that the dispatch order restricted to any one state
+// partition (each local domain, and the union of all cross domains) is
+// identical to the serial order, and all scheduling happens in serial
+// sections so sequence numbers are assigned identically too.
+
+// checkSerial panics when a serial-only engine call is made while a
+// parallel window is open. Window callbacks must not touch the engine;
+// this turns such bugs into a deterministic panic instead of a data race.
+func (e *Engine) checkSerial() {
+	if e.inWindow {
+		panic("sim: engine call during an open parallel window (domain-local events must not schedule, cancel or step)")
+	}
+}
+
+// MarkDomainLocal classifies dom as domain-local: its events touch only
+// per-domain state and never call the engine, so RunParallel may dispatch
+// them concurrently with other local domains between synchronization
+// horizons. Marking is idempotent and, like Domain registration, is a
+// setup-time call.
+func (e *Engine) MarkDomainLocal(dom DomainID) {
+	e.checkSerial()
+	if dom < 0 || int(dom) >= len(e.shards) {
+		panic(fmt.Sprintf("sim: marking unregistered domain %d local", dom))
+	}
+	sh := &e.shards[dom]
+	if sh.local {
+		return
+	}
+	sh.local = true
+	e.locals = append(e.locals, dom)
+}
+
+// IsDomainLocal reports whether dom was marked domain-local.
+func (e *Engine) IsDomainLocal(dom DomainID) bool {
+	return int(dom) < len(e.shards) && e.shards[dom].local
+}
+
+// NextCrossDomainTime returns the (time, sequence) key of the earliest
+// pending event in any cross-domain shard, or ok=false when every
+// cross-domain shard is empty. RunParallel uses it as the horizon bound for
+// a window; the scan is O(number of cross shards), which a full system
+// keeps small (host, cpu, icl.dram, dma, fil, default).
+func (e *Engine) NextCrossDomainTime() (at Time, seq uint64, ok bool) {
+	best := emptyNode
+	for s := range e.shards {
+		sh := &e.shards[s]
+		if sh.local || len(sh.heap) == 0 {
+			continue
+		}
+		rec := &e.records[sh.heap[0]]
+		if n := (treeNode{at: rec.at, key: rec.seq<<16 | uint64(s)}); n.beats(best) {
+			best = n
+		}
+	}
+	if best == emptyNode {
+		return 0, 0, false
+	}
+	return best.at, best.key >> 16, true
+}
+
+// BeginWindow opens a parallel window: until EndWindow, the only legal
+// engine calls are StepDomainUntil on distinct domain-local shards,
+// possibly from concurrent goroutines. All other engine methods panic.
+func (e *Engine) BeginWindow() {
+	if e.inWindow {
+		panic("sim: nested BeginWindow")
+	}
+	e.inWindow = true
+}
+
+// StepDomainUntil dispatches every pending event of the given domain-local
+// shard whose (time, sequence) key is strictly before (horizon,
+// horizonSeq), in shard order, and returns the number dispatched. It is the
+// one engine call legal inside an open window and may run concurrently
+// with StepDomainUntil on other shards: all bookkeeping it touches is
+// owned by the shard (an atomic owner guard panics if two workers ever
+// step the same shard). Freed records, the pending delta and the clock
+// advance are staged on the shard and merged serially by EndWindow.
+func (e *Engine) StepDomainUntil(dom DomainID, horizon Time, horizonSeq uint64) int {
+	if !e.inWindow {
+		panic("sim: StepDomainUntil outside an open window")
+	}
+	if dom < 0 || int(dom) >= len(e.shards) {
+		panic(fmt.Sprintf("sim: stepping unregistered domain %d", dom))
+	}
+	sh := &e.shards[dom]
+	if !sh.local {
+		panic(fmt.Sprintf("sim: StepDomainUntil on cross-domain shard %q", sh.name))
+	}
+	if !atomic.CompareAndSwapInt32(&sh.owner, 0, 1) {
+		panic(fmt.Sprintf("sim: shard %q stepped by two workers concurrently", sh.name))
+	}
+	n := 0
+	for len(sh.heap) > 0 {
+		id := sh.heap[0]
+		rec := &e.records[id]
+		if rec.at > horizon || (rec.at == horizon && rec.seq >= horizonSeq) {
+			break
+		}
+		e.heapRemoveAt(sh, 0)
+		sh.dispatched++
+		sh.popped++
+		if rec.at > sh.maxAt {
+			sh.maxAt = rec.at
+		}
+		fn := rec.fn
+		rec.fn = nil
+		rec.gen++
+		sh.freed = append(sh.freed, id)
+		n++
+		fn()
+	}
+	atomic.StoreInt32(&sh.owner, 0)
+	return n
+}
+
+// EndWindow closes a parallel window: it merges each local shard's staged
+// bookkeeping back into the engine — pending and dispatched counters, freed
+// record slots (in domain registration order, so the free list stays
+// deterministic), the clock (to the latest event dispatched in the window)
+// — and repairs the tournament leaves of the shards that changed.
+func (e *Engine) EndWindow() {
+	if !e.inWindow {
+		panic("sim: EndWindow without BeginWindow")
+	}
+	e.inWindow = false
+	for _, dom := range e.locals {
+		sh := &e.shards[dom]
+		if sh.popped == 0 {
+			continue
+		}
+		e.pending -= sh.popped
+		e.dispatched += uint64(sh.popped)
+		e.free = append(e.free, sh.freed...)
+		sh.freed = sh.freed[:0]
+		sh.popped = 0
+		if sh.maxAt > e.now {
+			e.now = sh.maxAt
+		}
+		sh.maxAt = 0
+		e.repair(int(dom))
+	}
+}
+
+// ParallelStats reports the horizon structure of one RunParallel drain.
+type ParallelStats struct {
+	Horizons         uint64 // windows that dispatched at least one local event
+	ParallelHorizons uint64 // of those, windows fanned out over >1 worker
+	LocalEvents      uint64 // events dispatched inside windows
+	CrossEvents      uint64 // events dispatched serially between windows
+}
+
+// MeanLocalPerHorizon returns the average number of domain-local events a
+// window dispatched — the work available between two synchronization
+// barriers, the figure of merit for intra-device parallel efficiency.
+func (p ParallelStats) MeanLocalPerHorizon() float64 {
+	if p.Horizons == 0 {
+		return 0
+	}
+	return float64(p.LocalEvents) / float64(p.Horizons)
+}
+
+// RunParallel dispatches events until the queue drains, like Run, but steps
+// domain-local shards concurrently between synchronization horizons over up
+// to `workers` goroutines (the calling goroutine is one of them). The
+// result — every callback effect, counter and the final clock — is
+// byte-identical to Run at any worker count; see doc.go for the argument.
+// With workers <= 1 the same horizon-structured loop runs entirely on the
+// calling goroutine, which is the reference mode for equivalence tests.
+func (e *Engine) RunParallel(workers int) ParallelStats {
+	var st ParallelStats
+	if len(e.locals) == 0 {
+		for e.Step() {
+			st.CrossEvents++
+		}
+		return st
+	}
+	if workers > len(e.locals) {
+		workers = len(e.locals)
+	}
+	var pool *windowPool
+	defer func() {
+		if pool != nil {
+			pool.close()
+		}
+	}()
+	eligible := make([]DomainID, 0, len(e.locals))
+	for {
+		at, seq, ok := e.NextCrossDomainTime()
+		if !ok {
+			// No cross-domain work left: drain every local shard fully.
+			at, seq = MaxTime, ^uint64(0)
+		}
+		eligible = eligible[:0]
+		for _, dom := range e.locals {
+			sh := &e.shards[dom]
+			if len(sh.heap) == 0 {
+				continue
+			}
+			rec := &e.records[sh.heap[0]]
+			if rec.at < at || (rec.at == at && rec.seq < seq) {
+				eligible = append(eligible, dom)
+			}
+		}
+		if len(eligible) > 0 {
+			st.Horizons++
+			e.BeginWindow()
+			if workers <= 1 || len(eligible) == 1 {
+				for _, dom := range eligible {
+					st.LocalEvents += uint64(e.StepDomainUntil(dom, at, seq))
+				}
+			} else {
+				if pool == nil {
+					pool = newWindowPool(e, workers-1)
+				}
+				st.ParallelHorizons++
+				st.LocalEvents += pool.run(eligible, at, seq)
+			}
+			e.EndWindow()
+		}
+		if !ok {
+			return st
+		}
+		e.Step()
+		st.CrossEvents++
+	}
+}
+
+// windowPool is RunParallel's persistent worker set: workers-1 background
+// goroutines plus the coordinator drain an atomically indexed list of
+// eligible domains each window. Handoff is one unbuffered channel token per
+// participating worker (a happens-before edge for the window fields) and a
+// WaitGroup barrier back.
+type windowPool struct {
+	e      *Engine
+	nbg    int // background workers
+	doms   []DomainID
+	at     Time
+	seq    uint64
+	next   int32 // atomic index into doms
+	events int64 // atomic dispatched-count accumulator
+	start  chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newWindowPool(e *Engine, background int) *windowPool {
+	p := &windowPool{e: e, nbg: background, start: make(chan struct{})}
+	for w := 0; w < background; w++ {
+		go func() {
+			for range p.start {
+				p.drain()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// drain steps eligible domains until the shared index runs out.
+func (p *windowPool) drain() {
+	var n int64
+	for {
+		i := int(atomic.AddInt32(&p.next, 1)) - 1
+		if i >= len(p.doms) {
+			break
+		}
+		n += int64(p.e.StepDomainUntil(p.doms[i], p.at, p.seq))
+	}
+	if n != 0 {
+		atomic.AddInt64(&p.events, n)
+	}
+}
+
+// run fans one window out and blocks until every domain is stepped.
+func (p *windowPool) run(doms []DomainID, at Time, seq uint64) uint64 {
+	p.doms, p.at, p.seq = doms, at, seq
+	atomic.StoreInt32(&p.next, 0)
+	atomic.StoreInt64(&p.events, 0)
+	n := p.nbg
+	if n > len(doms)-1 {
+		n = len(doms) - 1 // the coordinator always takes at least one
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		p.start <- struct{}{}
+	}
+	p.drain()
+	p.wg.Wait()
+	return uint64(atomic.LoadInt64(&p.events))
+}
+
+func (p *windowPool) close() { close(p.start) }

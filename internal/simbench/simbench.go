@@ -59,3 +59,109 @@ func (h *HotLoop) Op() {
 
 // Drain dispatches the remaining population.
 func (h *HotLoop) Drain() { h.e.Run() }
+
+// Dispatched returns the engine's lifetime dispatch count: with the same
+// churn schedule it must be identical at every domain count (the sharding
+// is an ordering structure, not a semantic one).
+func (h *HotLoop) Dispatched() uint64 { return h.e.Dispatched() }
+
+// Pending returns the currently queued event count.
+func (h *HotLoop) Pending() int { return h.e.Pending() }
+
+// IntraLoop is the intra-device parallelism harness: one cross-domain
+// pacing event per synchronization horizon plus bursts of domain-local
+// events across the channel shards, each carrying a page-sized payload copy
+// — the shape of a multi-channel device's deferred flash bookkeeping under
+// horizon-synchronized dispatch (sim.Engine.RunParallel). The root
+// BenchmarkIntraParallel and the amberbench -json intra_parallel section
+// both drive this loop.
+type IntraLoop struct {
+	e      *sim.Engine
+	locals []sim.DomainID
+	cross  sim.DomainID
+
+	src, dst [][]byte // per-channel payload pages
+	counts   []uint64 // per-channel dispatched local events
+
+	perChannel int
+	rounds     int
+	round      int
+
+	localFns []func() // per-channel local event bodies, bound once
+	crossFn  func()
+}
+
+// IntraPageBytes is the payload each local event copies: one 4 KiB flash
+// page, the unit the real deferred read completions move when data
+// tracking is on.
+const IntraPageBytes = 4096
+
+// NewIntraLoop builds the harness: `channels` domain-local shards that each
+// receive `perChannel` copy events between consecutive horizons, for
+// `rounds` horizons.
+func NewIntraLoop(channels, perChannel, rounds int) *IntraLoop {
+	l := &IntraLoop{
+		e:          sim.NewEngine(),
+		perChannel: perChannel,
+		rounds:     rounds,
+	}
+	l.cross = l.e.Domain("cross")
+	l.counts = make([]uint64, channels)
+	for ch := 0; ch < channels; ch++ {
+		ch := ch
+		dom := l.e.Domain(fmt.Sprintf("ch%d", ch))
+		l.e.MarkDomainLocal(dom)
+		l.locals = append(l.locals, dom)
+		src := make([]byte, IntraPageBytes)
+		for i := range src {
+			src[i] = byte(ch + i)
+		}
+		l.src = append(l.src, src)
+		l.dst = append(l.dst, make([]byte, IntraPageBytes))
+		l.localFns = append(l.localFns, func() {
+			copy(l.dst[ch], l.src[ch])
+			l.counts[ch]++
+		})
+	}
+	l.crossFn = l.pace
+	return l
+}
+
+// pace is the cross-domain horizon driver: it fills every channel's window
+// with copy events, then schedules the next horizon.
+func (l *IntraLoop) pace() {
+	if l.round >= l.rounds {
+		return
+	}
+	l.round++
+	const period = sim.Duration(1000 * 1000) // 1 us of simulated time per horizon
+	step := period / sim.Duration(l.perChannel+1)
+	for i := 0; i < l.perChannel; i++ {
+		at := sim.Duration(i+1) * step
+		for ch := range l.locals {
+			l.e.ScheduleIn(l.locals[ch], at, l.localFns[ch])
+		}
+	}
+	l.e.ScheduleIn(l.cross, period, l.crossFn)
+}
+
+// Run drains the loop: workers <= 0 uses the plain serial dispatcher
+// (Engine.Run), workers >= 1 the horizon-synchronized parallel one.
+func (l *IntraLoop) Run(workers int) sim.ParallelStats {
+	l.round = 0
+	l.e.ScheduleIn(l.cross, 0, l.crossFn)
+	if workers <= 0 {
+		l.e.Run()
+		return sim.ParallelStats{}
+	}
+	return l.e.RunParallel(workers)
+}
+
+// Dispatched returns the engine's lifetime dispatch count.
+func (l *IntraLoop) Dispatched() uint64 { return l.e.Dispatched() }
+
+// ChannelCounts returns the per-channel local event counts.
+func (l *IntraLoop) ChannelCounts() []uint64 { return l.counts }
+
+// Pages returns the per-channel destination pages (for equivalence checks).
+func (l *IntraLoop) Pages() [][]byte { return l.dst }

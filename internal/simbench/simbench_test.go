@@ -1,0 +1,84 @@
+package simbench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestHotLoopAllocFree asserts the harness's core property: after warmup
+// the schedule/cancel/step churn performs zero allocations per op, at every
+// domain count the benchmarks run with.
+func TestHotLoopAllocFree(t *testing.T) {
+	for _, domains := range []int{1, 4, HotLoopDomains} {
+		h := NewHotLoop(domains)
+		for i := 0; i < 5000; i++ { // reach the steady pool size
+			h.Op()
+		}
+		if allocs := testing.AllocsPerRun(200, h.Op); allocs != 0 {
+			t.Errorf("domains=%d: %v allocs/op, want 0", domains, allocs)
+		}
+		h.Drain()
+	}
+}
+
+// TestHotLoopStableEventCounts asserts the churn schedule is domain-count
+// invariant: the same op sequence dispatches exactly the same number of
+// events whether the population lives in one global heap or is spread over
+// the device's shards, and drains to an empty engine either way.
+func TestHotLoopStableEventCounts(t *testing.T) {
+	const ops = 20000
+	var want uint64
+	for i, domains := range []int{1, 2, 4, HotLoopDomains} {
+		h := NewHotLoop(domains)
+		for j := 0; j < ops; j++ {
+			h.Op()
+		}
+		h.Drain()
+		if h.Pending() != 0 {
+			t.Fatalf("domains=%d: %d events left after drain", domains, h.Pending())
+		}
+		got := h.Dispatched()
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("domains=%d dispatched %d events, want %d (domain count must not change semantics)", domains, got, want)
+		}
+	}
+	if want == 0 {
+		t.Fatal("degenerate run: nothing dispatched")
+	}
+}
+
+// TestIntraLoopEquivalence locks the harness to the engine's horizon
+// contract: serial dispatch, the horizon loop on one worker and the horizon
+// loop over several workers must produce identical per-channel counts,
+// payload bytes and dispatch totals.
+func TestIntraLoopEquivalence(t *testing.T) {
+	const channels, perChannel, rounds = 8, 16, 25
+
+	serial := NewIntraLoop(channels, perChannel, rounds)
+	serial.Run(0)
+
+	parallel := NewIntraLoop(channels, perChannel, rounds)
+	st := parallel.Run(4)
+
+	if serial.Dispatched() != parallel.Dispatched() {
+		t.Fatalf("dispatched %d (serial) != %d (parallel)", serial.Dispatched(), parallel.Dispatched())
+	}
+	for ch := 0; ch < channels; ch++ {
+		if serial.ChannelCounts()[ch] != parallel.ChannelCounts()[ch] {
+			t.Fatalf("ch%d count %d != %d", ch, serial.ChannelCounts()[ch], parallel.ChannelCounts()[ch])
+		}
+		if serial.ChannelCounts()[ch] != uint64(perChannel*rounds) {
+			t.Fatalf("ch%d count %d, want %d", ch, serial.ChannelCounts()[ch], perChannel*rounds)
+		}
+		if !bytes.Equal(serial.Pages()[ch], parallel.Pages()[ch]) {
+			t.Fatalf("ch%d payload bytes diverged", ch)
+		}
+	}
+	if st.Horizons == 0 || st.LocalEvents != uint64(channels*perChannel*rounds) {
+		t.Fatalf("horizon stats %+v, want %d local events", st, channels*perChannel*rounds)
+	}
+}
