@@ -180,13 +180,33 @@ func BenchmarkIntraParallel(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { run(b, 0) })
 	b.Run("workers2", func(b *testing.B) { run(b, 2) })
 	b.Run("workers4", func(b *testing.B) { run(b, 4) })
+
+	// The batched variant interleaves channel-neutral cross events between
+	// the local bursts (half of perChannel per horizon): with horizon
+	// batching they dispatch without draining the channel shards, so the
+	// barrier count stays one per horizon instead of growing with the
+	// neutral traffic.
+	runNeutral := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l := simbench.NewIntraLoopNeutral(channels, perChannel, perChannel/2, rounds)
+			st := l.Run(workers)
+			if workers > 0 && st.BatchedCross == 0 {
+				b.Fatal("no cross events batched")
+			}
+		}
+	}
+	b.Run("neutral-serial", func(b *testing.B) { runNeutral(b, 0) })
+	b.Run("neutral-workers4", func(b *testing.B) { runNeutral(b, 4) })
 }
 
 // BenchmarkIntraParallelSystem measures the full-system effect on a wide
-// (8-channel) data-tracking device: sequential reads with payload buffers,
-// serial dispatch vs horizon-synchronized dispatch at 4 workers. The two
-// modes are byte-identical in results (locked by
-// core.TestIntraParallelGoldenEquivalence); this benchmark records their
+// (8-channel) data-tracking device: serial dispatch vs horizon-synchronized
+// dispatch at 4 workers, under sequential reads (PR 3's original fast
+// path), GC-triggering 4K random writes (deferred program/erase
+// bookkeeping), and 4K random reads (the small-window class horizon
+// batching targets). The modes are byte-identical in results (locked by
+// the core golden equivalence tests); this benchmark records their
 // wall-clock cost.
 func BenchmarkIntraParallelSystem(b *testing.B) {
 	build := func() *core.System {
@@ -203,9 +223,9 @@ func BenchmarkIntraParallelSystem(b *testing.B) {
 		}
 		return s
 	}
-	run := func(b *testing.B, workers int) {
+	run := func(b *testing.B, pattern workload.Pattern, bs, workers int) {
 		s := build()
-		gen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 5)
+		gen, err := workload.NewFIO(pattern, bs, s.VolumeBytes(), 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -213,6 +233,46 @@ func BenchmarkIntraParallelSystem(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Run(gen, core.RunConfig{Requests: 300, IODepth: 16, IntraWorkers: workers, WithData: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seq-read-serial", func(b *testing.B) { run(b, workload.SeqRead, 16384, 0) })
+	b.Run("seq-read-workers4", func(b *testing.B) { run(b, workload.SeqRead, 16384, 4) })
+	b.Run("rand-write-serial", func(b *testing.B) { run(b, workload.RandWrite, 4096, 0) })
+	b.Run("rand-write-workers4", func(b *testing.B) { run(b, workload.RandWrite, 4096, 4) })
+	b.Run("rand-read-serial", func(b *testing.B) { run(b, workload.RandRead, 4096, 0) })
+	b.Run("rand-read-workers4", func(b *testing.B) { run(b, workload.RandRead, 4096, 4) })
+}
+
+// BenchmarkSubmitPathIntra measures the synchronous Submit wrapper with the
+// pooled intra mode (System.SetIntraWorkers) on a data-tracking device —
+// the trace-replay shape the submit-path intra mode exists for — against
+// the plain serial drain.
+func BenchmarkSubmitPathIntra(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		d := config.SmallTestDevice()
+		d.Geometry.Channels = 8
+		d.Geometry.PackagesPerChannel = 1
+		d.Geometry.BlocksPerPlane = 10
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetIntraWorkers(workers)
+		defer s.SetIntraWorkers(0)
+		gen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Precondition(16); err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 16384)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Submit(s.Now(), gen.Next(i), buf); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -48,6 +48,15 @@ type jsonReport struct {
 	EngineHotLoop jsonEngineBench  `json:"engine_hot_loop"`
 	IntraParallel jsonIntraBench   `json:"intra_parallel"`
 	IntraSystem   jsonIntraSystem  `json:"intra_system"`
+	// IntraSystemWrite is the write-heavy (GC-triggering 4K random
+	// overwrite) intra-parallel system run: the workload class whose flash
+	// work executed serially inside cross-domain events before deferred
+	// program/erase bookkeeping landed.
+	IntraSystemWrite jsonIntraSystem `json:"intra_system_write"`
+	// HorizonBatch reports the horizon-batching structure of a small-window
+	// (4K random read) run, where PR 3's read-only windows averaged ~1
+	// local event per horizon and barrier overhead dominated.
+	HorizonBatch jsonHorizonBatch `json:"horizon_batch"`
 }
 
 type jsonExperiment struct {
@@ -127,6 +136,7 @@ type jsonIntraBench struct {
 // run. The two modes are byte-identical in simulated results (locked by the
 // core golden equivalence test); this records their wall-clock cost.
 type jsonIntraSystem struct {
+	Workload            string  `json:"workload"`
 	Channels            int     `json:"channels"`
 	Requests            int     `json:"requests"`
 	Workers             int     `json:"workers"`
@@ -136,8 +146,31 @@ type jsonIntraSystem struct {
 	Horizons            uint64  `json:"horizons"`
 	LocalEvents         uint64  `json:"local_events"`
 	CrossEvents         uint64  `json:"cross_events"`
+	BatchedCross        uint64  `json:"batched_cross_events"`
 	MeanLocalPerHorizon float64 `json:"mean_local_events_per_horizon"`
 	Identical           bool    `json:"identical"` // serial/parallel end-time and event-count match
+}
+
+// jsonHorizonBatch reports the horizon-batching structure of an
+// intra-parallel run on a small-window workload: how many cross-domain
+// events dispatched through the channel-neutral fast path instead of
+// forcing their own synchronization barrier, and the barrier counts the
+// drain paid versus what it would have paid un-batched.
+type jsonHorizonBatch struct {
+	Workload            string  `json:"workload"`
+	Channels            int     `json:"channels"`
+	Requests            int     `json:"requests"`
+	Workers             int     `json:"workers"`
+	Horizons            uint64  `json:"horizons"`
+	BatchedCross        uint64  `json:"batched_cross_events"`
+	CrossEvents         uint64  `json:"cross_events"`
+	LocalEvents         uint64  `json:"local_events"`
+	MeanLocalPerHorizon float64 `json:"mean_local_events_per_horizon"`
+	BarriersBefore      uint64  `json:"barriers_without_batching"`
+	BarriersAfter       uint64  `json:"barriers_with_batching"`
+	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
+	Speedup             float64 `json:"speedup"`
 }
 
 // intraParallelBench measures the engine-level horizon loop.
@@ -169,9 +202,13 @@ func intraParallelBench() jsonIntraBench {
 	return b
 }
 
-// intraSystemBench measures the full-system intra-parallel run.
-func intraSystemBench(n int) (jsonIntraSystem, error) {
-	const channels = 8
+// intraWorkerCount picks the worker count for the intra-parallel system
+// benches: NumCPU clamped to [2, channels]. Note the engine additionally
+// clamps the actual window fan-out to GOMAXPROCS (sim.RunParallel), so on
+// a single-processor host the reported run uses the horizon loop
+// single-threaded; the JSON reports this requested count, which is also
+// what RunConfig.IntraWorkers received.
+func intraWorkerCount(channels int) int {
 	workers := runtime.NumCPU()
 	if workers < 2 {
 		workers = 2
@@ -179,7 +216,16 @@ func intraSystemBench(n int) (jsonIntraSystem, error) {
 	if workers > channels {
 		workers = channels
 	}
-	b := jsonIntraSystem{Channels: channels, Requests: n, Workers: workers}
+	return workers
+}
+
+// intraSystemBench measures one full-system intra-parallel run: serial
+// dispatch vs RunConfig.IntraWorkers on a wide (8-channel) data-tracking
+// device, both preconditioned to steady state, under the given workload.
+func intraSystemBench(n int, pattern workload.Pattern, bs int) (jsonIntraSystem, error) {
+	const channels = 8
+	workers := intraWorkerCount(channels)
+	b := jsonIntraSystem{Workload: pattern.String(), Channels: channels, Requests: n, Workers: workers}
 
 	run := func(intraWorkers int) (*core.RunResult, float64, error) {
 		d := config.SmallTestDevice()
@@ -193,7 +239,7 @@ func intraSystemBench(n int) (jsonIntraSystem, error) {
 		if err := s.Precondition(16); err != nil {
 			return nil, 0, err
 		}
-		gen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 5)
+		gen, err := workload.NewFIO(pattern, bs, s.VolumeBytes(), 5)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -214,10 +260,36 @@ func intraSystemBench(n int) (jsonIntraSystem, error) {
 		b.Speedup = swall / pwall
 	}
 	st := pres.Intra
-	b.Horizons, b.LocalEvents, b.CrossEvents = st.Horizons, st.LocalEvents, st.CrossEvents
+	b.Horizons, b.LocalEvents, b.CrossEvents, b.BatchedCross = st.Horizons, st.LocalEvents, st.CrossEvents, st.BatchedCross
 	b.MeanLocalPerHorizon = st.MeanLocalPerHorizon()
 	b.Identical = sres.End == pres.End && sres.Events == pres.Events
 	return b, nil
+}
+
+// horizonBatchBench measures the horizon-batching structure on the
+// small-window workload class: 4K random reads, whose windows average few
+// local events, so barrier frequency is the binding cost.
+func horizonBatchBench(n int) (jsonHorizonBatch, error) {
+	is, err := intraSystemBench(n, workload.RandRead, 4096)
+	if err != nil {
+		return jsonHorizonBatch{}, err
+	}
+	return jsonHorizonBatch{
+		Workload:            is.Workload,
+		Channels:            is.Channels,
+		Requests:            is.Requests,
+		Workers:             is.Workers,
+		Horizons:            is.Horizons,
+		BatchedCross:        is.BatchedCross,
+		CrossEvents:         is.CrossEvents,
+		LocalEvents:         is.LocalEvents,
+		MeanLocalPerHorizon: is.MeanLocalPerHorizon,
+		BarriersBefore:      is.Horizons + is.BatchedCross,
+		BarriersAfter:       is.Horizons,
+		SerialWallSeconds:   is.SerialWallSeconds,
+		ParallelWallSeconds: is.ParallelWallSeconds,
+		Speedup:             is.Speedup,
+	}, nil
 }
 
 // engineHotLoopBench measures raw engine throughput under
@@ -392,12 +464,26 @@ func main() {
 		}
 		report.EngineHotLoop = engineHotLoopBench(10 * n)
 		report.IntraParallel = intraParallelBench()
-		is, err := intraSystemBench(n / 20)
+		is, err := intraSystemBench(n/20, workload.SeqRead, 16384)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amberbench: intra-system bench: %v\n", err)
 			failed++
 		} else {
 			report.IntraSystem = is
+		}
+		isw, err := intraSystemBench(n/20, workload.RandWrite, 4096)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: intra-system write bench: %v\n", err)
+			failed++
+		} else {
+			report.IntraSystemWrite = isw
+		}
+		hb, err := horizonBatchBench(n / 20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: horizon-batch bench: %v\n", err)
+			failed++
+		} else {
+			report.HorizonBatch = hb
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -131,6 +131,10 @@ func main() {
 		if err != nil {
 			return err
 		}
+		// System-wide intra mode: the measured Run below uses it through the
+		// RunConfig fallback, and any synchronous Submit traffic (trace
+		// replay paths) drains through the pooled horizon dispatcher too.
+		s.SetIntraWorkers(*intraPar)
 		if !*noPrecond {
 			fmt.Fprintln(os.Stderr, dev+": preconditioning to steady state...")
 			if err := s.Precondition(32); err != nil {
@@ -193,6 +197,8 @@ func main() {
 			st := res.Intra
 			fmt.Fprintf(w, "intra-parallel  %d horizons (%d fanned out over %d workers), %d local + %d cross events, %.1f local events/horizon\n",
 				st.Horizons, st.ParallelHorizons, *intraPar, st.LocalEvents, st.CrossEvents, st.MeanLocalPerHorizon())
+			fmt.Fprintf(w, "horizon-batch   %d cross events batched past pending channel work: %d barriers instead of %d\n",
+				st.BatchedCross, st.Barriers(), st.BarriersWithoutBatching())
 		}
 		full := s.Now() - 0
 		fmt.Fprintf(w, "power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",

@@ -153,6 +153,14 @@ type System struct {
 	// Per-engine scheduling-domain cache (see domainsFor).
 	domTab []*engineDomains
 
+	// Submit-path intra mode (SetIntraWorkers): when > 1, the synchronous
+	// Submit wrapper drains its engine through RunParallelWith over a
+	// persistent worker pool instead of the serial Run, and Run uses it as
+	// the default for RunConfig.IntraWorkers == 0.
+	intraWorkers int
+	subPool      *sim.WorkerPool
+	submitIntra  sim.ParallelStats // accumulated over all pooled Submit drains
+
 	// Reusable state for the synchronous Submit wrapper.
 	subEngine   *sim.Engine
 	subStartFn  func()
@@ -321,21 +329,40 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 // each subsystem's stage-boundary events are ordered in. Resolving names
 // once per engine keeps the hot path free of map lookups.
 //
-// The domains split into the two classes the horizon-synchronized engine
-// distinguishes (sim.MarkDomainLocal, doc.go): the per-channel nand shards
-// are domain-local — they carry only the flash reads' deferred per-channel
-// bookkeeping (nand.ReadDeferred), which touches nothing outside its
-// channel — while host/cpu/icl/dma/fil order every event that reads or
-// writes cross-channel state (firmware stages, cache installs, transfers,
-// GC) and stay cross-domain. That classification is what makes
-// RunConfig.IntraWorkers sound: channels step concurrently between
-// horizons, everything else dispatches serially in global order.
+// The domains split into the three classes the horizon-synchronized engine
+// distinguishes (sim.MarkDomainLocal / sim.MarkChannelNeutral, doc.go):
+//
+//   - The per-channel nand shards are domain-local: they carry only the
+//     deferred per-channel flash bookkeeping — read completions and the
+//     per-die plan batches of program installs and erase clears
+//     (nand.ReadDeferred, nand.PlanBatch) — which touches nothing outside
+//     its channel.
+//
+//   - icl and fil stay plain cross-domain: their events consume state
+//     pending channel events write (fill installs read line buffers the
+//     deferred read copies fill; the write-ops stage flushes evictions into
+//     flash), so every pending local event with an earlier key must drain
+//     first.
+//
+//   - host, cpu and dma are additionally marked channel-neutral in the
+//     active (non-passive) architecture: request issue, parse/dispatch and
+//     payload-transfer arbitration never read per-channel counters, energy
+//     or installed page contents (flash issue paths stage bytes through the
+//     pending-aware index, see doc.go's safety condition), so RunParallel
+//     may batch them past pending channel work without a barrier. The
+//     passive (OCSSD/pblk) architecture serves requests host-side and
+//     programs flash from host events, so it marks nothing neutral.
+//
+// That classification is what makes RunConfig.IntraWorkers sound and
+// cheap: channels step concurrently between horizons, channel-coupled
+// events dispatch serially in global order, and channel-neutral traffic
+// amortizes the barriers.
 type engineDomains struct {
 	e    *sim.Engine
-	host sim.DomainID   // request issue slots, kernel submit/complete
-	cpu  sim.DomainID   // firmware parse boundaries
+	host sim.DomainID   // request issue slots, kernel submit/complete (neutral)
+	cpu  sim.DomainID   // firmware parse boundaries (neutral)
 	icl  sim.DomainID   // cache/DRAM write-back boundaries
-	dma  sim.DomainID   // payload-transfer boundaries
+	dma  sim.DomainID   // payload-transfer boundaries (neutral)
 	fil  sim.DomainID   // flash-completion continuations (cache install, waiter wakeup)
 	nand []sim.DomainID // per-channel deferred flash bookkeeping (domain-local)
 }
@@ -364,6 +391,11 @@ func (s *System) domainsFor(e *sim.Engine) *engineDomains {
 	for ch := 0; ch < channels; ch++ {
 		d.nand[ch] = e.Domain(nand.ChannelDomain(ch))
 		e.MarkDomainLocal(d.nand[ch])
+	}
+	if !s.passive {
+		e.MarkChannelNeutral(d.host)
+		e.MarkChannelNeutral(d.cpu)
+		e.MarkChannelNeutral(d.dma)
 	}
 	if len(s.domTab) >= 4 {
 		// Stale entries from completed Run loops: keep the long-lived
@@ -406,6 +438,30 @@ func (s *System) SubmitEventsDispatched() uint64 {
 	}
 	return s.subEngine.Dispatched()
 }
+
+// SetIntraWorkers configures the system-wide intra-device dispatch
+// parallelism: with n > 1 the synchronous Submit wrapper (trace replay's
+// hot path) drains its private engine via sim.Engine.RunParallelWith over a
+// worker pool created once and reused across calls, and Run treats n as the
+// default when RunConfig.IntraWorkers is zero. Results are byte-identical
+// to the serial dispatch at any n. n <= 1 restores the plain serial drain
+// and releases the pool's goroutines.
+func (s *System) SetIntraWorkers(n int) {
+	if s.subPool != nil && n != s.intraWorkers {
+		s.subPool.Close()
+		s.subPool = nil
+	}
+	s.intraWorkers = n
+}
+
+// IntraWorkers returns the system-wide intra-device dispatch parallelism
+// configured with SetIntraWorkers.
+func (s *System) IntraWorkers() int { return s.intraWorkers }
+
+// SubmitIntraStats returns the horizon structure accumulated over every
+// pooled synchronous Submit drain since SetIntraWorkers enabled the intra
+// mode (the zero value before then or with the mode off).
+func (s *System) SubmitIntraStats() sim.ParallelStats { return s.submitIntra }
 
 // SubmitEngineDomainStats returns the per-domain event counts of the
 // synchronous Submit path's engine, nil before the first Submit. Reporting

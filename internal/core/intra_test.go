@@ -3,6 +3,8 @@ package core_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -11,6 +13,22 @@ import (
 	"amber/internal/nand"
 	"amber/internal/workload"
 )
+
+// intraWorkerMatrix returns the worker counts the golden equivalence tests
+// compare against the serial reference. CI's race matrix pins one count per
+// job via AMBERSIM_INTRA_WORKERS; without the variable, the full {1, 2, 4}
+// set runs.
+func intraWorkerMatrix(t *testing.T) []int {
+	t.Helper()
+	if v := os.Getenv("AMBERSIM_INTRA_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad AMBERSIM_INTRA_WORKERS %q", v)
+		}
+		return []int{n}
+	}
+	return []int{1, 2, 4}
+}
 
 // wideSystem builds a TrackData system whose device has many NAND channels,
 // the shape intra-device parallelism targets.
@@ -33,6 +51,54 @@ func wideSystem(t *testing.T) *core.System {
 	return s
 }
 
+// renderRun writes one run's experiment-table row and per-domain dispatch
+// counts into the golden buffer.
+func renderRun(out *bytes.Buffer, name string, res *core.RunResult) {
+	fmt.Fprintf(out, "%s | reqs %d depth %d | %d..%d | rd %d wr %d | lat mean %.6f p50 %.6f p95 %.6f max %.6f | events %d\n",
+		name, res.Requests, res.Depth, res.Start, res.End, res.BytesRead, res.BytesWritten,
+		res.Latency.Mean(), res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Max(),
+		res.Events)
+	for _, d := range res.DomainEvents {
+		if d.Dispatched > 0 {
+			fmt.Fprintf(out, "  dom %s dispatched %d pending %d\n", d.Name, d.Dispatched, d.Pending)
+		}
+	}
+}
+
+// renderState writes the component statistics — flash counters and energy
+// (total and per channel), FTL, ICL, FIL, clock — into the golden buffer.
+func renderState(out *bytes.Buffer, s *core.System) {
+	fs := s.Flash.Stats()
+	fmt.Fprintf(out, "flash %+v energy %.18g\n", fs, s.Flash.EnergyJoules())
+	for ch := 0; ch < s.Config().Device.Geometry.Channels; ch++ {
+		fmt.Fprintf(out, "  ch%d %+v\n", ch, s.Flash.ChannelStats(ch))
+	}
+	fmt.Fprintf(out, "ftl %+v\n", s.FTL.Stats())
+	fmt.Fprintf(out, "icl %+v\n", s.ICL.Stats())
+	fmt.Fprintf(out, "fil %+v\n", s.FIL.Stats())
+	fmt.Fprintf(out, "now %v\n", s.Now())
+}
+
+// renderData reads a deterministic sample of payloads back synchronously
+// and fingerprints the bytes: the data path must be identical too.
+func renderData(t *testing.T, out *bytes.Buffer, s *core.System) {
+	t.Helper()
+	bs := 4096
+	for i := 0; i < 16; i++ {
+		off := (int64(i) * 977 * int64(bs)) % (s.VolumeBytes() - int64(bs))
+		off -= off % int64(bs)
+		buf := make([]byte, bs)
+		if _, err := s.Submit(s.Now(), workload.Request{Offset: off, Length: bs}, buf); err != nil {
+			t.Fatal(err)
+		}
+		sum := uint64(0)
+		for j, b := range buf {
+			sum += uint64(b) * uint64(j+1)
+		}
+		fmt.Fprintf(out, "data@%d sum %d\n", off, sum)
+	}
+}
+
 // intraTrajectory drives one system through the GC-triggering write +
 // mixed-read trajectory the equivalence test compares, and renders every
 // observable — experiment-table rows, per-domain dispatch counts, component
@@ -44,15 +110,7 @@ func intraTrajectory(t *testing.T, s *core.System, workers int) string {
 	}
 	var out bytes.Buffer
 	table := func(name string, res *core.RunResult) {
-		fmt.Fprintf(&out, "%s | reqs %d depth %d | %d..%d | rd %d wr %d | lat mean %.6f p50 %.6f p95 %.6f max %.6f | events %d\n",
-			name, res.Requests, res.Depth, res.Start, res.End, res.BytesRead, res.BytesWritten,
-			res.Latency.Mean(), res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Max(),
-			res.Events)
-		for _, d := range res.DomainEvents {
-			if d.Dispatched > 0 {
-				fmt.Fprintf(&out, "  dom %s dispatched %d pending %d\n", d.Name, d.Dispatched, d.Pending)
-			}
-		}
+		renderRun(&out, name, res)
 	}
 
 	// Phase 1: random overwrites on the preconditioned (fully mapped)
@@ -94,33 +152,150 @@ func intraTrajectory(t *testing.T, s *core.System, workers int) string {
 	}
 	table("rand-read", res)
 
-	fs := s.Flash.Stats()
-	fmt.Fprintf(&out, "flash %+v energy %.18g\n", fs, s.Flash.EnergyJoules())
-	for ch := 0; ch < s.Config().Device.Geometry.Channels; ch++ {
-		fmt.Fprintf(&out, "  ch%d %+v\n", ch, s.Flash.ChannelStats(ch))
-	}
-	fmt.Fprintf(&out, "ftl %+v\n", s.FTL.Stats())
-	fmt.Fprintf(&out, "icl %+v\n", s.ICL.Stats())
-	fmt.Fprintf(&out, "fil %+v\n", s.FIL.Stats())
-	fmt.Fprintf(&out, "now %v\n", s.Now())
+	renderState(&out, s)
+	renderData(t, &out, s)
+	return out.String()
+}
 
-	// Read a deterministic sample of payloads back synchronously and
-	// fingerprint the bytes: the data path must be identical too.
-	bs := 4096
-	for i := 0; i < 16; i++ {
-		off := (int64(i) * 977 * int64(bs)) % (s.VolumeBytes() - int64(bs))
-		off -= off % int64(bs)
-		buf := make([]byte, bs)
-		if _, err := s.Submit(s.Now(), workload.Request{Offset: off, Length: bs}, buf); err != nil {
+// writeTrajectory is the write-heavy golden trajectory for the deferred
+// program/erase path: GC-triggering random overwrites carrying real payload
+// bytes, a second GC wave at a larger block size (multi-sub lines, more
+// migrations), then a mixed-read phase that checks the written bytes came
+// back through the deferred installs, all on one preconditioned system.
+func writeTrajectory(t *testing.T, s *core.System, workers int) string {
+	t.Helper()
+	if err := s.Precondition(16); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	// Phase 1: 4K random overwrites with payload buffers on the fully
+	// mapped volume — deferred program installs under GC.
+	wgen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(wgen, core.RunConfig{Requests: 500, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRun(&out, "rand-write-4k", res)
+	if s.FTL.Stats().GCRuns == 0 {
+		t.Fatal("write phase did not trigger GC; the deferred-write equivalence must cover GC")
+	}
+
+	// Phase 2: larger random writes — whole-line programs plus erase waves.
+	w2gen, err := workload.NewFIO(workload.RandWrite, 16384, s.VolumeBytes(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(w2gen, core.RunConfig{Requests: 200, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRun(&out, "rand-write-16k", res)
+	s.Drain()
+
+	// Phase 3: mixed reads — sequential with payload verification traffic,
+	// then random at depth against the rewritten volume.
+	rgen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(rgen, core.RunConfig{Requests: 150, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRun(&out, "seq-read", res)
+	rrgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(rrgen, core.RunConfig{Requests: 200, IODepth: 16, IntraWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRun(&out, "rand-read", res)
+
+	renderState(&out, s)
+	renderData(t, &out, s)
+	return out.String()
+}
+
+// TestWriteDeferredGoldenEquivalence is the acceptance bar for deferred
+// program/erase bookkeeping and horizon batching: a GC-triggering
+// random-write trajectory with real payloads plus a mixed-read phase must
+// produce byte-identical experiment tables, per-domain dispatch counts,
+// component statistics, per-channel counters/energy and payload bytes at
+// every worker count versus the plain serial dispatch. Run under -race
+// (with the AMBERSIM_INTRA_WORKERS CI matrix) it also proves the deferred
+// installs and clears share nothing across channel shards.
+func TestWriteDeferredGoldenEquivalence(t *testing.T) {
+	serial := writeTrajectory(t, wideSystem(t), 0)
+	if len(serial) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	for _, workers := range intraWorkerMatrix(t) {
+		got := writeTrajectory(t, wideSystem(t), workers)
+		if got != serial {
+			t.Fatalf("workers=%d diverged from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+// TestSubmitIntraEquivalence locks in the submit-path intra mode: a system
+// with SetIntraWorkers draining its synchronous Submit engine through the
+// pooled horizon dispatcher must complete every request at the same time,
+// with the same component statistics and the same read-back bytes, as a
+// serial system replaying the same sequence.
+func TestSubmitIntraEquivalence(t *testing.T) {
+	run := func(workers int) (string, *core.System) {
+		s := wideSystem(t)
+		s.SetIntraWorkers(workers)
+		defer s.SetIntraWorkers(0) // release the pool goroutines
+		if err := s.Precondition(16); err != nil {
 			t.Fatal(err)
 		}
-		sum := uint64(0)
-		for j, b := range buf {
-			sum += uint64(b) * uint64(j+1)
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 21)
+		if err != nil {
+			t.Fatal(err)
 		}
-		fmt.Fprintf(&out, "data@%d sum %d\n", off, sum)
+		var out bytes.Buffer
+		buf := make([]byte, 16384)
+		for i := 0; i < 300; i++ {
+			req := gen.Next(i)
+			data := buf[:req.Length]
+			for k := range data {
+				data[k] = byte(int(req.Offset) + k + i)
+			}
+			done, err := s.Submit(s.Now(), req, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&out, "req %d done %d\n", i, done)
+		}
+		renderState(&out, s)
+		renderData(t, &out, s)
+		return out.String(), s
 	}
-	return out.String()
+	serial, _ := run(0)
+	for _, workers := range intraWorkerMatrix(t) {
+		if workers <= 1 {
+			continue // the pooled path needs >= 2 workers to engage
+		}
+		got, s := run(workers)
+		if got != serial {
+			t.Fatalf("submit intra workers=%d diverged from serial:\n--- serial ---\n%s--- intra ---\n%s",
+				workers, serial, got)
+		}
+		st := s.SubmitIntraStats()
+		if st.LocalEvents == 0 || st.CrossEvents == 0 {
+			t.Fatalf("pooled submit drains recorded no horizon structure: %+v", st)
+		}
+	}
+	// Precondition and renderData above also exercised Run/Submit falling
+	// back to the system-wide setting (RunConfig.IntraWorkers == 0).
 }
 
 // TestIntraParallelGoldenEquivalence is the acceptance bar of the

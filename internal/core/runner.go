@@ -29,7 +29,9 @@ type RunConfig struct {
 	// dispatch: between two cross-domain events, the per-NAND-channel
 	// domain-local shards step concurrently over up to this many workers
 	// (sim.Engine.RunParallel). Results are byte-identical to the serial
-	// dispatch at any worker count; <= 1 keeps the plain serial loop.
+	// dispatch at any worker count. Zero falls back to the system-wide
+	// System.SetIntraWorkers setting; <= 1 effective keeps the plain
+	// serial loop.
 	IntraWorkers int
 }
 
@@ -175,8 +177,12 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	for i := 0; i < depth; i++ {
 		e.AtIn(doms.host, res.Start, issueNext)
 	}
-	if rc.IntraWorkers > 1 {
-		res.Intra = e.RunParallel(rc.IntraWorkers)
+	intraWorkers := rc.IntraWorkers
+	if intraWorkers == 0 {
+		intraWorkers = s.intraWorkers
+	}
+	if intraWorkers > 1 {
+		res.Intra = e.RunParallel(intraWorkers)
 	} else {
 		e.Run()
 	}

@@ -89,9 +89,11 @@ func (op *submitOp) step() {
 		now := e.Now()
 		walked := s.DMA.WalkList(now, op.pl)
 		if op.req.Write {
+			// The write-ops stage flushes evictions into flash, so it rides
+			// the (channel-coupled) icl shard, not the neutral dma one.
 			xferDone := s.DMA.Transfer(walked, op.pl, true)
 			op.stage = opWriteOps
-			e.AtIn(op.doms.dma, xferDone, op.stepFn)
+			e.AtIn(op.doms.icl, xferDone, op.stepFn)
 			return
 		}
 		op.pending = len(op.lines)
@@ -122,7 +124,7 @@ func (op *submitOp) step() {
 			if op.data != nil {
 				lineData = s.lineBuffer(ln, op.data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
 			}
-			done, err := s.writeLine(e.Now(), ln, lineData)
+			done, err := s.writeLine(e, e.Now(), ln, lineData)
 			if err != nil {
 				op.fail(err)
 				return
@@ -133,14 +135,14 @@ func (op *submitOp) step() {
 		}
 		s.bytesWritten += uint64(op.req.Length)
 		op.stage = opFinish
-		e.AtIn(op.doms.icl, sim.MaxOf(opsDone, e.Now()), op.stepFn)
+		e.AtIn(op.doms.host, sim.MaxOf(opsDone, e.Now()), op.stepFn)
 
 	case opReadDMA:
 		// All lines staged in cache memory: move the payload to the host.
 		xferDone := s.DMA.Transfer(e.Now(), op.pl, false)
 		s.bytesRead += uint64(op.req.Length)
 		op.stage = opFinish
-		e.AtIn(op.doms.dma, sim.MaxOf(xferDone, e.Now()), op.stepFn)
+		e.AtIn(op.doms.host, sim.MaxOf(xferDone, e.Now()), op.stepFn)
 
 	case opFinish:
 		// Completion path: firmware composes the CQ entry / response FIS,
@@ -303,7 +305,7 @@ func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte,
 				if data != nil {
 					lineData = s.lineBuffer(ln, data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
 				}
-				d, err := s.writeLine(e.Now(), ln, lineData)
+				d, err := s.writeLine(e, e.Now(), ln, lineData)
 				if err != nil {
 					cb(0, err)
 					return
@@ -355,6 +357,11 @@ func (s *System) submitPassive(e *sim.Engine, req workload.Request, data []byte,
 // single request: it runs a private event engine to completion and returns
 // the completion time. The engine and its dispatch closures are reused
 // across calls, so a submit-per-call workload does not allocate them anew.
+// With SetIntraWorkers > 1 the drain goes through the horizon-synchronized
+// dispatcher over a worker pool that persists across calls (no per-call
+// goroutine setup), so data-tracking trace replays parallelize their
+// per-channel flash bookkeeping while staying byte-identical to the serial
+// drain.
 func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Time, error) {
 	if now < s.now {
 		now = s.now
@@ -373,9 +380,24 @@ func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Ti
 	s.subReq, s.subData = req, data
 	s.subDone, s.subErr = 0, nil
 	e.AtIn(s.domainsFor(e).host, now, s.subStartFn)
-	e.Run()
+	if s.intraWorkers > 1 {
+		s.drainSubmitIntra(e)
+	} else {
+		e.Run()
+	}
 	s.subReq, s.subData = workload.Request{}, nil
 	return s.subDone, s.subErr
+}
+
+// drainSubmitIntra is Submit's pooled horizon-synchronized drain, kept out
+// of Submit's body so the serial fast path stays lean.
+//
+//go:noinline
+func (s *System) drainSubmitIntra(e *sim.Engine) {
+	if s.subPool == nil {
+		s.subPool = sim.NewWorkerPool(e, s.intraWorkers)
+	}
+	s.submitIntra.Accumulate(e.RunParallelWith(s.subPool))
 }
 
 // lineByteStart returns the offset of the request's payload within the
@@ -396,8 +418,10 @@ func (s *System) lineBuffer(ln hil.Line, payload []byte) []byte {
 // writeLine stores one line into the ICL (write-back, write-allocate) and
 // flushes the displaced victim if dirty. Completion is when the data is in
 // cache memory and the victim's frame was safely flushed. All claims start
-// at t (the caller invokes it inside an event at t).
-func (s *System) writeLine(t sim.Time, ln hil.Line, lineData []byte) (sim.Time, error) {
+// at t (the caller invokes it inside an event at t). e routes the flush's
+// flash bookkeeping through the deferred per-channel path; nil (the
+// engine-less Flush) falls back to synchronous execution.
+func (s *System) writeLine(e *sim.Engine, t sim.Time, ln hil.Line, lineData []byte) (sim.Time, error) {
 	t2 := s.chargeFirmware(t, 1, "icl", s.iclInsertMix())
 	ev, err := s.ICL.Write(ln.LSPN, ln.FirstSub, ln.NumSubs, lineData)
 	if err != nil {
@@ -406,7 +430,7 @@ func (s *System) writeLine(t sim.Time, ln hil.Line, lineData []byte) (sim.Time, 
 	dramDone := s.cacheMemAccess(t2, ln.LSPN, ln.ByteLen, true)
 	slotFree := t2
 	if ev != nil && ev.IsDirty() {
-		flushDone, err := s.flushEviction(t2, ev)
+		flushDone, err := s.flushEviction(e, t2, ev)
 		if err != nil {
 			return 0, err
 		}
@@ -630,7 +654,7 @@ func (fo *fillOp) done() {
 	now := e.Now()
 	ready := s.cacheMemAccess(now, fo.lspn, len(fo.subs)*s.ICL.Config().SubSize, true)
 	if ev != nil && ev.IsDirty() {
-		flushDone, err := s.flushEviction(now, ev)
+		flushDone, err := s.flushEviction(e, now, ev)
 		if err != nil {
 			fo.finish(0, err)
 			return
@@ -674,8 +698,13 @@ func (s *System) prefetch(e *sim.Engine, lspn int64) {
 
 // flushEviction writes a displaced dirty line back through FTL and FIL,
 // returning when the victim's data has left the cache memory (host writes
-// programmed; background GC may continue past this point).
-func (s *System) flushEviction(t sim.Time, ev *iclEviction) (sim.Time, error) {
+// programmed; background GC may continue past this point). With an engine,
+// the plan executes on the deferred path (fil.ExecuteOn): each program's
+// and erase's per-channel bookkeeping rides the owning channel's
+// domain-local shard in per-die batches, widening the intra-parallel
+// windows to writes and GC; without one (the synchronous Flush), the plan
+// executes synchronously.
+func (s *System) flushEviction(e *sim.Engine, t sim.Time, ev *iclEviction) (sim.Time, error) {
 	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
 	plan, err := s.FTL.Write(t2, ev.LSPN, ev.Dirty)
 	if err != nil {
@@ -704,7 +733,13 @@ func (s *System) flushEviction(t sim.Time, ev *iclEviction) (sim.Time, error) {
 			sim.TransferTime(int64(dirtyBytes), s.params.LinkBytesPerSec))
 		_, t3 = s.DevCPU.Execute(t3, s.coreFor(0), "hil", s.params.ParseMix)
 	}
-	res, err := s.FIL.Execute(t3, plan, fil.HostData(ev.LSPN, ev.Dirty, ev.Data, s.ICL.Config().SubSize))
+	var res fil.Result
+	hostData := fil.HostData(ev.LSPN, ev.Dirty, ev.Data, s.ICL.Config().SubSize)
+	if e != nil {
+		res, err = s.FIL.ExecuteOn(e, s.domainsFor(e).nand, t3, plan, hostData)
+	} else {
+		res, err = s.FIL.Execute(t3, plan, hostData)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -723,7 +758,7 @@ func (s *System) Flush(now sim.Time) (sim.Time, error) {
 	done := now
 	for _, ev := range s.ICL.FlushAll() {
 		ev := ev
-		d, err := s.flushEviction(now, &ev)
+		d, err := s.flushEviction(nil, now, &ev)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package exp
+
+// raceDetectorEnabled reports whether this binary was built with -race.
+// The experiment smoke test uses it to skip the multi-minute sweeps, whose
+// race-relevant machinery (parallel fan-out, intra-device dispatch) is
+// covered by the cheaper experiments here plus the sim/core golden tests.
+const raceDetectorEnabled = true

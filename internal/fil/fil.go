@@ -72,6 +72,21 @@ type FIL struct {
 	// addrScratch carries the translated addresses of one ReadSubsOn call
 	// from its validation pass to its issue pass, reused across calls.
 	addrScratch []nand.Address
+
+	// Plan prevalidation scratch (ExecuteOn): the translated address of
+	// every op in plan order (erases contribute one address per plane) and
+	// a per-block overlay of in-plan state transitions — pvNext[block] is
+	// the simulated in-order program pointer plus one (zero = untouched),
+	// a lazily sized direct-indexed array (GC plans run thousands of ops,
+	// so the overlay lookup must cost an array load, not a map probe),
+	// with pvTouched resetting only the dirtied slots after the pass. The
+	// flash invariant "written pages are exactly [0, next)" (in-order
+	// programs, whole-block erases) makes the pointer sufficient to answer
+	// both the written-page and the next-program checks against in-plan
+	// mutations. Reused across calls.
+	planAddrs []nand.Address
+	pvNext    []int32
+	pvTouched []int32
 }
 
 // planRead records one completed pre-read: its completion time and (when
@@ -259,6 +274,216 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			return res, fmt.Errorf("fil: unknown plan op kind %d", op.Kind)
 		}
 	}
+	f.stats.PlanCount++
+	return res, nil
+}
+
+// pvReset clears the overlay slots the last prevalidation dirtied.
+func (f *FIL) pvReset() {
+	for _, b := range f.pvTouched {
+		f.pvNext[b] = 0
+	}
+	f.pvTouched = f.pvTouched[:0]
+}
+
+// pvNextOf returns the overlay's in-order program pointer for the block
+// containing addr, seeding it from the flash on first touch. The stored
+// value is pointer+1 so zero means untouched.
+func (f *FIL) pvNextOf(block int32, addr nand.Address) int32 {
+	v := f.pvNext[block]
+	if v == 0 {
+		v = int32(f.flash.NextProgramPage(addr)) + 1
+		f.pvNext[block] = v
+		f.pvTouched = append(f.pvTouched, block)
+	}
+	return v - 1
+}
+
+// prevalidatePlan walks the whole plan before anything claims or schedules:
+// it translates every op's address (erases contribute one per plane, all
+// cached in f.planAddrs for the issue pass), checks geometry bounds, and
+// simulates the in-order program pointer of every touched block so
+// overwrites, out-of-order programs and reads of unwritten pages are caught
+// up front. A mid-plan error therefore leaves no completion events queued
+// and no flash state mutated — the batching contract ExecuteOn promises.
+func (f *FIL) prevalidatePlan(plan ftl.Plan) error {
+	g := f.flash.Geometry()
+	if f.pvNext == nil {
+		f.pvNext = make([]int32, g.TotalBlocks())
+	}
+	defer f.pvReset()
+	addrs := f.planAddrs[:0]
+	defer func() { f.planAddrs = addrs }()
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case ftl.OpRead:
+			addr := f.addrOf(op.Loc)
+			if err := g.CheckAddress(addr); err != nil {
+				return fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
+			}
+			block := int32(g.BlockIndex(addr))
+			if int32(addr.Page) >= f.pvNextOf(block, addr) {
+				return fmt.Errorf("fil: plan read %v: page %v unwritten", op.Loc, addr)
+			}
+			addrs = append(addrs, addr)
+
+		case ftl.OpWrite:
+			addr := f.addrOf(op.Loc)
+			if err := g.CheckAddress(addr); err != nil {
+				return fmt.Errorf("fil: plan program %v: %w", op.Loc, err)
+			}
+			block := int32(g.BlockIndex(addr))
+			next := f.pvNextOf(block, addr)
+			if int32(addr.Page) != next {
+				return fmt.Errorf("fil: plan program %v: page %d out of order (next is %d)", op.Loc, addr.Page, next)
+			}
+			f.pvNext[block] = next + 2 // stored as pointer+1
+			addrs = append(addrs, addr)
+
+		case ftl.OpErase:
+			for plane := 0; plane < g.TotalPlanes(); plane++ {
+				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
+				addr.Page = 0
+				if err := g.CheckAddress(addr); err != nil {
+					return fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err)
+				}
+				block := int32(g.BlockIndex(addr))
+				if f.pvNext[block] == 0 {
+					f.pvTouched = append(f.pvTouched, block)
+				}
+				f.pvNext[block] = 1 // erased: pointer 0, stored as 1
+				addrs = append(addrs, addr)
+			}
+
+		default:
+			return fmt.Errorf("fil: unknown plan op kind %d", op.Kind)
+		}
+	}
+	return nil
+}
+
+// ExecuteOn is Execute with every flash transaction's per-channel
+// bookkeeping — counters, energy, tracked-data installs and presence
+// clears — deferred into the owning channel's scheduling domain through a
+// nand.PlanBatch: chDoms[channel] is the channel's domain-local shard, and
+// the whole plan schedules one batched completion event per touched die
+// (not per op), keeping the deferred path's engine traffic negligible even
+// for thousand-op GC plans. Plan pre-reads deliver their bytes at issue (a
+// dependent rewrite consumes them within this same call). Timing,
+// dependency ordering, data and every integer counter are identical to
+// Execute — per-channel float energy is the one exception: the same
+// values accumulate in per-die-batch grouped order rather than Execute's
+// op-issue order, so the sums may differ in the last ulp between the two
+// paths (each path is individually deterministic and byte-identical at
+// any worker count). The deferred events let an intra-parallel engine run the
+// channels' completion work concurrently between horizons, extending PR 3's
+// read-only windows to writes and GC. The whole plan is prevalidated before
+// any transaction claims resources or schedules, so an error returns with
+// no events queued and no state mutated.
+func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan ftl.Plan, hostData PlanData) (Result, error) {
+	var res Result
+	res.Done = now
+	if err := f.prevalidatePlan(plan); err != nil {
+		return res, err
+	}
+	g := f.flash.Geometry()
+	batch := f.flash.BeginPlan(e, chDoms)
+
+	if f.reads == nil {
+		f.reads = make(map[SubKey]planRead)
+		f.sbIndex = make(map[int]int)
+	} else {
+		clear(f.reads)
+		clear(f.sbIndex)
+	}
+	f.sbTimes = f.sbTimes[:0]
+	f.readBufN = 0
+	trackData := f.flash.TrackData()
+
+	touch := func(sb int, t sim.Time) {
+		slot := f.sbSlot(sb)
+		if t > slot.touched {
+			slot.touched = t
+		}
+		if t > res.Done {
+			res.Done = t
+		}
+	}
+
+	ai := 0 // cursor into the prevalidated address cache
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case ftl.OpRead:
+			addr := f.planAddrs[ai]
+			ai++
+			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+			var buf []byte
+			if trackData {
+				buf = f.readBuf()
+			}
+			r, err := batch.Read(start, addr, buf)
+			if err != nil {
+				batch.Abort()
+				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
+			}
+			f.stats.Reads++
+			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf}
+			if r.Done > res.ReadsDone {
+				res.ReadsDone = r.Done
+			}
+			touch(op.Loc.SB, r.Done)
+
+		case ftl.OpWrite:
+			addr := f.planAddrs[ai]
+			ai++
+			k := SubKey{op.LSPN, op.Loc.Sub}
+			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+			data, _ := hostData.Bytes(k)
+			if pr, ok := f.reads[k]; ok {
+				// Rewrite of data sourced from flash: wait for the read.
+				if pr.done > start {
+					start = pr.done
+					f.stats.DepStalls++
+				}
+				if data == nil {
+					data = pr.data
+				}
+			}
+			r, err := batch.Program(start, addr, data)
+			if err != nil {
+				batch.Abort()
+				return res, fmt.Errorf("fil: plan program %v: %w", op.Loc, err)
+			}
+			f.stats.Programs++
+			if !op.GC && r.Done > res.HostWritesDone {
+				res.HostWritesDone = r.Done
+			}
+			touch(op.Loc.SB, r.Done)
+
+		case ftl.OpErase:
+			// The erase wipes the same block index on every plane, after
+			// all earlier plan ops touching this super-block (the
+			// migration reads) completed.
+			start := sim.MaxOf(now, f.sbSlot(op.SB).touched)
+			var done sim.Time
+			for plane := 0; plane < g.TotalPlanes(); plane++ {
+				addr := f.planAddrs[ai]
+				ai++
+				r, err := batch.Erase(start, addr)
+				if err != nil {
+					batch.Abort()
+					return res, fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err)
+				}
+				f.stats.Erases++
+				if r.Done > done {
+					done = r.Done
+				}
+			}
+			f.sbSlot(op.SB).erased = done
+			touch(op.SB, done)
+		}
+	}
+	batch.Commit()
 	f.stats.PlanCount++
 	return res, nil
 }

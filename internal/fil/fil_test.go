@@ -184,6 +184,235 @@ func TestDepStallsCounted(t *testing.T) {
 	}
 }
 
+// chDomsFor registers (and marks domain-local) one scheduling domain per
+// NAND channel on e, the shape core.domainsFor builds for a full system.
+func chDomsFor(t *testing.T, e *sim.Engine, fl *nand.Flash) []sim.DomainID {
+	t.Helper()
+	doms := make([]sim.DomainID, fl.Geometry().Channels)
+	for ch := range doms {
+		doms[ch] = e.Domain(nand.ChannelDomain(ch))
+		e.MarkDomainLocal(doms[ch])
+	}
+	return doms
+}
+
+// TestExecuteOnEquivalence drives the same GC-heavy write trajectory
+// through the synchronous Execute and the deferred ExecuteOn and demands
+// identical plan timings, identical flash/FIL counters and identical
+// read-back bytes — the sync-vs-deferred semantic bar under plans that mix
+// migration reads, rewrites and erases.
+func TestExecuteOnEquivalence(t *testing.T) {
+	fSync, trSync, flSync := newStack(t, true)
+	fDef, trDef, flDef := newStack(t, true)
+	e := sim.NewEngine()
+	doms := chDomsFor(t, e, flDef)
+
+	nowS, nowD := sim.Time(0), sim.Time(0)
+	rng := sim.NewRNG(12)
+	write := func(lspn int64) {
+		t.Helper()
+		payload := make([]byte, 4*512)
+		for i := range payload {
+			payload[i] = byte(int64(i)*3 + lspn)
+		}
+		dirty := []bool{true, true, true, true}
+
+		planS, err := trSync.Write(nowS, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resS, err := fSync.Execute(nowS, planS, HostData(lspn, dirty, payload, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nowS = resS.Done + sim.Microsecond
+
+		planD, err := trDef.Write(nowD, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resD, err := fDef.ExecuteOn(e, doms, nowD, planD, HostData(lspn, dirty, payload, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nowD = resD.Done + sim.Microsecond
+
+		if resS != resD {
+			t.Fatalf("lspn %d: deferred result %+v != sync %+v", lspn, resD, resS)
+		}
+	}
+	for lspn := int64(0); lspn < trSync.UserSuperPages(); lspn++ {
+		write(lspn)
+	}
+	for i := int64(0); i < 3*trSync.UserSuperPages(); i++ {
+		write(int64(rng.Uint64n(uint64(trSync.UserSuperPages()))))
+	}
+	if trDef.Stats().GCMigrated == 0 {
+		t.Fatal("GC never migrated; equivalence is vacuous")
+	}
+	e.Run() // drain the deferred bookkeeping
+	if flSync.Stats() != flDef.Stats() {
+		t.Fatalf("flash stats diverged: sync %+v deferred %+v", flSync.Stats(), flDef.Stats())
+	}
+	if fSync.Stats() != fDef.Stats() {
+		t.Fatalf("fil stats diverged: sync %+v deferred %+v", fSync.Stats(), fDef.Stats())
+	}
+	// Byte-for-byte read-back of every mapped super-page.
+	for lspn := int64(0); lspn < trSync.UserSuperPages(); lspn++ {
+		locs, err := trSync.Lookup(lspn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		read := func(f *FIL, at sim.Time) []byte {
+			got := make([]byte, 4*512)
+			dsts := make([][]byte, len(locs))
+			for i, l := range locs {
+				dsts[i] = got[l.Sub*512 : (l.Sub+1)*512]
+			}
+			if _, err := f.ReadSubs(at, locs, dsts); err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		locsD, err := trDef.Lookup(lspn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotS := read(fSync, nowS)
+		dstsD := make([][]byte, len(locsD))
+		gotD := make([]byte, 4*512)
+		for i, l := range locsD {
+			dstsD[i] = gotD[l.Sub*512 : (l.Sub+1)*512]
+		}
+		if _, err := fDef.ReadSubs(nowD, locsD, dstsD); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotS, gotD) {
+			t.Fatalf("LSPN %d bytes diverged between sync and deferred execution", lspn)
+		}
+	}
+}
+
+// TestExecuteOnPrevalidates verifies the batching contract: a plan that
+// fails mid-way (an out-of-order program after valid ops) must be rejected
+// before anything claims, mutates or schedules — no events queued, no
+// counters moved, no block state touched.
+func TestExecuteOnPrevalidates(t *testing.T) {
+	f, tr, fl := newStack(t, true)
+	e := sim.NewEngine()
+	doms := chDomsFor(t, e, fl)
+
+	// A handcrafted plan: one valid write, then an out-of-order program.
+	plan, err := tr.Write(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := plan
+	bad.Ops = append(append([]ftl.Op{}, plan.Ops...), ftl.Op{
+		Kind: ftl.OpWrite,
+		Loc:  ftl.PageLoc{SB: plan.Ops[0].Loc.SB, Page: 3, Plane: plan.Ops[0].Loc.Plane, Sub: 0},
+		LSPN: 1,
+	})
+	if _, err := f.ExecuteOn(e, doms, 0, bad, PlanData{}); err == nil {
+		t.Fatal("mid-plan invalid program accepted")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events queued by a rejected plan", e.Pending())
+	}
+	if s := fl.Stats(); s != (nand.Stats{}) {
+		t.Fatalf("flash counters moved: %+v", s)
+	}
+	if s := f.Stats(); s != (Stats{}) {
+		t.Fatalf("fil counters moved: %+v", s)
+	}
+	// The valid prefix must not have transitioned any block state either.
+	for _, op := range plan.Ops {
+		if op.Kind == ftl.OpWrite && fl.PageWritten(tr.Address(op.Loc)) {
+			t.Fatalf("rejected plan programmed %v", op.Loc)
+		}
+	}
+	// The same plan without the poison op still executes.
+	if _, err := f.ExecuteOn(e, doms, 0, plan, PlanData{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if f.Stats().Programs == 0 {
+		t.Fatal("valid plan did not execute")
+	}
+}
+
+// TestStatsSingleCountAcrossPaths is the double-count regression for the
+// raw OCSSD page paths: a FIL mixing deferred plan execution with raw
+// ProgramPage/EraseBlock/ReadPage calls must count every transaction
+// exactly once, matching a serial reference that runs the same sequence
+// through the synchronous paths.
+func TestStatsSingleCountAcrossPaths(t *testing.T) {
+	fDef, trDef, flDef := newStack(t, true)
+	fRef, trRef, flRef := newStack(t, true)
+	e := sim.NewEngine()
+	doms := chDomsFor(t, e, flDef)
+
+	dirty := []bool{true, true, true, true}
+	payload := make([]byte, 4*512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for lspn := int64(0); lspn < 3; lspn++ {
+		planD, err := trDef.Write(0, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fDef.ExecuteOn(e, doms, 0, planD, HostData(lspn, dirty, payload, 512)); err != nil {
+			t.Fatal(err)
+		}
+		planR, err := trRef.Write(0, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fRef.Execute(0, planR, HostData(lspn, dirty, payload, 512)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run() // drain deferred bookkeeping before the raw (synchronous) ops
+
+	// Raw OCSSD traffic on a block with in-order program room (both stacks
+	// ran identical plans, so one scan serves both), same sequence each.
+	g := flDef.Geometry()
+	raw := nand.Address{Channel: 1}
+	for raw.Block = 0; raw.Block < g.BlocksPerPlane; raw.Block++ {
+		if next := flDef.NextProgramPage(raw); next < g.PagesPerBlock {
+			raw.Page = next
+			break
+		}
+	}
+	if raw.Block == g.BlocksPerPlane {
+		t.Fatal("no block with program room")
+	}
+	for _, f := range []*FIL{fDef, fRef} {
+		at := sim.FromMicroseconds(500000)
+		if _, err := f.ProgramPage(at, raw, payload[:512]); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 512)
+		if _, err := f.ReadPage(at+sim.FromMicroseconds(5000), raw, got); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.EraseBlock(at+sim.FromMicroseconds(10000), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if fDef.Stats() != fRef.Stats() {
+		t.Fatalf("fil stats diverged: mixed %+v reference %+v", fDef.Stats(), fRef.Stats())
+	}
+	if flDef.Stats() != flRef.Stats() {
+		t.Fatalf("flash stats diverged: mixed %+v reference %+v", flDef.Stats(), flRef.Stats())
+	}
+	if got, want := flDef.Stats().Programs, uint64(3*4+1); got != want {
+		t.Fatalf("Programs = %d, want %d (12 plan + 1 raw, each exactly once)", got, want)
+	}
+}
+
 func TestRawOCSSDPath(t *testing.T) {
 	f, _, _ := newStack(t, true)
 	addr := nand.Address{Channel: 1, Page: 0}

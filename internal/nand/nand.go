@@ -370,10 +370,11 @@ func (a *pageArena) clearRange(base int64, n int) {
 }
 
 // Flash is the storage complex. Programs, erases and synchronous reads are
-// not safe for concurrent use; the deferred read-completion events that
-// ReadDeferred schedules touch only per-channel state (the channel-indexed
-// accumulators below and disjoint tracked-page copies), so an engine with
-// the channel domains marked domain-local may dispatch completions of
+// not safe for concurrent use; the deferred completion events that
+// ReadDeferred, ProgramDeferred and EraseDeferred schedule touch only
+// per-channel state (the channel-indexed accumulators below, the channel's
+// own tracked-data arena and pending-install index), so an engine with the
+// channel domains marked domain-local may dispatch completions of
 // different channels concurrently (sim.Engine.RunParallel).
 type Flash struct {
 	geo  Geometry
@@ -386,7 +387,15 @@ type Flash struct {
 	blocks   []blockState
 
 	trackData bool
-	data      *pageArena
+	// data holds one tracked-page arena per channel, indexed by
+	// channel-local physical page number (the channel is the geometry's
+	// most significant dimension, so each channel's pages are one
+	// contiguous global range). The split keeps chunk allocations and
+	// presence-bitmap words channel-disjoint, which is what lets deferred
+	// program installs and erase clears of different channels run
+	// concurrently inside one parallel window.
+	data      []*pageArena
+	pagesPerC int64 // physical pages per channel
 
 	rng *sim.RNG
 
@@ -397,10 +406,39 @@ type Flash struct {
 	chStats  []Stats
 	chEnergy []float64
 
-	// readOps pools deferred read-completion carriers per channel: acquire
-	// happens at schedule time (serial sections), release inside the
-	// channel's own completion event, so the free lists never cross shards.
-	readOps [][]*readCompletion
+	// readOps pools deferred read-completion carriers per channel, dieOps
+	// the per-die plan-batch carriers and pageBufs their staging buffers:
+	// acquire happens at schedule time (serial sections), release inside
+	// the channel's own completion event, so the free lists never cross
+	// shards.
+	readOps  [][]*readCompletion
+	dieOps   [][]*dieBatch
+	pageBufs [][][]byte
+
+	// plan is the reusable accumulation context for BeginPlan (one plan
+	// executes at a time; its committed die batches stay in flight
+	// independently). domScratch backs the single-op deferred wrappers'
+	// domain table.
+	plan       PlanBatch
+	domScratch []sim.DomainID
+
+	// pendingProg indexes, per channel, the deferred program installs that
+	// have been issued but whose batch event has not yet dispatched: global
+	// physical page number -> the batch record holding the staged bytes.
+	// Serial sections consult it when staging a read of the same page (the
+	// die register already latched the data), and the channel's own batch
+	// event removes its entry — the two access classes never overlap in
+	// time, and other channels' events never touch it. Nil maps until a
+	// channel's first tracked deferred program.
+	pendingProg []map[int64]pendingRef
+}
+
+// pendingRef locates one pending program-install record: the in-flight die
+// batch and the record's index within it (indices stay valid while the
+// record slice grows; element pointers would not).
+type pendingRef struct {
+	batch *dieBatch
+	idx   int32
 }
 
 // Options configures optional Flash behavior.
@@ -447,11 +485,24 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 	f.chStats = make([]Stats, geo.Channels)
 	f.chEnergy = make([]float64, geo.Channels)
 	f.readOps = make([][]*readCompletion, geo.Channels)
+	f.dieOps = make([][]*dieBatch, geo.Channels)
+	f.pageBufs = make([][][]byte, geo.Channels)
+	f.pagesPerC = geo.TotalPages() / int64(geo.Channels)
+	f.plan.f = f
+	f.plan.dies = make([]*dieBatch, geo.TotalDies())
 	if opt.TrackData {
-		f.data = newPageArena(geo.TotalPages(), geo.PageSize)
+		f.data = make([]*pageArena, geo.Channels)
+		for ch := range f.data {
+			f.data[ch] = newPageArena(f.pagesPerC, geo.PageSize)
+		}
+		f.pendingProg = make([]map[int64]pendingRef, geo.Channels)
 	}
 	return f, nil
 }
+
+// chanLocal converts a global physical page number to its channel-local
+// arena index.
+func (f *Flash) chanLocal(pageIdx int64) int64 { return pageIdx % f.pagesPerC }
 
 // TrackData reports whether the flash stores real page contents.
 func (f *Flash) TrackData() bool { return f.trackData }
@@ -594,12 +645,31 @@ func (f *Flash) accountRead(channel int) {
 }
 
 // copyOut moves tracked page contents into dst (zero-padding past what was
-// stored), a no-op when data tracking is off or dst is nil.
+// stored), a no-op when data tracking is off or dst is nil. It is
+// pending-aware: a deferred program whose install event has not yet
+// dispatched already owns the page's future contents (the die register
+// latched them at issue), so a read staged between issue and install
+// observes the staged bytes — exactly the state a synchronous program
+// would have left.
 func (f *Flash) copyOut(pageIdx int64, dst []byte) {
 	if !f.trackData || dst == nil {
 		return
 	}
-	stored := f.data.get(pageIdx)
+	ch := int(pageIdx / f.pagesPerC)
+	if m := f.pendingProg[ch]; m != nil {
+		if ref, ok := m[pageIdx]; ok {
+			rec := &ref.batch.ops[ref.idx]
+			var n int
+			if rec.hasData {
+				n = copy(dst, rec.buf)
+			}
+			for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
+				dst[i] = 0
+			}
+			return
+		}
+	}
+	stored := f.data[ch].get(f.chanLocal(pageIdx))
 	n := copy(dst, stored)
 	for i := n; i < len(dst) && i < f.geo.PageSize; i++ {
 		dst[i] = 0
@@ -688,65 +758,487 @@ func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
 }
 
-// Program writes one page. It enforces the flash physical constraints: the
-// page must be the next in-order page of its block (no overwrite, ascending
-// program order within a block for MLC/TLC disturb management).
-func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error) {
-	if err := f.geo.CheckAddress(addr); err != nil {
+// planOpRec is one transaction's deferred per-channel bookkeeping inside a
+// die batch: what to account and, for tracked data, what to install or
+// clear when the batch event dispatches.
+type planOpRec struct {
+	kind      OpKind
+	pageIdx   int64  // program: global page number (pendingProg key)
+	pageLocal int64  // program install / erase clear base (channel-local)
+	clearN    int    // erase: pages to clear from pageLocal
+	buf       []byte // program: staged page bytes (pooled)
+	hasData   bool
+	tracked   bool // program install registered in pendingProg
+}
+
+// dieBatch accumulates every transaction one plan issues against one die
+// and carries their combined per-channel bookkeeping — counters, energy,
+// tracked-data installs and clears — into the owning channel's scheduling
+// domain as a single event at the die's last completion time. Batching per
+// die rather than per op cuts the deferred path's event count from O(plan
+// ops) to O(touched dies) while preserving the serial observable state: a
+// die's array operations complete in issue order (the die and channel
+// resources serialize every claim), so a later plan's batch on the same
+// die always carries a later (time, seq) key than an earlier plan's, and
+// records within a batch apply in issue order — exactly the per-op
+// dispatch order, grouped.
+//
+// Reads, and every op of a timing-only (no data tracking) flash, leave no
+// per-op record — only the per-kind counters, replayed as individual
+// accountX calls so the per-channel energy accumulation stays a same-order
+// float sum at any worker count. Keeping timing-only plans record-free
+// matters: large sweeps run thousands of GC ops per plan, and writing a
+// record per op would drag a cache line of scratch through the hot path
+// for bookkeeping that reduces to six integers.
+type dieBatch struct {
+	f       *Flash
+	ch      int
+	at      sim.Time // latest completion among the batch's transactions
+	nReads  int32
+	nProgs  int32 // timing-only programs (tracked programs carry records)
+	nErases int32 // timing-only erases
+	ops     []planOpRec
+	fn      func() // op.apply, bound once
+}
+
+func (f *Flash) acquireDieBatch(ch int) *dieBatch {
+	free := f.dieOps[ch]
+	if n := len(free); n > 0 {
+		b := free[n-1]
+		f.dieOps[ch] = free[:n-1]
+		return b
+	}
+	b := &dieBatch{f: f, ch: ch}
+	b.fn = b.apply
+	return b
+}
+
+// acquirePageBuf hands out a pooled page-size staging buffer owned by the
+// channel (released by the channel's own batch event).
+func (f *Flash) acquirePageBuf(ch int) []byte {
+	free := f.pageBufs[ch]
+	if n := len(free); n > 0 {
+		buf := free[n-1]
+		f.pageBufs[ch] = free[:n-1]
+		return buf
+	}
+	return make([]byte, f.geo.PageSize)
+}
+
+// apply is the batch event body. It touches only channel-owned state: the
+// channel's counters and energy accumulator, its arena, its pendingProg
+// index and its own pools — the domain-local contract that lets channels
+// step concurrently.
+func (b *dieBatch) apply() {
+	f := b.f
+	for i := int32(0); i < b.nReads; i++ {
+		f.accountRead(b.ch)
+	}
+	for i := int32(0); i < b.nProgs; i++ {
+		f.accountProgram(b.ch)
+	}
+	for i := int32(0); i < b.nErases; i++ {
+		f.accountErase(b.ch)
+	}
+	for i := range b.ops {
+		rec := &b.ops[i]
+		switch rec.kind {
+		case OpProgram:
+			f.accountProgram(b.ch)
+			if rec.tracked {
+				if rec.hasData {
+					f.data[b.ch].put(rec.pageLocal, rec.buf)
+				} else {
+					f.data[b.ch].clearRange(rec.pageLocal, 1)
+				}
+			}
+		case OpErase:
+			f.accountErase(b.ch)
+			if rec.clearN > 0 {
+				f.data[b.ch].clearRange(rec.pageLocal, rec.clearN)
+			}
+		}
+		b.dropRecord(i)
+	}
+	b.release()
+}
+
+// dropRecord withdraws record i's pending-install registration (if still
+// pointing at this batch — a later erase + reprogram of the same page may
+// have replaced it) and returns its staging buffer to the channel pool.
+// Shared by apply (after the effects landed) and Abort (discarding them).
+func (b *dieBatch) dropRecord(i int) {
+	f := b.f
+	rec := &b.ops[i]
+	if rec.tracked {
+		m := f.pendingProg[b.ch]
+		if ref, ok := m[rec.pageIdx]; ok && ref.batch == b && int(ref.idx) == i {
+			delete(m, rec.pageIdx)
+		}
+		rec.tracked = false
+	}
+	if rec.buf != nil {
+		f.pageBufs[b.ch] = append(f.pageBufs[b.ch], rec.buf)
+		rec.buf = nil
+	}
+	rec.hasData = false
+	rec.clearN = 0
+}
+
+// release resets the batch and returns it to its channel's pool.
+func (b *dieBatch) release() {
+	b.ops = b.ops[:0]
+	b.at = 0
+	b.nReads, b.nProgs, b.nErases = 0, 0, 0
+	b.f.dieOps[b.ch] = append(b.f.dieOps[b.ch], b)
+}
+
+// PlanBatch routes one plan's flash transactions through the deferred
+// per-channel bookkeeping path: Read, Program and Erase have the timing and
+// functional state transitions of their synchronous counterparts, but their
+// counters, energy and tracked-data effects ride the owning channel's
+// domain-local shard, grouped into one event per touched die and scheduled
+// by Commit. Obtain with Flash.BeginPlan; a batch must end with exactly one
+// Commit (schedules the events) or Abort (discards the bookkeeping after a
+// caller-detected failure). Only one plan may be open per Flash at a time
+// — the FIL's serial plan execution guarantees it — while committed
+// batches from earlier plans may still be in flight.
+type PlanBatch struct {
+	f    *Flash
+	e    *sim.Engine
+	doms []sim.DomainID
+	dies []*dieBatch // by die index, nil when untouched
+	used []int32     // touched die indices, in first-touch order
+	open bool
+}
+
+// BeginPlan opens the deferred batching context for one plan's flash
+// transactions. chDoms[channel] names the channel's domain-local shard.
+func (f *Flash) BeginPlan(e *sim.Engine, chDoms []sim.DomainID) *PlanBatch {
+	b := &f.plan
+	if b.open {
+		panic("nand: BeginPlan with a plan already open")
+	}
+	b.e, b.doms, b.open = e, chDoms, true
+	return b
+}
+
+// die returns (acquiring if needed) the batch for addr's die, tracking the
+// die's latest completion time.
+func (b *PlanBatch) die(addr Address, done sim.Time) *dieBatch {
+	di := b.f.geo.DieIndex(addr)
+	db := b.dies[di]
+	if db == nil {
+		db = b.f.acquireDieBatch(addr.Channel)
+		b.dies[di] = db
+		b.used = append(b.used, int32(di))
+	}
+	if done > db.at {
+		db.at = done
+	}
+	return db
+}
+
+// record appends a tracked-data bookkeeping record to addr's die batch,
+// returning the record and its location.
+func (b *PlanBatch) record(addr Address, done sim.Time) (*planOpRec, *dieBatch, int32) {
+	db := b.die(addr, done)
+	db.ops = append(db.ops, planOpRec{})
+	i := int32(len(db.ops) - 1)
+	return &db.ops[i], db, i
+}
+
+// Read performs a page read with Read's timing, delivering the page bytes
+// into dst at issue (a dependent rewrite consumes them within the same
+// serial call; copyOut is pending-aware, so bytes latched by earlier
+// not-yet-installed programs are observed) and batching the per-channel
+// accounting. dst is not retained.
+func (b *PlanBatch) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
+	f := b.f
+	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	blk := &f.blocks[f.geo.BlockIndex(addr)]
-	if blk.written[addr.Page] {
-		return Result{}, fmt.Errorf("nand: program of already-written page %v (erase-before-write)", addr)
-	}
-	if int32(addr.Page) != blk.nextPage {
-		return Result{}, fmt.Errorf("nand: out-of-order program of page %d in block (next is %d)", addr.Page, blk.nextPage)
-	}
-	ch := f.channels[addr.Channel]
-	die := f.dies[f.geo.DieIndex(addr)]
+	cmdStart, ready, done := f.claimRead(now, addr)
+	f.copyOut(f.geo.PageIndex(addr), dst)
+	b.die(addr, done).nReads++
+	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+}
 
-	// Data streams over the channel into the die's register, then the die
-	// programs the array.
-	xferStart, xferEnd := ch.Claim(now, f.tim.CmdCycles+f.tim.XferTime(f.geo.PageSize))
-	_, done := die.Claim(xferEnd, f.progLatency(addr.Page))
-
-	blk.written[addr.Page] = true
-	blk.nextPage++
-	st := &f.chStats[addr.Channel]
-	st.Programs++
-	st.BytesWritten += uint64(f.geo.PageSize)
-	f.chEnergy[addr.Channel] += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
-
-	if f.trackData && data != nil {
-		f.data.put(f.geo.PageIndex(addr), data)
+// Program performs a page program with Program's timing and functional
+// block-state transition, staging the page bytes into a pooled buffer at
+// issue (the caller's buffer is not retained; reads staged before the
+// batch event observe the bytes through the channel's pending-install
+// index) and batching the accounting and the tracked-data install.
+func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, error) {
+	f := b.f
+	if err := f.CheckProgram(addr); err != nil {
+		return Result{}, err
 	}
+	xferStart, done := f.claimProgram(now, addr)
+	if !f.trackData {
+		b.die(addr, done).nProgs++
+		return Result{Start: xferStart, Ready: done, Done: done}, nil
+	}
+	rec, db, idx := b.record(addr, done)
+	rec.kind = OpProgram
+	pageIdx := f.geo.PageIndex(addr)
+	rec.pageIdx, rec.pageLocal = pageIdx, f.chanLocal(pageIdx)
+	if data != nil {
+		rec.buf = f.acquirePageBuf(addr.Channel)
+		n := copy(rec.buf, data)
+		for i := n; i < len(rec.buf); i++ {
+			rec.buf[i] = 0
+		}
+		rec.hasData = true
+	}
+	rec.tracked = true
+	m := f.pendingProg[addr.Channel]
+	if m == nil {
+		m = make(map[int64]pendingRef)
+		f.pendingProg[addr.Channel] = m
+	}
+	m[pageIdx] = pendingRef{batch: db, idx: idx}
 	return Result{Start: xferStart, Ready: done, Done: done}, nil
 }
 
-// Erase erases the block containing addr (its Page field is ignored).
-func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
+// Erase erases the block containing addr with Erase's timing and
+// functional reset, batching the accounting and the tracked-data presence
+// clear. The clear applies after every earlier-completing program install
+// of the same die (in-batch records keep issue order; cross-plan batches
+// order by the die's serialized completions), so an erase + reprogram
+// sequence converges to the synchronous arena state, and in-flight
+// deferred reads are immune because they stage their bytes at issue.
+func (b *PlanBatch) Erase(now sim.Time, addr Address) (Result, error) {
+	f := b.f
 	addr.Page = 0
 	if err := f.geo.CheckAddress(addr); err != nil {
 		return Result{}, err
 	}
 	bi := f.geo.BlockIndex(addr)
-	blk := &f.blocks[bi]
+	cmdStart, done := f.claimErase(now, addr)
+	if !f.trackData {
+		b.die(addr, done).nErases++
+		return Result{Start: cmdStart, Ready: done, Done: done}, nil
+	}
+	rec, _, _ := b.record(addr, done)
+	rec.kind = OpErase
+	rec.pageLocal = f.chanLocal(int64(bi) * int64(f.geo.PagesPerBlock))
+	rec.clearN = f.geo.PagesPerBlock
+	return Result{Start: cmdStart, Ready: done, Done: done}, nil
+}
+
+// Commit schedules every touched die's batch as one event in its channel's
+// domain at the die's latest completion time, then closes the plan
+// context. The batches release themselves (and their staged buffers) back
+// to their channel's pools when they dispatch.
+func (b *PlanBatch) Commit() {
+	for _, di := range b.used {
+		db := b.dies[di]
+		b.e.AtIn(b.doms[db.ch], db.at, db.fn)
+		b.dies[di] = nil
+	}
+	b.reset()
+}
+
+// Abort discards the batched bookkeeping without scheduling it, for a
+// caller abandoning a plan after a mid-plan error. Resource claims and
+// functional block-state transitions made through the batch are not rolled
+// back — prevalidating callers (fil.ExecuteOn) never reach this state with
+// any issued — and pending-install registrations of the aborted records
+// are withdrawn.
+func (b *PlanBatch) Abort() {
+	for _, di := range b.used {
+		db := b.dies[di]
+		for i := range db.ops {
+			db.dropRecord(i)
+		}
+		db.release()
+		b.dies[di] = nil
+	}
+	b.reset()
+}
+
+func (b *PlanBatch) reset() {
+	b.used = b.used[:0]
+	b.e, b.doms = nil, nil
+	b.open = false
+}
+
+// ProgramDeferred performs a page program with the timing and functional
+// block-state transition of Program, deferring the per-channel bookkeeping
+// — counters, energy, the tracked-data install — to an event in dom at the
+// transaction's completion time: a single-transaction PlanBatch. An error
+// claims nothing and schedules nothing.
+func (f *Flash) ProgramDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, data []byte) (Result, error) {
+	b := f.BeginPlan(e, nil)
+	r, err := b.programIn(dom, now, addr, data)
+	if err != nil {
+		b.Abort()
+		return r, err
+	}
+	b.Commit()
+	return r, nil
+}
+
+// EraseDeferred erases the block containing addr with the timing and
+// functional reset of Erase, deferring counters, energy and the
+// tracked-data presence clear into dom: a single-transaction PlanBatch.
+func (f *Flash) EraseDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address) (Result, error) {
+	b := f.BeginPlan(e, nil)
+	r, err := b.eraseIn(dom, now, addr)
+	if err != nil {
+		b.Abort()
+		return r, err
+	}
+	b.Commit()
+	return r, nil
+}
+
+// programIn / eraseIn run one batch op with an explicit target domain, so
+// the single-op wrappers work without a per-channel domain table.
+func (b *PlanBatch) programIn(dom sim.DomainID, now sim.Time, addr Address, data []byte) (Result, error) {
+	b.domOverride(dom, addr)
+	return b.Program(now, addr, data)
+}
+
+func (b *PlanBatch) eraseIn(dom sim.DomainID, now sim.Time, addr Address) (Result, error) {
+	b.domOverride(dom, addr)
+	return b.Erase(now, addr)
+}
+
+// domOverride points the batch's per-channel domain table at dom for
+// addr's channel, using a pooled single-channel table.
+func (b *PlanBatch) domOverride(dom sim.DomainID, addr Address) {
+	f := b.f
+	if cap(f.domScratch) < f.geo.Channels {
+		f.domScratch = make([]sim.DomainID, f.geo.Channels)
+	}
+	b.doms = f.domScratch[:f.geo.Channels]
+	b.doms[addr.Channel] = dom
+}
+
+// CheckProgram reports the error a program of addr would fail with
+// (address out of range, overwrite, out-of-order page), without claiming
+// resources, mutating block state or scheduling anything. Single-op
+// prevalidation only: callers batching deferred programs of one plan must
+// overlay in-plan state changes themselves (fil's plan prevalidation).
+func (f *Flash) CheckProgram(addr Address) error {
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return err
+	}
+	blk := &f.blocks[f.geo.BlockIndex(addr)]
+	if blk.written[addr.Page] {
+		return fmt.Errorf("nand: program of already-written page %v (erase-before-write)", addr)
+	}
+	if int32(addr.Page) != blk.nextPage {
+		return fmt.Errorf("nand: out-of-order program of page %d in block (next is %d)", addr.Page, blk.nextPage)
+	}
+	return nil
+}
+
+// CheckErase reports the error an erase of the block containing addr would
+// fail with, without claiming resources or mutating anything.
+func (f *Flash) CheckErase(addr Address) error {
+	addr.Page = 0
+	return f.geo.CheckAddress(addr)
+}
+
+// accountProgram charges one page program to the channel's counters and
+// energy. Called exactly once per program, either synchronously (Program)
+// or from the deferred completion event (ProgramDeferred).
+func (f *Flash) accountProgram(channel int) {
+	st := &f.chStats[channel]
+	st.Programs++
+	st.BytesWritten += uint64(f.geo.PageSize)
+	f.chEnergy[channel] += f.pow.ProgEnergyJ + f.pow.XferEnergyJPerByte*float64(f.geo.PageSize)
+}
+
+// accountErase charges one block erase to the channel's counters and
+// energy. Called exactly once per erase, like accountProgram.
+func (f *Flash) accountErase(channel int) {
+	f.chStats[channel].Erases++
+	f.chEnergy[channel] += f.pow.EraseEnergyJ
+}
+
+// claimProgram reserves a program's two phases — the data streams over the
+// channel into the die's register, then the die programs the array — and
+// applies the functional block-state transition (written, in-order
+// pointer), which serial sections read. Shared by Program and
+// ProgramDeferred so the two paths can never diverge in timing or state.
+func (f *Flash) claimProgram(now sim.Time, addr Address) (xferStart, done sim.Time) {
 	ch := f.channels[addr.Channel]
 	die := f.dies[f.geo.DieIndex(addr)]
+	xferStart, xferEnd := ch.Claim(now, f.tim.CmdCycles+f.tim.XferTime(f.geo.PageSize))
+	_, done = die.Claim(xferEnd, f.progLatency(addr.Page))
+	blk := &f.blocks[f.geo.BlockIndex(addr)]
+	blk.written[addr.Page] = true
+	blk.nextPage++
+	return xferStart, done
+}
 
+// checkNoPendingInstalls panics when a synchronous tracked-data mutation
+// targets a channel with deferred installs still in flight: the
+// synchronous path applies its arena update immediately, while the pending
+// batch would replay staged bytes over it later — silent data corruption.
+// Mixing the paths on one channel is only legal with the engine drained
+// (the map is then empty), so the guard costs one length check.
+func (f *Flash) checkNoPendingInstalls(ch int) {
+	if f.pendingProg != nil && len(f.pendingProg[ch]) > 0 {
+		panic("nand: synchronous program/erase while deferred installs are in flight on the channel (drain the engine first)")
+	}
+}
+
+// Program writes one page. It enforces the flash physical constraints: the
+// page must be the next in-order page of its block (no overwrite, ascending
+// program order within a block for MLC/TLC disturb management). While a
+// deferred plan's installs are in flight on the channel, synchronous
+// programs are illegal (checkNoPendingInstalls).
+func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error) {
+	if err := f.CheckProgram(addr); err != nil {
+		return Result{}, err
+	}
+	f.checkNoPendingInstalls(addr.Channel)
+	xferStart, done := f.claimProgram(now, addr)
+	f.accountProgram(addr.Channel)
+	if f.trackData && data != nil {
+		f.data[addr.Channel].put(f.chanLocal(f.geo.PageIndex(addr)), data)
+	}
+	return Result{Start: xferStart, Ready: done, Done: done}, nil
+}
+
+// claimErase reserves an erase's phases and applies the functional block
+// reset (erase count, in-order pointer, written map). Shared by Erase and
+// EraseDeferred.
+func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time) {
+	blk := &f.blocks[f.geo.BlockIndex(addr)]
+	ch := f.channels[addr.Channel]
+	die := f.dies[f.geo.DieIndex(addr)]
 	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
-	_, done := die.Claim(cmdEnd, f.tim.Erase)
-
+	_, done = die.Claim(cmdEnd, f.tim.Erase)
 	blk.eraseCount++
 	blk.nextPage = 0
 	for i := range blk.written {
 		blk.written[i] = false
 	}
-	if f.trackData {
-		f.data.clearRange(int64(bi)*int64(f.geo.PagesPerBlock), f.geo.PagesPerBlock)
+	return cmdStart, done
+}
+
+// Erase erases the block containing addr (its Page field is ignored).
+// Like Program, it is illegal while deferred installs are in flight on the
+// channel.
+func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
+	addr.Page = 0
+	if err := f.geo.CheckAddress(addr); err != nil {
+		return Result{}, err
 	}
-	f.chStats[addr.Channel].Erases++
-	f.chEnergy[addr.Channel] += f.pow.EraseEnergyJ
+	f.checkNoPendingInstalls(addr.Channel)
+	bi := f.geo.BlockIndex(addr)
+	cmdStart, done := f.claimErase(now, addr)
+	if f.trackData {
+		base := int64(bi) * int64(f.geo.PagesPerBlock)
+		f.data[addr.Channel].clearRange(f.chanLocal(base), f.geo.PagesPerBlock)
+	}
+	f.accountErase(addr.Channel)
 	return Result{Start: cmdStart, Ready: done, Done: done}, nil
 }
 

@@ -559,6 +559,195 @@ func TestReadDeferred(t *testing.T) {
 	}
 }
 
+// TestProgramDeferred verifies the deferred program path: timing and
+// functional block state identical to the synchronous Program, counters,
+// energy and the tracked-data install landing only when the completion
+// event dispatches, and pooled carriers that make steady state
+// allocation-free.
+func TestProgramDeferred(t *testing.T) {
+	fSync := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	fDef := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	addr := Address{Channel: 3, Page: 0}
+	payload := bytes.Repeat([]byte{0x5c}, 4096)
+
+	want, err := fSync.Program(0, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := sim.NewEngine()
+	dom := e.Domain(ChannelDomain(addr.Channel))
+	got, err := fDef.ProgramDeferred(e, dom, 0, addr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("deferred timing %+v != sync %+v", got, want)
+	}
+	if !fDef.PageWritten(addr) || fDef.NextProgramPage(addr) != 1 {
+		t.Fatal("functional block state must transition at issue")
+	}
+	if n := fDef.Stats().Programs; n != 0 {
+		t.Fatalf("stats counted before completion: %d programs", n)
+	}
+	// A read staged before the install event must already observe the
+	// latched bytes (the pending-install index), like the synchronous path.
+	staged := make([]byte, 4096)
+	if _, err := fDef.ReadDeferred(e, dom, 0, addr, staged); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if fDef.Stats().Programs != 1 || fDef.Stats().BytesWritten != 4096 {
+		t.Fatalf("stats after completion: %+v", fDef.Stats())
+	}
+	if !bytes.Equal(staged, payload) {
+		t.Fatal("read staged before install missed the pending program bytes")
+	}
+	rb := make([]byte, 4096)
+	if _, err := fDef.Read(sim.FromMicroseconds(50000), addr, rb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb, payload) {
+		t.Fatal("install did not land the programmed bytes")
+	}
+
+	// Steady state reuses the pooled carrier: no allocations.
+	next := Address{Channel: 3, Block: 1}
+	allocs := testing.AllocsPerRun(14, func() {
+		if _, err := fDef.ProgramDeferred(e, dom, e.Now(), next, payload); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+		next.Page++
+	})
+	if allocs != 0 {
+		t.Fatalf("deferred program allocated %v per op", allocs)
+	}
+}
+
+// TestEraseDeferred verifies the deferred erase path: functional reset at
+// issue, counters/energy/presence-clear at completion, byte-identical
+// totals versus the synchronous path.
+func TestEraseDeferred(t *testing.T) {
+	fSync := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	fDef := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	addr := Address{Channel: 1, Page: 0}
+	payload := bytes.Repeat([]byte{0x77}, 4096)
+	for _, f := range []*Flash{fSync, fDef} {
+		if _, err := f.Program(0, addr, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := sim.FromMicroseconds(10000)
+	want, err := fSync.Erase(now, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := sim.NewEngine()
+	dom := e.Domain(ChannelDomain(addr.Channel))
+	got, err := fDef.EraseDeferred(e, dom, now, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("deferred timing %+v != sync %+v", got, want)
+	}
+	if fDef.PageWritten(addr) || fDef.NextProgramPage(addr) != 0 {
+		t.Fatal("functional reset must apply at issue")
+	}
+	if n := fDef.Stats().Erases; n != 0 {
+		t.Fatalf("stats counted before completion: %d erases", n)
+	}
+	e.Run()
+	if fDef.Stats() != fSync.Stats() {
+		t.Fatalf("stats after completion %+v != sync %+v", fDef.Stats(), fSync.Stats())
+	}
+	if fDef.EraseCount(addr) != 1 {
+		t.Fatalf("EraseCount = %d", fDef.EraseCount(addr))
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := fDef.EraseDeferred(e, dom, e.Now(), addr); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("deferred erase allocated %v per op", allocs)
+	}
+}
+
+// TestDeferredGCReprogramOrdering is the golden ordering test for deferred
+// writes against in-flight deferred reads: a read is issued, then a GC-style
+// erase + reprogram of the same physical page runs entirely on the deferred
+// path before any completion event dispatches. The in-flight read must
+// return the pre-erase bytes (staged at issue), the post-drain arena must
+// hold the new bytes (installs and clears dispatch in channel (time, seq)
+// order, which the die resource aligns with issue order), and the counters
+// must match a synchronous reference executing the same sequence.
+func TestDeferredGCReprogramOrdering(t *testing.T) {
+	fSync := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	fDef := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	addr := Address{Channel: 2, Page: 0}
+	old := bytes.Repeat([]byte{0x11}, 4096)
+	new_ := bytes.Repeat([]byte{0xee}, 4096)
+
+	// Synchronous reference.
+	if _, err := fSync.Program(0, addr, old); err != nil {
+		t.Fatal(err)
+	}
+	syncDst := make([]byte, 4096)
+	if _, err := fSync.Read(0, addr, syncDst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fSync.Erase(0, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fSync.Program(0, addr, new_); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deferred run: same sequence, nothing dispatched until the end.
+	e := sim.NewEngine()
+	dom := e.Domain(ChannelDomain(addr.Channel))
+	if _, err := fDef.ProgramDeferred(e, dom, 0, addr, old); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	if _, err := fDef.ReadDeferred(e, dom, 0, addr, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fDef.EraseDeferred(e, dom, 0, addr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fDef.ProgramDeferred(e, dom, 0, addr, new_); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+
+	if !bytes.Equal(dst, old) {
+		t.Fatalf("in-flight deferred read observed post-erase contents: %x...", dst[:4])
+	}
+	if !bytes.Equal(dst, syncDst) {
+		t.Fatal("deferred read bytes diverge from synchronous reference")
+	}
+	got := make([]byte, 4096)
+	if _, err := fDef.Read(sim.FromMicroseconds(100000), addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, new_) {
+		t.Fatalf("arena did not converge to the reprogrammed bytes: %x...", got[:4])
+	}
+	ds, ss := fDef.Stats(), fSync.Stats()
+	// The verification read above is extra; discount it.
+	ds.Reads--
+	ds.BytesRead -= uint64(len(got))
+	if ds != ss {
+		t.Fatalf("deferred stats %+v != sync %+v", ds, ss)
+	}
+}
+
 // TestReadDeferredSnapshotsAtIssue locks in the data semantics of the
 // deferred path: the bytes a read returns are fixed when it is issued (the
 // array read latches them), so an erase + reprogram of the same physical

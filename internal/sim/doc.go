@@ -72,11 +72,13 @@
 //
 //   - Domain-local (the per-NAND-channel shards). These events touch only
 //     state owned by their channel — the channel's counters and energy
-//     accumulator, its pooled completion carriers, read-only arena pages
-//     and a destination slice no other event writes — and never call back
-//     into the engine: no scheduling, no cancels, no Now. In the full
-//     system they are exactly the deferred per-channel bookkeeping of
-//     flash reads (nand.Flash.ReadDeferred).
+//     accumulator, its pooled completion carriers, its tracked-data arena
+//     and pending-install index, and destination slices no other event
+//     writes — and never call back into the engine: no scheduling, no
+//     cancels, no Now. In the full system they are exactly the deferred
+//     per-channel bookkeeping of flash transactions: read completions
+//     (nand.Flash.ReadDeferred) and the per-die plan batches of program
+//     installs and erase clears (nand.PlanBatch via fil.ExecuteOn).
 //
 // RunParallel exploits the split: it computes the horizon — the earliest
 // cross-domain (time, sequence) key (NextCrossDomainTime) — opens a window
@@ -117,15 +119,85 @@
 // merged bookkeeping (counters in fixed domain order, per-channel float
 // accumulators summed in channel order) is deterministic. The golden tests
 // lock this in at the engine level (TestRunParallelEquivalence) and
-// through the full stack (core's TestIntraParallelGoldenEquivalence:
-// identical experiment tables, per-domain dispatch counts and payload
-// bytes through a GC-triggering workload).
+// through the full stack (core's TestIntraParallelGoldenEquivalence and
+// TestWriteDeferredGoldenEquivalence: identical experiment tables,
+// per-domain dispatch counts and payload bytes through GC-triggering
+// workloads).
 //
-// The wall-clock win has two parts: batch-draining a shard skips the
+// # Deferred writes: why staged-at-issue data and channel-ordered merges
+// preserve the serial observable state
+//
+// Deferring a program or erase is subtler than deferring a read, because
+// writes change what later reads observe. Three mechanisms keep the
+// deferred path's observable state identical to synchronous execution:
+//
+//  1. Functional state transitions stay at issue. The block's written map,
+//     in-order program pointer and erase count mutate synchronously when
+//     the transaction is issued (in a serial section), so every later
+//     serial-section check — CheckRead, CheckProgram, plan prevalidation —
+//     sees exactly the state the synchronous path would show. Only the
+//     bookkeeping (counters, energy, tracked-data arena updates) defers.
+//
+//  2. Data is latched at issue. A program's page bytes are copied into a
+//     pooled per-channel staging buffer when it issues (physically: the
+//     die register latches the data when the bus transfer ends), and the
+//     channel's pending-install index maps the physical page to those
+//     staged bytes until the install event runs. Every read-side copy
+//     (ReadDeferred's staging, plan reads, synchronous Read) consults the
+//     index before the arena, so a read issued after a program observes
+//     the programmed bytes whether or not the install has dispatched —
+//     and an in-flight read is immune to a later GC erase + reprogram of
+//     the same page because its own bytes were staged at its issue
+//     (TestReadDeferredSnapshotsAtIssue, TestDeferredGCReprogramOrdering).
+//
+//  3. Arena updates merge in channel order, aligned with issue order by
+//     die serialization. A channel shard dispatches its events in (time,
+//     seq) order. Installs and clears are grouped per (plan, die)
+//     (nand.dieBatch) and scheduled at the die's last completion time;
+//     because the die and channel resources serialize every claim, any
+//     transaction of a later plan on the same die completes strictly
+//     after every transaction of an earlier plan on that die, so batches
+//     of the same die dispatch in plan-issue order, records within a
+//     batch apply in issue order, and batches of different dies touch
+//     disjoint pages. The arena therefore converges to exactly the
+//     synchronous sequence of puts and clears. (Same-page traffic always
+//     shares a die, so cross-die timing never reorders a page's history.)
+//
+// # Horizon batching: the channel-neutral safety condition
+//
+// Small-window workloads (4K random reads) average near one local event
+// per horizon, so the per-horizon barrier dominates. A cross-domain shard
+// may opt out of forcing barriers by being marked channel-neutral
+// (MarkChannelNeutral): RunParallel then dispatches its head events while
+// eligible domain-local events are still pending, deferring the drain to
+// the next channel-coupled horizon and batching consecutive neutral cross
+// events between two barriers.
+//
+// The safety condition a neutral shard's events must satisfy: they do not
+// read or write any state that pending domain-local events write — the
+// per-channel counters and energy accumulators, arena pages except
+// through the pending-aware staging path of mechanism 2 (which returns
+// identical bytes whether the pending install has run or not, so the
+// interleaving is unobservable), and in-flight read destination buffers.
+// Issuing new flash transactions from a neutral event is fine: claims,
+// functional block state and the pending index live in serial sections and
+// commute with pending bookkeeping (carrier-pool push/pop interleavings
+// can change which pooled object is reused, never an observable). Under
+// that condition a neutral event C commutes with every pending local event
+// L, so dispatching C before L — the only reordering batching introduces
+// relative to the serial total order — leaves every state partition's
+// history unchanged. In the full system, core marks host, CPU and DMA
+// arbitration shards neutral (active architecture); the fil continuation
+// shard (fill installs read line buffers that pending read completions
+// write) and the icl write-back shard stay barrier-forcing.
+//
+// The wall-clock win has three parts: batch-draining a shard skips the
 // per-event tournament read/repair the serial loop pays (measurable even
-// single-threaded), and with GOMAXPROCS > 1 the channel shards' work —
-// dominated by tracked-data page copies on data-tracking systems — runs
-// on real cores in parallel.
+// single-threaded), horizon batching cuts barrier frequency on
+// small-window workloads, and with GOMAXPROCS > 1 the channel shards'
+// work — dominated by tracked-data page copies and installs on
+// data-tracking systems — runs on real cores in parallel (RunParallel
+// clamps its fan-out to GOMAXPROCS; extra workers only add handoff cost).
 //
 // # Resources
 //

@@ -64,11 +64,12 @@ type shard struct {
 	heap       []int32 // record ids ordered as a 4-ary min-heap by (at, seq)
 	dispatched uint64
 
-	local  bool    // domain-local: steppable inside a parallel window
-	owner  int32   // CAS guard: 1 while a worker steps the shard, else 0
-	freed  []int32 // records released during the open window
-	popped int     // events dispatched during the open window
-	maxAt  Time    // latest event time dispatched during the open window
+	local   bool    // domain-local: steppable inside a parallel window
+	neutral bool    // channel-neutral cross shard: batchable past pending locals
+	owner   int32   // CAS guard: 1 while a worker steps the shard, else 0
+	freed   []int32 // records released during the open window
+	popped  int     // events dispatched during the open window
+	maxAt   Time    // latest event time dispatched during the open window
 }
 
 // DomainStat reports one domain's activity.
@@ -101,6 +102,7 @@ type Engine struct {
 	shards  []shard
 	domains map[string]DomainID
 	locals  []DomainID // domains marked domain-local, in registration order
+	elig    []DomainID // RunParallel's per-window eligible-domain scratch
 
 	// inWindow is true between BeginWindow and EndWindow: the only legal
 	// engine calls are then StepDomainUntil on distinct domain-local shards
@@ -334,7 +336,17 @@ func (e *Engine) Step() bool {
 	if head == emptyNode {
 		return false
 	}
-	w := int(head.key & 0xffff)
+	e.stepShard(int(head.key & 0xffff))
+	return true
+}
+
+// stepShard fires the head event of shard w — which the caller has
+// determined is the event to dispatch next — and advances the clock to it.
+// Step resolves w from the tournament winner; RunParallel's horizon loop
+// resolves it from the cross-domain scan, which also lets it dispatch a
+// channel-neutral cross head while earlier domain-local events are still
+// pending (see parallel.go).
+func (e *Engine) stepShard(w int) {
 	sh := &e.shards[w]
 	id := sh.heap[0]
 	e.heapRemoveAt(sh, 0)
@@ -347,7 +359,6 @@ func (e *Engine) Step() bool {
 	e.pending--
 	e.dispatched++
 	fn()
-	return true
 }
 
 // Run dispatches events until the queue drains.

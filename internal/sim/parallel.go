@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -20,6 +21,14 @@ import (
 //     events in distinct domain-local shards are causally independent, so
 //     they may be dispatched concurrently by different workers without
 //     changing any observable result.
+//
+// Cross-domain shards may additionally be marked channel-neutral
+// (MarkChannelNeutral): their events are promised not to touch the state
+// pending domain-local events write, so they commute with them. RunParallel
+// dispatches a channel-neutral horizon head without draining the local
+// shards first — horizon batching — so consecutive neutral cross events
+// cost no barrier and the local work accumulates into fewer, larger
+// windows.
 //
 // RunParallel exploits this: it repeatedly computes the horizon — the
 // (time, sequence) key of the earliest pending cross-domain event — lets
@@ -54,6 +63,9 @@ func (e *Engine) MarkDomainLocal(dom DomainID) {
 	if sh.local {
 		return
 	}
+	if sh.neutral {
+		panic(fmt.Sprintf("sim: domain %q is channel-neutral, cannot also be domain-local", sh.name))
+	}
 	sh.local = true
 	e.locals = append(e.locals, dom)
 }
@@ -63,12 +75,48 @@ func (e *Engine) IsDomainLocal(dom DomainID) bool {
 	return int(dom) < len(e.shards) && e.shards[dom].local
 }
 
+// MarkChannelNeutral classifies the cross-domain shard dom as
+// channel-neutral: its events are promised not to read or write any state
+// that pending domain-local events write (per-channel counters and energy
+// accumulators, installed tracked-data pages except through the
+// pending-aware staging paths, in-flight destination buffers). A neutral
+// cross event therefore commutes with every pending domain-local event, and
+// RunParallel may dispatch it without first draining the local shards —
+// horizon batching: consecutive neutral cross events run back to back while
+// local work accumulates for one larger window, cutting barrier frequency
+// on small-window workloads. doc.go states the full safety condition.
+// Marking is idempotent and is a setup-time call.
+func (e *Engine) MarkChannelNeutral(dom DomainID) {
+	e.checkSerial()
+	if dom < 0 || int(dom) >= len(e.shards) {
+		panic(fmt.Sprintf("sim: marking unregistered domain %d channel-neutral", dom))
+	}
+	sh := &e.shards[dom]
+	if sh.local {
+		panic(fmt.Sprintf("sim: domain %q is domain-local, cannot also be channel-neutral", sh.name))
+	}
+	sh.neutral = true
+}
+
+// IsChannelNeutral reports whether dom was marked channel-neutral.
+func (e *Engine) IsChannelNeutral(dom DomainID) bool {
+	return int(dom) < len(e.shards) && e.shards[dom].neutral
+}
+
 // NextCrossDomainTime returns the (time, sequence) key of the earliest
 // pending event in any cross-domain shard, or ok=false when every
 // cross-domain shard is empty. RunParallel uses it as the horizon bound for
 // a window; the scan is O(number of cross shards), which a full system
 // keeps small (host, cpu, icl.dram, dma, fil, default).
 func (e *Engine) NextCrossDomainTime() (at Time, seq uint64, ok bool) {
+	at, seq, _, ok = e.nextCross()
+	return at, seq, ok
+}
+
+// nextCross is NextCrossDomainTime plus the winning shard's index, which
+// the horizon loop needs both to dispatch the head without re-reading the
+// tournament and to test the shard's channel-neutral mark.
+func (e *Engine) nextCross() (at Time, seq uint64, shard int, ok bool) {
 	best := emptyNode
 	for s := range e.shards {
 		sh := &e.shards[s]
@@ -81,9 +129,9 @@ func (e *Engine) NextCrossDomainTime() (at Time, seq uint64, ok bool) {
 		}
 	}
 	if best == emptyNode {
-		return 0, 0, false
+		return 0, 0, 0, false
 	}
-	return best.at, best.key >> 16, true
+	return best.at, best.key >> 16, int(best.key & 0xffff), true
 }
 
 // BeginWindow opens a parallel window: until EndWindow, the only legal
@@ -176,6 +224,12 @@ type ParallelStats struct {
 	ParallelHorizons uint64 // of those, windows fanned out over >1 worker
 	LocalEvents      uint64 // events dispatched inside windows
 	CrossEvents      uint64 // events dispatched serially between windows
+	// BatchedCross counts cross-domain events dispatched through the
+	// horizon-batching fast path: their shard was channel-neutral, so they
+	// ran while eligible domain-local events were still pending instead of
+	// forcing a drain-and-barrier first. Each one is a barrier the
+	// un-batched loop would have paid.
+	BatchedCross uint64
 }
 
 // MeanLocalPerHorizon returns the average number of domain-local events a
@@ -188,6 +242,27 @@ func (p ParallelStats) MeanLocalPerHorizon() float64 {
 	return float64(p.LocalEvents) / float64(p.Horizons)
 }
 
+// Barriers returns the number of synchronization barriers the drain paid:
+// one per window.
+func (p ParallelStats) Barriers() uint64 { return p.Horizons }
+
+// BarriersWithoutBatching returns the barrier count the same drain would
+// have paid with horizon batching disabled: every batched cross event had
+// eligible local work pending and would have opened its own window first.
+func (p ParallelStats) BarriersWithoutBatching() uint64 {
+	return p.Horizons + p.BatchedCross
+}
+
+// Accumulate adds o's counters into p, for callers aggregating the horizon
+// structure over many small drains (the pooled synchronous submit path).
+func (p *ParallelStats) Accumulate(o ParallelStats) {
+	p.Horizons += o.Horizons
+	p.ParallelHorizons += o.ParallelHorizons
+	p.LocalEvents += o.LocalEvents
+	p.CrossEvents += o.CrossEvents
+	p.BatchedCross += o.BatchedCross
+}
+
 // RunParallel dispatches events until the queue drains, like Run, but steps
 // domain-local shards concurrently between synchronization horizons over up
 // to `workers` goroutines (the calling goroutine is one of them). The
@@ -195,31 +270,83 @@ func (p ParallelStats) MeanLocalPerHorizon() float64 {
 // byte-identical to Run at any worker count; see doc.go for the argument.
 // With workers <= 1 the same horizon-structured loop runs entirely on the
 // calling goroutine, which is the reference mode for equivalence tests.
+//
+// The worker goroutines live for this call only; a caller draining the
+// engine many times (the synchronous submit path) should allocate one
+// WorkerPool and use RunParallelWith instead.
 func (e *Engine) RunParallel(workers int) ParallelStats {
-	var st ParallelStats
 	if len(e.locals) == 0 {
-		for e.Step() {
-			st.CrossEvents++
-		}
-		return st
+		return e.runSerialDrain()
 	}
-	if workers > len(e.locals) {
-		workers = len(e.locals)
-	}
-	var pool *windowPool
+	workers = clampWorkers(workers, len(e.locals))
+	var pool *WorkerPool
 	defer func() {
 		if pool != nil {
-			pool.close()
+			pool.Close()
 		}
 	}()
-	eligible := make([]DomainID, 0, len(e.locals))
+	return e.runParallel(workers, func() *WorkerPool {
+		pool = NewWorkerPool(e, workers)
+		return pool
+	})
+}
+
+// RunParallelWith is RunParallel using a caller-owned WorkerPool, so
+// drains repeated on the same engine (one per synchronous Submit) reuse the
+// parked worker goroutines instead of spawning and joining a set per call.
+// The pool must have been created for this engine and stays usable (and
+// open) after the call returns.
+func (e *Engine) RunParallelWith(pool *WorkerPool) ParallelStats {
+	if pool.e != e {
+		panic("sim: RunParallelWith with a pool built for a different engine")
+	}
+	if len(e.locals) == 0 {
+		return e.runSerialDrain()
+	}
+	workers := clampWorkers(pool.workers, len(e.locals))
+	return e.runParallel(workers, func() *WorkerPool { return pool })
+}
+
+// clampWorkers bounds the window fan-out width: more workers than local
+// domains can never get work, and more workers than processors only add
+// handoff and context-switch cost to every window — on a single-processor
+// host the horizon loop runs entirely on the calling goroutine, which
+// still collects the batch-drain and horizon-batching wins. Results are
+// byte-identical at any width, so the clamp is purely a scheduling choice.
+func clampWorkers(workers, locals int) int {
+	if workers > locals {
+		workers = locals
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	return workers
+}
+
+// runSerialDrain is the no-local-domains degenerate mode: a plain serial
+// drain counted as cross events.
+func (e *Engine) runSerialDrain() ParallelStats {
+	var st ParallelStats
+	for e.Step() {
+		st.CrossEvents++
+	}
+	return st
+}
+
+// runParallel is the horizon loop shared by RunParallel and
+// RunParallelWith. getPool supplies the worker set on the first window wide
+// enough to fan out; it is not called when workers <= 1 or every window is
+// single-domain.
+func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelStats {
+	var st ParallelStats
+	var pool *WorkerPool
 	for {
-		at, seq, ok := e.NextCrossDomainTime()
+		at, seq, cross, ok := e.nextCross()
 		if !ok {
 			// No cross-domain work left: drain every local shard fully.
 			at, seq = MaxTime, ^uint64(0)
 		}
-		eligible = eligible[:0]
+		eligible := e.elig[:0]
 		for _, dom := range e.locals {
 			sh := &e.shards[dom]
 			if len(sh.heap) == 0 {
@@ -230,7 +357,18 @@ func (e *Engine) RunParallel(workers int) ParallelStats {
 				eligible = append(eligible, dom)
 			}
 		}
+		e.elig = eligible // keep the (possibly grown) scratch for the next round
 		if len(eligible) > 0 {
+			// Horizon batching: a channel-neutral cross head commutes with
+			// every pending local event, so dispatch it without paying the
+			// drain-and-barrier — the local work keeps accumulating for one
+			// larger window at the next channel-coupled horizon.
+			if ok && e.shards[cross].neutral {
+				e.stepShard(cross)
+				st.CrossEvents++
+				st.BatchedCross++
+				continue
+			}
 			st.Horizons++
 			e.BeginWindow()
 			if workers <= 1 || len(eligible) == 1 {
@@ -239,41 +377,50 @@ func (e *Engine) RunParallel(workers int) ParallelStats {
 				}
 			} else {
 				if pool == nil {
-					pool = newWindowPool(e, workers-1)
+					pool = getPool()
 				}
 				st.ParallelHorizons++
-				st.LocalEvents += pool.run(eligible, at, seq)
+				st.LocalEvents += pool.run(eligible, at, seq, workers)
 			}
 			e.EndWindow()
 		}
 		if !ok {
 			return st
 		}
-		e.Step()
+		e.stepShard(cross)
 		st.CrossEvents++
 	}
 }
 
-// windowPool is RunParallel's persistent worker set: workers-1 background
+// WorkerPool is a reusable RunParallel worker set: workers-1 background
 // goroutines plus the coordinator drain an atomically indexed list of
 // eligible domains each window. Handoff is one unbuffered channel token per
 // participating worker (a happens-before edge for the window fields) and a
-// WaitGroup barrier back.
-type windowPool struct {
-	e      *Engine
-	nbg    int // background workers
-	doms   []DomainID
-	at     Time
-	seq    uint64
-	next   int32 // atomic index into doms
-	events int64 // atomic dispatched-count accumulator
-	start  chan struct{}
-	wg     sync.WaitGroup
+// WaitGroup barrier back. RunParallel builds a transient one per call;
+// RunParallelWith reuses a caller-owned pool across drains. Close releases
+// the background goroutines; a closed pool must not be used again.
+type WorkerPool struct {
+	e       *Engine
+	workers int // total workers including the coordinating caller
+	nbg     int // background goroutines (workers - 1)
+	doms    []DomainID
+	at      Time
+	seq     uint64
+	next    int32 // atomic index into doms
+	events  int64 // atomic dispatched-count accumulator
+	start   chan struct{}
+	wg      sync.WaitGroup
 }
 
-func newWindowPool(e *Engine, background int) *windowPool {
-	p := &windowPool{e: e, nbg: background, start: make(chan struct{})}
-	for w := 0; w < background; w++ {
+// NewWorkerPool parks workers-1 background goroutines for horizon windows
+// on e. workers counts the calling goroutine too; values <= 1 park none
+// (the pool then only marks the intended width for RunParallelWith).
+func NewWorkerPool(e *Engine, workers int) *WorkerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &WorkerPool{e: e, workers: workers, nbg: workers - 1, start: make(chan struct{})}
+	for w := 0; w < p.nbg; w++ {
 		go func() {
 			for range p.start {
 				p.drain()
@@ -285,7 +432,7 @@ func newWindowPool(e *Engine, background int) *windowPool {
 }
 
 // drain steps eligible domains until the shared index runs out.
-func (p *windowPool) drain() {
+func (p *WorkerPool) drain() {
 	var n int64
 	for {
 		i := int(atomic.AddInt32(&p.next, 1)) - 1
@@ -299,12 +446,18 @@ func (p *windowPool) drain() {
 	}
 }
 
-// run fans one window out and blocks until every domain is stepped.
-func (p *windowPool) run(doms []DomainID, at Time, seq uint64) uint64 {
+// run fans one window out over at most `workers` total participants
+// (including the coordinating caller; the caller passes its clamped width,
+// which may be below the pool's parked-goroutine count) and blocks until
+// every domain is stepped.
+func (p *WorkerPool) run(doms []DomainID, at Time, seq uint64, workers int) uint64 {
 	p.doms, p.at, p.seq = doms, at, seq
 	atomic.StoreInt32(&p.next, 0)
 	atomic.StoreInt64(&p.events, 0)
-	n := p.nbg
+	n := workers - 1
+	if n > p.nbg {
+		n = p.nbg
+	}
 	if n > len(doms)-1 {
 		n = len(doms) - 1 // the coordinator always takes at least one
 	}
@@ -317,4 +470,5 @@ func (p *windowPool) run(doms []DomainID, at Time, seq uint64) uint64 {
 	return uint64(atomic.LoadInt64(&p.events))
 }
 
-func (p *windowPool) close() { close(p.start) }
+// Close releases the pool's background goroutines.
+func (p *WorkerPool) Close() { close(p.start) }

@@ -12,16 +12,18 @@ import (
 // touch only their own domain's state. It exists to compare Run,
 // RunParallel(1) and RunParallel(N) for byte-identical behavior.
 type parallelHarness struct {
-	e      *Engine
-	locals []DomainID
-	crossA DomainID
-	crossB DomainID
+	e       *Engine
+	locals  []DomainID
+	crossA  DomainID
+	crossB  DomainID
+	neutral DomainID // channel-neutral cross shard (horizon batching)
 
-	localLog [][]uint64 // per-local-domain (time<<16|tag) records
-	localSum []uint64   // per-local-domain counters
-	crossLog []uint64   // horizon snapshots: sum over localSum at each driver
-	rngState uint64
-	rounds   int
+	localLog   [][]uint64 // per-local-domain (time<<16|tag) records
+	localSum   []uint64   // per-local-domain counters
+	crossLog   []uint64   // horizon snapshots: sum over localSum at each driver
+	neutralLog []uint64   // per-neutral-event (time, counter) records
+	rngState   uint64
+	rounds     int
 }
 
 func (h *parallelHarness) rng() uint64 {
@@ -59,6 +61,21 @@ func (h *parallelHarness) drive() {
 	}
 	// A second cross shard interleaves mid-window horizons.
 	h.e.ScheduleIn(h.crossB, period/2, func() { h.crossLog = append(h.crossLog, ^uint64(0)) })
+	// Channel-neutral events land between the local bursts: they must not
+	// read local state (that is the neutrality promise), so they log only
+	// their own time and may schedule — including a follow-up neutral event,
+	// exercising scheduling from inside the batched fast path.
+	for i := 0; i < 3; i++ {
+		delay := Duration(h.rng() % uint64(period+1))
+		h.e.ScheduleIn(h.neutral, delay, func() {
+			h.neutralLog = append(h.neutralLog, uint64(h.e.Now()))
+			if len(h.neutralLog)%5 == 0 {
+				h.e.ScheduleIn(h.neutral, 7, func() {
+					h.neutralLog = append(h.neutralLog, uint64(h.e.Now())|1<<62)
+				})
+			}
+		})
+	}
 	h.e.ScheduleIn(h.crossA, period, h.drive)
 }
 
@@ -66,6 +83,8 @@ func newParallelHarness(nLocal, rounds int, seed uint64) *parallelHarness {
 	h := &parallelHarness{e: NewEngine(), rngState: seed, rounds: rounds}
 	h.crossA = h.e.Domain("cross.a")
 	h.crossB = h.e.Domain("cross.b")
+	h.neutral = h.e.Domain("cross.neutral")
+	h.e.MarkChannelNeutral(h.neutral)
 	for i := 0; i < nLocal; i++ {
 		dom := h.e.Domain(fmt.Sprintf("local.%d", i))
 		h.e.MarkDomainLocal(dom)
@@ -78,8 +97,8 @@ func newParallelHarness(nLocal, rounds int, seed uint64) *parallelHarness {
 }
 
 func (h *parallelHarness) fingerprint() string {
-	return fmt.Sprintf("now=%v dispatched=%d pending=%d doms=%+v cross=%v local=%v sums=%v",
-		h.e.Now(), h.e.Dispatched(), h.e.Pending(), h.e.DomainStats(), h.crossLog, h.localLog, h.localSum)
+	return fmt.Sprintf("now=%v dispatched=%d pending=%d doms=%+v cross=%v local=%v sums=%v neutral=%v",
+		h.e.Now(), h.e.Dispatched(), h.e.Pending(), h.e.DomainStats(), h.crossLog, h.localLog, h.localSum, h.neutralLog)
 }
 
 // TestRunParallelEquivalence locks in the horizon-synchronization
@@ -150,6 +169,109 @@ func TestNextCrossDomainTime(t *testing.T) {
 	at, seq, ok := e.NextCrossDomainTime()
 	if !ok || at != 20 || seq != 2 {
 		t.Fatalf("NextCrossDomainTime = (%v, %d, %v), want (20ps, 2, true)", at, seq, ok)
+	}
+}
+
+// TestHorizonBatching verifies the channel-neutral fast path: neutral cross
+// events dispatch without draining pending local work (BatchedCross counts
+// them), the barrier count drops accordingly, and the final state still
+// matches the serial dispatch (covered by the equivalence harness, which
+// carries a neutral shard).
+func TestHorizonBatching(t *testing.T) {
+	h := newParallelHarness(8, 50, 999)
+	st := h.e.RunParallel(4)
+	if st.BatchedCross == 0 {
+		t.Fatalf("harness with a neutral shard batched nothing: %+v", st)
+	}
+	if st.Barriers() != st.Horizons {
+		t.Fatalf("Barriers() = %d, want Horizons = %d", st.Barriers(), st.Horizons)
+	}
+	if got, want := st.BarriersWithoutBatching(), st.Horizons+st.BatchedCross; got != want {
+		t.Fatalf("BarriersWithoutBatching() = %d, want %d", got, want)
+	}
+
+	// The same engine shape with the neutral mark withheld must pay a
+	// barrier for every one of those events and still finish identically.
+	plain := newParallelHarness(8, 50, 999)
+	plain.e.shards[plain.neutral].neutral = false
+	st2 := plain.e.RunParallel(4)
+	if st2.BatchedCross != 0 {
+		t.Fatalf("unmarked run batched %d events", st2.BatchedCross)
+	}
+	if st2.Horizons <= st.Horizons {
+		t.Fatalf("batching did not reduce windows: %d (batched) vs %d (plain)", st.Horizons, st2.Horizons)
+	}
+	if got, want := plain.fingerprint(), h.fingerprint(); got != want {
+		t.Fatalf("batched and unbatched runs diverged:\nbatched: %s\nplain:   %s", want, got)
+	}
+}
+
+// TestMarkChannelNeutralGuards verifies the classification is exclusive:
+// a domain cannot be both domain-local and channel-neutral, and marking an
+// unregistered domain panics.
+func TestMarkChannelNeutralGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := NewEngine()
+	loc := e.Domain("local")
+	e.MarkDomainLocal(loc)
+	neu := e.Domain("neutral")
+	e.MarkChannelNeutral(neu)
+	e.MarkChannelNeutral(neu) // idempotent
+	if !e.IsChannelNeutral(neu) || e.IsChannelNeutral(loc) {
+		t.Fatal("IsChannelNeutral misreports")
+	}
+	mustPanic("neutral mark on local domain", func() { e.MarkChannelNeutral(loc) })
+	mustPanic("local mark on neutral domain", func() { e.MarkDomainLocal(neu) })
+	mustPanic("neutral mark on unregistered domain", func() { e.MarkChannelNeutral(DomainID(99)) })
+}
+
+// TestWorkerPoolReuse drains one engine many times through a single
+// caller-owned pool — the synchronous submit path's shape — and checks each
+// drain matches a fresh serial reference.
+func TestWorkerPoolReuse(t *testing.T) {
+	const nLocal, rounds = 6, 10
+	pooled := newParallelHarness(nLocal, rounds, 7)
+	pool := NewWorkerPool(pooled.e, 4)
+	defer pool.Close()
+	for iter := 0; iter < 5; iter++ {
+		serial := newParallelHarness(nLocal, rounds, uint64(100+iter))
+		serial.e.Run()
+
+		// Re-drive the pooled harness with the same seed: reset its engine
+		// and logs, then drain through the persistent pool.
+		pooled.e.Reset()
+		pooled.rngState = uint64(100 + iter)
+		pooled.rounds = rounds
+		for d := range pooled.localLog {
+			pooled.localLog[d] = nil
+		}
+		for d := range pooled.localSum {
+			pooled.localSum[d] = 0
+		}
+		pooled.crossLog, pooled.neutralLog = nil, nil
+		pooled.e.ScheduleIn(pooled.crossA, 100, pooled.drive)
+		st := pooled.e.RunParallelWith(pool)
+
+		// The engine's lifetime dispatch counters survive Reset, so compare
+		// the observable run products instead of the full fingerprint.
+		obs := func(h *parallelHarness) string {
+			return fmt.Sprintf("now=%v pending=%d cross=%v local=%v sums=%v neutral=%v",
+				h.e.Now(), h.e.Pending(), h.crossLog, h.localLog, h.localSum, h.neutralLog)
+		}
+		if got, want := obs(pooled), obs(serial); got != want {
+			t.Fatalf("iter %d diverged:\nserial: %s\npooled: %s", iter, want, got)
+		}
+		if st.LocalEvents == 0 {
+			t.Fatalf("iter %d: no local events", iter)
+		}
 	}
 }
 

@@ -76,19 +76,23 @@ func (h *HotLoop) Pending() int { return h.e.Pending() }
 // BenchmarkIntraParallel and the amberbench -json intra_parallel section
 // both drive this loop.
 type IntraLoop struct {
-	e      *sim.Engine
-	locals []sim.DomainID
-	cross  sim.DomainID
+	e       *sim.Engine
+	locals  []sim.DomainID
+	cross   sim.DomainID
+	neutral sim.DomainID // channel-neutral cross shard (horizon batching)
 
 	src, dst [][]byte // per-channel payload pages
 	counts   []uint64 // per-channel dispatched local events
 
 	perChannel int
+	neutralPer int // channel-neutral events interleaved per horizon
 	rounds     int
 	round      int
 
-	localFns []func() // per-channel local event bodies, bound once
-	crossFn  func()
+	localFns  []func() // per-channel local event bodies, bound once
+	crossFn   func()
+	neutralFn func()
+	neutrals  uint64 // dispatched neutral events
 }
 
 // IntraPageBytes is the payload each local event copies: one 4 KiB flash
@@ -100,12 +104,27 @@ const IntraPageBytes = 4096
 // receive `perChannel` copy events between consecutive horizons, for
 // `rounds` horizons.
 func NewIntraLoop(channels, perChannel, rounds int) *IntraLoop {
+	return NewIntraLoopNeutral(channels, perChannel, 0, rounds)
+}
+
+// NewIntraLoopNeutral is NewIntraLoop with `neutralPer` channel-neutral
+// cross events additionally interleaved between each horizon's local
+// bursts — the shape of a request stream whose host/CPU/DMA stage
+// boundaries commute with the channels' deferred flash bookkeeping. Under
+// RunParallel, each neutral event dispatches through the horizon-batching
+// fast path (no barrier) while the un-batched loop would have drained and
+// synchronized before every one.
+func NewIntraLoopNeutral(channels, perChannel, neutralPer, rounds int) *IntraLoop {
 	l := &IntraLoop{
 		e:          sim.NewEngine(),
 		perChannel: perChannel,
+		neutralPer: neutralPer,
 		rounds:     rounds,
 	}
 	l.cross = l.e.Domain("cross")
+	l.neutral = l.e.Domain("cross.neutral")
+	l.e.MarkChannelNeutral(l.neutral)
+	l.neutralFn = func() { l.neutrals++ }
 	l.counts = make([]uint64, channels)
 	for ch := 0; ch < channels; ch++ {
 		ch := ch
@@ -142,6 +161,13 @@ func (l *IntraLoop) pace() {
 			l.e.ScheduleIn(l.locals[ch], at, l.localFns[ch])
 		}
 	}
+	// Channel-neutral cross events land strictly between local events
+	// (half-step offsets), so each one finds local work pending: without
+	// the neutral mark it would split the window and cost a barrier.
+	for i := 0; i < l.neutralPer; i++ {
+		at := sim.Duration(i+1)*step + step/2
+		l.e.ScheduleIn(l.neutral, at, l.neutralFn)
+	}
 	l.e.ScheduleIn(l.cross, period, l.crossFn)
 }
 
@@ -159,6 +185,9 @@ func (l *IntraLoop) Run(workers int) sim.ParallelStats {
 
 // Dispatched returns the engine's lifetime dispatch count.
 func (l *IntraLoop) Dispatched() uint64 { return l.e.Dispatched() }
+
+// NeutralEvents returns how many channel-neutral cross events dispatched.
+func (l *IntraLoop) NeutralEvents() uint64 { return l.neutrals }
 
 // ChannelCounts returns the per-channel local event counts.
 func (l *IntraLoop) ChannelCounts() []uint64 { return l.counts }

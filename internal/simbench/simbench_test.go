@@ -82,3 +82,35 @@ func TestIntraLoopEquivalence(t *testing.T) {
 		t.Fatalf("horizon stats %+v, want %d local events", st, channels*perChannel*rounds)
 	}
 }
+
+// TestIntraLoopNeutralBatching verifies the horizon-batching harness: every
+// interleaved channel-neutral cross event dispatches through the batched
+// fast path (it always has local work pending), the barrier count stays at
+// one window per horizon, and the results match the serial dispatch.
+func TestIntraLoopNeutralBatching(t *testing.T) {
+	const channels, perChannel, neutralPer, rounds = 8, 16, 8, 25
+
+	serial := NewIntraLoopNeutral(channels, perChannel, neutralPer, rounds)
+	serial.Run(0)
+
+	parallel := NewIntraLoopNeutral(channels, perChannel, neutralPer, rounds)
+	st := parallel.Run(4)
+
+	if serial.Dispatched() != parallel.Dispatched() {
+		t.Fatalf("dispatched %d (serial) != %d (parallel)", serial.Dispatched(), parallel.Dispatched())
+	}
+	if got, want := parallel.NeutralEvents(), uint64(neutralPer*rounds); got != want {
+		t.Fatalf("neutral events %d, want %d", got, want)
+	}
+	for ch := 0; ch < channels; ch++ {
+		if !bytes.Equal(serial.Pages()[ch], parallel.Pages()[ch]) {
+			t.Fatalf("ch%d payload bytes diverged", ch)
+		}
+	}
+	if got, want := st.BatchedCross, uint64(neutralPer*rounds); got != want {
+		t.Fatalf("BatchedCross = %d, want %d (every neutral event interleaves with pending local work)", got, want)
+	}
+	if st.BarriersWithoutBatching()-st.Barriers() != st.BatchedCross {
+		t.Fatalf("barrier accounting inconsistent: %+v", st)
+	}
+}
