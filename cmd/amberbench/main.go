@@ -31,6 +31,7 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/sim"
 	"amber/internal/simbench"
 	"amber/internal/workload"
 )
@@ -57,6 +58,16 @@ type jsonReport struct {
 	// (4K random read) run, where PR 3's read-only windows averaged ~1
 	// local event per horizon and barrier overhead dominated.
 	HorizonBatch jsonHorizonBatch `json:"horizon_batch"`
+	// FillBarriers compares the synchronization-barrier structure of the
+	// legacy single-stage fill installs (one barrier per flash-backed fill)
+	// against two-stage installs (issue-staged precopy + channel-neutral
+	// publish) on a 4K random-read miss-heavy workload.
+	FillBarriers jsonFillBarriers `json:"fill_barriers"`
+	// CertifiedPlans compares the serial submit path's cost on a GC-heavy
+	// 4K random-write workload with plan certification honored (the FTL's
+	// construction-time check replaces the FIL's prevalidation double-walk)
+	// versus force-routed through the walk.
+	CertifiedPlans jsonCertifiedPlans `json:"certified_plans"`
 }
 
 type jsonExperiment struct {
@@ -171,6 +182,168 @@ type jsonHorizonBatch struct {
 	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
 	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
 	Speedup             float64 `json:"speedup"`
+}
+
+// jsonFillBarriers reports the barrier structure of a miss-heavy
+// intra-parallel run before and after two-stage fill installs: the same
+// workload on the same device, once with the legacy single-stage structure
+// (SetTwoStageFills(false): every flash-backed fill's install forces a
+// drain-and-barrier) and once with the default two-stage structure (fills
+// publish through the channel-neutral fil.publish shard and batch). The
+// two runs are byte-identical in simulated results; the barrier counts and
+// wall clocks are the point.
+type jsonFillBarriers struct {
+	Workload string `json:"workload"`
+	Channels int    `json:"channels"`
+	Requests int    `json:"requests"`
+	Workers  int    `json:"workers"`
+	// Legacy single-stage structure.
+	LegacyBarriers      uint64  `json:"legacy_barriers"`
+	LegacyBatchedCross  uint64  `json:"legacy_batched_cross_events"`
+	LegacyWallSeconds   float64 `json:"legacy_wall_seconds"`
+	TwoStageFills       uint64  `json:"two_stage_fills"`
+	TwoStageBarriers    uint64  `json:"two_stage_barriers"`
+	TwoStageBatched     uint64  `json:"two_stage_batched_cross_events"`
+	TwoStageLimitForced uint64  `json:"two_stage_limit_barriers"`
+	TwoStageWallSeconds float64 `json:"two_stage_wall_seconds"`
+	BarrierReduction    float64 `json:"barrier_reduction"` // legacy/two-stage
+	Speedup             float64 `json:"speedup"`           // legacy wall / two-stage wall
+	Identical           bool    `json:"identical"`         // end-time and event-count match across modes
+}
+
+// jsonCertifiedPlans reports the serial submit path's cost on a GC-heavy
+// preconditioned 4K random-write workload with certification honored
+// versus force-routed through the prevalidation walk (fil.ForcePrevalidate)
+// — the ~15% serial overhead the certified fast path recoups.
+type jsonCertifiedPlans struct {
+	Requests        int     `json:"requests"`
+	WalkNsPerOp     float64 `json:"walk_ns_per_op"`
+	CertNsPerOp     float64 `json:"certified_ns_per_op"`
+	Speedup         float64 `json:"speedup"` // walk / certified
+	CertifiedPlans  uint64  `json:"certified_plans"`
+	PlanCount       uint64  `json:"plan_count"`
+	GCRuns          uint64  `json:"gc_runs"`
+	Identical       bool    `json:"identical"` // end-time match across modes
+	WalkAllocsPerOp float64 `json:"walk_allocs_per_op"`
+	CertAllocsPerOp float64 `json:"certified_allocs_per_op"`
+}
+
+// fillBarriersBench runs the 4K random-read miss-heavy workload once per
+// fill-install structure and records the barrier structures side by side.
+func fillBarriersBench(n int) (jsonFillBarriers, error) {
+	const channels = 8
+	workers := intraWorkerCount(channels)
+	b := jsonFillBarriers{Workload: workload.RandRead.String(), Channels: channels, Requests: n, Workers: workers}
+
+	run := func(twoStage bool) (*core.RunResult, *core.System, float64, error) {
+		d := config.SmallTestDevice()
+		d.Geometry.Channels = channels
+		d.Geometry.PackagesPerChannel = 1
+		d.Geometry.BlocksPerPlane = 10
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		s.SetTwoStageFills(twoStage)
+		if err := s.Precondition(16); err != nil {
+			return nil, nil, 0, err
+		}
+		gen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 5)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		start := time.Now()
+		res, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 16, IntraWorkers: workers, WithData: true})
+		return res, s, time.Since(start).Seconds(), err
+	}
+	lres, _, lwall, err := run(false)
+	if err != nil {
+		return b, err
+	}
+	tres, ts, twall, err := run(true)
+	if err != nil {
+		return b, err
+	}
+	b.LegacyBarriers = lres.Intra.Barriers()
+	b.LegacyBatchedCross = lres.Intra.BatchedCross
+	b.LegacyWallSeconds = lwall
+	b.TwoStageFills, _ = ts.FillStats()
+	b.TwoStageBarriers = tres.Intra.Barriers()
+	b.TwoStageBatched = tres.Intra.BatchedCross
+	b.TwoStageLimitForced = tres.Intra.LimitBarriers
+	b.TwoStageWallSeconds = twall
+	if b.TwoStageBarriers > 0 {
+		b.BarrierReduction = float64(b.LegacyBarriers) / float64(b.TwoStageBarriers)
+	}
+	if twall > 0 {
+		b.Speedup = lwall / twall
+	}
+	b.Identical = lres.End == tres.End && lres.Events == tres.Events
+	return b, nil
+}
+
+// certifiedPlansBench measures the serial (single-threaded Submit) path on
+// a preconditioned device under GC-heavy 4K random overwrites, with the
+// certificate chain honored and with every plan force-routed through the
+// prevalidation walk.
+func certifiedPlansBench(n int) (jsonCertifiedPlans, error) {
+	b := jsonCertifiedPlans{Requests: n}
+	run := func(forceWalk bool) (nsPerOp, allocsPerOp float64, s *core.System, end sim.Time, err error) {
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		s, err = core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return 0, 0, nil, 0, err
+		}
+		if err = s.Precondition(16); err != nil {
+			return 0, 0, nil, 0, err
+		}
+		s.FIL.ForcePrevalidate(forceWalk)
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+		if err != nil {
+			return 0, 0, nil, 0, err
+		}
+		submit := func(i int) error {
+			_, err := s.Submit(s.Now(), gen.Next(i), nil)
+			return err
+		}
+		for i := 0; i < 500; i++ { // steady-state warmup
+			if err = submit(i); err != nil {
+				return 0, 0, nil, 0, err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err = submit(500 + i); err != nil {
+				return 0, 0, nil, 0, err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return float64(wall.Nanoseconds()) / float64(n),
+			float64(ms1.Mallocs-ms0.Mallocs) / float64(n), s, s.Now(), nil
+	}
+	walkNs, walkAllocs, _, walkEnd, err := run(true)
+	if err != nil {
+		return b, err
+	}
+	certNs, certAllocs, s, certEnd, err := run(false)
+	if err != nil {
+		return b, err
+	}
+	b.WalkNsPerOp, b.WalkAllocsPerOp = walkNs, walkAllocs
+	b.CertNsPerOp, b.CertAllocsPerOp = certNs, certAllocs
+	if certNs > 0 {
+		b.Speedup = walkNs / certNs
+	}
+	fs := s.FIL.Stats()
+	b.CertifiedPlans, b.PlanCount = fs.CertifiedPlans, fs.PlanCount
+	b.GCRuns = s.FTL.Stats().GCRuns
+	b.Identical = walkEnd == certEnd
+	return b, nil
 }
 
 // intraParallelBench measures the engine-level horizon loop.
@@ -484,6 +657,20 @@ func main() {
 			failed++
 		} else {
 			report.HorizonBatch = hb
+		}
+		fb, err := fillBarriersBench(n / 20)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: fill-barriers bench: %v\n", err)
+			failed++
+		} else {
+			report.FillBarriers = fb
+		}
+		cp, err := certifiedPlansBench(n / 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: certified-plans bench: %v\n", err)
+			failed++
+		} else {
+			report.CertifiedPlans = cp
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -179,6 +179,14 @@ func main() {
 		ds := s.DMA.Stats()
 		fmt.Fprintf(w, "dma             %d descriptors / %d entries (%s mode), %.1f MB moved\n",
 			ds.Descriptors, ds.Entries, s.DMA.Mode(), float64(ds.BytesMoved)/1e6)
+		// The certified-plan and fill-install counters surface the fast
+		// paths without -json: plans the FIL executed without the
+		// prevalidation walk, and fills that published through the
+		// channel-neutral two-stage shard vs the legacy barrier-per-fill one.
+		fils := s.FIL.Stats()
+		twoStage, legacyFills := s.FillStats()
+		fmt.Fprintf(w, "fil             %d plans (%d certified fast-path), fills %d two-stage / %d legacy\n",
+			fils.PlanCount, fils.CertifiedPlans, twoStage, legacyFills)
 		fmt.Fprintf(w, "engine          %d events", res.Events)
 		// The busiest scheduling domains, most-loaded first.
 		sort.Slice(res.DomainEvents, func(i, j int) bool {
@@ -197,8 +205,8 @@ func main() {
 			st := res.Intra
 			fmt.Fprintf(w, "intra-parallel  %d horizons (%d fanned out over %d workers), %d local + %d cross events, %.1f local events/horizon\n",
 				st.Horizons, st.ParallelHorizons, *intraPar, st.LocalEvents, st.CrossEvents, st.MeanLocalPerHorizon())
-			fmt.Fprintf(w, "horizon-batch   %d cross events batched past pending channel work: %d barriers instead of %d\n",
-				st.BatchedCross, st.Barriers(), st.BarriersWithoutBatching())
+			fmt.Fprintf(w, "horizon-batch   %d cross events batched past pending channel work: %d barriers instead of %d (%d forced by the batch limit)\n",
+				st.BatchedCross, st.Barriers(), st.BarriersWithoutBatching(), st.LimitBarriers)
 		}
 		full := s.Now() - 0
 		fmt.Fprintf(w, "power (avg)     cpu %.2f W, dram %.2f W, nand %.2f W\n",

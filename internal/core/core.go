@@ -153,6 +153,17 @@ type System struct {
 	// Per-engine scheduling-domain cache (see domainsFor).
 	domTab []*engineDomains
 
+	// twoStageFills selects the fill-install structure (SetTwoStageFills):
+	// on (the default), flash-backed fills stage their page bytes at issue
+	// (fil.ReadSubsStaged) and publish through the channel-neutral
+	// fil.publish shard, and the icl write-back shard is marked neutral too
+	// — the classification whose safety argument lives in sim/doc.go. Off
+	// restores the PR 4 structure (deferred copies, barrier-forcing fil and
+	// icl shards), kept for equivalence tests and barrier-count benchmarks.
+	twoStageFills bool
+	fillsTwoStage uint64 // fills published through the neutral two-stage path
+	fillsLegacy   uint64 // fills installed through the legacy fil-shard path
+
 	// Submit-path intra mode (SetIntraWorkers): when > 1, the synchronous
 	// Submit wrapper drains its engine through RunParallelWith over a
 	// persistent worker pool instead of the serial Run, and Run uses it as
@@ -295,6 +306,16 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		lastEnd: -1,
 		filling: make(map[int64]map[int]bool),
 		waiters: make(map[int64][]func()),
+
+		twoStageFills: true,
+	}
+	// Certified plans: the FTL and flash were constructed together above,
+	// so they are in lockstep by definition — the binding that lets the FIL
+	// execute the FTL's plans without the prevalidation double-walk. The
+	// whole I/O path keeps the chain armed (no raw OCSSD traffic crosses
+	// it); anything that breaks lockstep disarms automatically.
+	if err := f.AcceptCertified(translator); err != nil {
+		return nil, err
 	}
 	s.allSubs = make([]int, translator.SubPagesPerSuperPage())
 	for i := range s.allSubs {
@@ -338,12 +359,6 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 //     (nand.ReadDeferred, nand.PlanBatch) — which touches nothing outside
 //     its channel.
 //
-//   - icl and fil stay plain cross-domain: their events consume state
-//     pending channel events write (fill installs read line buffers the
-//     deferred read copies fill; the write-ops stage flushes evictions into
-//     flash), so every pending local event with an earlier key must drain
-//     first.
-//
 //   - host, cpu and dma are additionally marked channel-neutral in the
 //     active (non-passive) architecture: request issue, parse/dispatch and
 //     payload-transfer arbitration never read per-channel counters, energy
@@ -353,6 +368,18 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 //     passive (OCSSD/pblk) architecture serves requests host-side and
 //     programs flash from host events, so it marks nothing neutral.
 //
+//   - With two-stage fills (the default), pub and icl join the neutral
+//     set in the active architecture. A publish event installs a fill
+//     whose line buffer was completed at issue (fil.ReadSubsStaged), so it
+//     reads nothing pending channel events write; the icl write-back stage
+//     only issues flash work — claims, functional block state, staged
+//     program bytes all live in serial sections — and never reads channel
+//     counters, energy or arena pages except through the pending-aware
+//     staging path. sim/doc.go carries both proofs. SetTwoStageFills(false)
+//     restores the PR 4 classification: fills ride the barrier-forcing fil
+//     shard (their installs then consume line buffers that pending read
+//     completions write) and icl forces barriers with them.
+//
 // That classification is what makes RunConfig.IntraWorkers sound and
 // cheap: channels step concurrently between horizons, channel-coupled
 // events dispatch serially in global order, and channel-neutral traffic
@@ -361,9 +388,10 @@ type engineDomains struct {
 	e    *sim.Engine
 	host sim.DomainID   // request issue slots, kernel submit/complete (neutral)
 	cpu  sim.DomainID   // firmware parse boundaries (neutral)
-	icl  sim.DomainID   // cache/DRAM write-back boundaries
+	icl  sim.DomainID   // cache/DRAM write-back boundaries (neutral with two-stage fills)
 	dma  sim.DomainID   // payload-transfer boundaries (neutral)
-	fil  sim.DomainID   // flash-completion continuations (cache install, waiter wakeup)
+	fil  sim.DomainID   // legacy fill continuations (barrier-forcing)
+	pub  sim.DomainID   // two-stage fill publishes (neutral: staged line buffers)
 	nand []sim.DomainID // per-channel deferred flash bookkeeping (domain-local)
 }
 
@@ -385,6 +413,7 @@ func (s *System) domainsFor(e *sim.Engine) *engineDomains {
 		icl:  e.Domain(dram.Domain),
 		dma:  e.Domain(dma.Domain),
 		fil:  e.Domain(fil.Domain),
+		pub:  e.Domain(fil.PublishDomain),
 	}
 	channels := s.cfg.Device.Geometry.Channels
 	d.nand = make([]sim.DomainID, channels)
@@ -396,6 +425,10 @@ func (s *System) domainsFor(e *sim.Engine) *engineDomains {
 		e.MarkChannelNeutral(d.host)
 		e.MarkChannelNeutral(d.cpu)
 		e.MarkChannelNeutral(d.dma)
+		if s.twoStageFills {
+			e.MarkChannelNeutral(d.pub)
+			e.MarkChannelNeutral(d.icl)
+		}
 	}
 	if len(s.domTab) >= 4 {
 		// Stale entries from completed Run loops: keep the long-lived
@@ -457,6 +490,52 @@ func (s *System) SetIntraWorkers(n int) {
 // IntraWorkers returns the system-wide intra-device dispatch parallelism
 // configured with SetIntraWorkers.
 func (s *System) IntraWorkers() int { return s.intraWorkers }
+
+// SetTwoStageFills selects the fill-install structure. On (the default),
+// flash-backed cache fills run in two stages: the page bytes are staged
+// into the fill's line buffer at issue (one copy instead of the legacy
+// stage-then-copy pair), the channel shards carry only the reads'
+// accounting, and the install/waiter-wakeup continuation publishes through
+// the channel-neutral fil.publish shard — so consecutive fills from
+// different channels batch past pending channel work instead of paying one
+// synchronization barrier each, and the icl write-back shard (proven
+// commute-safe under the same condition, sim/doc.go) batches write-heavy
+// traffic too. Off restores the PR 4 single-stage structure for
+// equivalence tests and barrier-count comparisons; both settings are
+// byte-identical in every simulated observable.
+//
+// The setting is an experiment-setup knob: call it before issuing I/O.
+// Changing it resets the cached per-engine domain classification (and the
+// reusable Submit engine), so a system that already ran loses its lifetime
+// Submit event counters.
+func (s *System) SetTwoStageFills(v bool) {
+	if v == s.twoStageFills {
+		return
+	}
+	s.twoStageFills = v
+	// Neutral marks are per-engine and sticky; drop every cached engine so
+	// the next use re-resolves under the new classification.
+	for i := range s.domTab {
+		s.domTab[i] = nil
+	}
+	s.domTab = s.domTab[:0]
+	if s.subPool != nil {
+		s.subPool.Close()
+		s.subPool = nil
+	}
+	s.subEngine = nil
+}
+
+// TwoStageFills reports whether the two-stage fill-install structure is
+// active (see SetTwoStageFills).
+func (s *System) TwoStageFills() bool { return s.twoStageFills }
+
+// FillStats returns how many flash-backed cache fills installed through the
+// two-stage publish path versus the legacy single-stage path — the counters
+// trace replays use to confirm which structure served them.
+func (s *System) FillStats() (twoStage, legacy uint64) {
+	return s.fillsTwoStage, s.fillsLegacy
+}
 
 // SubmitIntraStats returns the horizon structure accumulated over every
 // pooled synchronous Submit drain since SetIntraWorkers enabled the intra

@@ -11,6 +11,7 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/nand"
+	"amber/internal/sim"
 	"amber/internal/workload"
 )
 
@@ -51,13 +52,19 @@ func wideSystem(t *testing.T) *core.System {
 	return s
 }
 
-// renderRun writes one run's experiment-table row and per-domain dispatch
-// counts into the golden buffer.
-func renderRun(out *bytes.Buffer, name string, res *core.RunResult) {
+// renderRow writes one run's experiment-table row (no per-domain lines)
+// into the golden buffer.
+func renderRow(out *bytes.Buffer, name string, res *core.RunResult) {
 	fmt.Fprintf(out, "%s | reqs %d depth %d | %d..%d | rd %d wr %d | lat mean %.6f p50 %.6f p95 %.6f max %.6f | events %d\n",
 		name, res.Requests, res.Depth, res.Start, res.End, res.BytesRead, res.BytesWritten,
 		res.Latency.Mean(), res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Max(),
 		res.Events)
+}
+
+// renderRun writes one run's experiment-table row and per-domain dispatch
+// counts into the golden buffer.
+func renderRun(out *bytes.Buffer, name string, res *core.RunResult) {
+	renderRow(out, name, res)
 	for _, d := range res.DomainEvents {
 		if d.Dispatched > 0 {
 			fmt.Fprintf(out, "  dom %s dispatched %d pending %d\n", d.Name, d.Dispatched, d.Pending)
@@ -312,6 +319,145 @@ func TestIntraParallelGoldenEquivalence(t *testing.T) {
 	}
 	if len(serial) == 0 {
 		t.Fatal("empty trajectory")
+	}
+}
+
+// twoStageTrajectory drives a miss-heavy read phase (the fill class
+// two-stage installs target), a GC-triggering write phase with payloads
+// (dirty evictions flushing from publish and write-ops events) and a
+// sequential read phase (readahead prefetch fills), rendering every
+// mode-independent observable. Per-domain dispatch lines are deliberately
+// omitted: the publish continuations ride differently named shards per
+// fill mode (fil.publish vs fil), which is the one non-semantic difference
+// between the modes.
+func twoStageTrajectory(t *testing.T, s *core.System, workers int) string {
+	t.Helper()
+	if err := s.Precondition(16); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	rrgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(rrgen, core.RunConfig{Requests: 400, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRow(&out, "rand-read-4k", res)
+
+	wgen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(wgen, core.RunConfig{Requests: 400, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRow(&out, "rand-write-4k", res)
+	if s.FTL.Stats().GCRuns == 0 {
+		t.Fatal("write phase did not trigger GC")
+	}
+	s.Drain()
+
+	sgen, err := workload.NewFIO(workload.SeqRead, 16384, s.VolumeBytes(), 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(sgen, core.RunConfig{Requests: 200, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderRow(&out, "seq-read", res)
+
+	renderState(&out, s)
+	renderData(t, &out, s)
+	return out.String()
+}
+
+// TestTwoStageFillGoldenEquivalence is the acceptance bar for two-stage
+// fill installs and the neutral icl shard: with both enabled (the
+// default), a miss-heavy read + GC write trajectory must produce identical
+// component statistics, per-channel counters/energy, latencies and payload
+// bytes at every worker count versus the serial dispatch — and the legacy
+// single-stage fill structure must produce the same observables too, since
+// the restructuring moves bookkeeping between shards without touching a
+// single simulated claim. Run under -race (AMBERSIM_INTRA_WORKERS matrix)
+// it also proves the batched publish/icl events share nothing with the
+// channel shards they batch past.
+func TestTwoStageFillGoldenEquivalence(t *testing.T) {
+	run := func(twoStage bool, workers int) string {
+		s := wideSystem(t)
+		s.SetTwoStageFills(twoStage)
+		if s.TwoStageFills() != twoStage {
+			t.Fatal("SetTwoStageFills did not take")
+		}
+		return twoStageTrajectory(t, s, workers)
+	}
+	serial := run(true, 0)
+	if len(serial) == 0 {
+		t.Fatal("empty trajectory")
+	}
+	for _, workers := range intraWorkerMatrix(t) {
+		if got := run(true, workers); got != serial {
+			t.Fatalf("two-stage workers=%d diverged from serial:\n--- serial ---\n%s--- workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+		// The legacy classification stays live code (SetTwoStageFills's off
+		// position, the barrier benchmarks' baseline), so its parallel
+		// dispatch is held to the same golden bar, not just workers=0.
+		if got := run(false, workers); got != serial {
+			t.Fatalf("legacy fill mode workers=%d diverged:\n--- two-stage serial ---\n%s--- legacy workers=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+	if got := run(false, 0); got != serial {
+		t.Fatalf("legacy fill mode diverged from two-stage:\n--- two-stage ---\n%s--- legacy ---\n%s", serial, got)
+	}
+}
+
+// TestTwoStageFillBatching verifies the point of the restructuring: on a
+// 4K random-read miss-heavy workload, the two-stage structure batches fill
+// publishes past pending channel work (the legacy structure pays a barrier
+// per fill), and the fill counters attribute the installs to the right
+// path in each mode.
+func TestTwoStageFillBatching(t *testing.T) {
+	run := func(twoStage bool) (sim.ParallelStats, *core.System) {
+		s := wideSystem(t)
+		s.SetTwoStageFills(twoStage)
+		if err := s.Precondition(16); err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(gen, core.RunConfig{Requests: 400, IODepth: 16, IntraWorkers: 2, WithData: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Intra, s
+	}
+	stTwo, sTwo := run(true)
+	stLegacy, sLegacy := run(false)
+	if stTwo.Barriers() >= stLegacy.Barriers() {
+		t.Fatalf("two-stage fills did not cut barriers: %d vs legacy %d", stTwo.Barriers(), stLegacy.Barriers())
+	}
+	if stTwo.BatchedCross <= stLegacy.BatchedCross {
+		t.Fatalf("two-stage fills did not batch more cross events: %d vs legacy %d", stTwo.BatchedCross, stLegacy.BatchedCross)
+	}
+	if two, legacy := sTwo.FillStats(); two == 0 || legacy != 0 {
+		t.Fatalf("two-stage system fill counters: twoStage=%d legacy=%d", two, legacy)
+	}
+	if two, legacy := sLegacy.FillStats(); two != 0 || legacy == 0 {
+		t.Fatalf("legacy system fill counters: twoStage=%d legacy=%d", two, legacy)
+	}
+	// The certified fast path served the trajectory too: every deferred
+	// plan execution skipped the walk (PlanCount also counts Flush's
+	// synchronous Execute plans, which have no walk to skip).
+	if fs := sTwo.FIL.Stats(); fs.CertifiedPlans == 0 {
+		t.Fatalf("no plan took the certified fast path: %+v", fs)
 	}
 }
 

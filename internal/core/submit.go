@@ -90,7 +90,9 @@ func (op *submitOp) step() {
 		walked := s.DMA.WalkList(now, op.pl)
 		if op.req.Write {
 			// The write-ops stage flushes evictions into flash, so it rides
-			// the (channel-coupled) icl shard, not the neutral dma one.
+			// the icl shard — kept apart from dma because its neutrality
+			// stands on its own proof (the eviction flush only issues flash
+			// work, doc.go) and is withdrawn with SetTwoStageFills(false).
 			xferDone := s.DMA.Transfer(walked, op.pl, true)
 			op.stage = opWriteOps
 			e.AtIn(op.doms.icl, xferDone, op.stepFn)
@@ -592,11 +594,20 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 				dsts[i] = lineBuf[loc.Sub*subSize : (loc.Sub+1)*subSize]
 			}
 		}
-		// Each read's per-channel bookkeeping (counters, energy, the copy
-		// into its dst slice) rides the owning channel's domain-local
-		// shard, scheduled here — before fo.doneFn — so among same-time
-		// events every copy orders before the install that consumes it.
-		flashDone, err = s.FIL.ReadSubsOn(e, doms.nand, t3, fetch, dsts)
+		if s.twoStageFills {
+			// Two-stage install, precopy stage: the page bytes land in the
+			// fill's line buffer at issue (pending-aware, one copy), so the
+			// channel shards carry only the reads' accounting and the
+			// publish below depends on no pending channel event.
+			flashDone, err = s.FIL.ReadSubsStaged(e, doms.nand, t3, fetch, dsts)
+		} else {
+			// Legacy single stage: each read's per-channel bookkeeping
+			// (counters, energy, the copy into its dst slice) rides the
+			// owning channel's domain-local shard, scheduled here — before
+			// fo.doneFn — so among same-time events every copy orders
+			// before the install that consumes it.
+			flashDone, err = s.FIL.ReadSubsOn(e, doms.nand, t3, fetch, dsts)
+		}
 		if err != nil {
 			s.releaseFill(fo)
 			cb(0, err)
@@ -619,11 +630,22 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 	// The continuation installs into the ICL, charges cache memory and
 	// wakes coalesced waiters — cross-channel state — so it must ride a
 	// cross-domain shard for the intra-parallel horizon computation to be
-	// sound: the fil shard for flash-backed fills, the icl shard for fills
-	// with no flash work (all subs unmapped, pure cache-side traffic).
+	// sound. Flash-backed fills publish through the fil.publish shard
+	// (channel-neutral in the active architecture: the staged line buffer
+	// is complete at issue, so the publish batches past pending channel
+	// work) or, on the legacy path, the barrier-forcing fil shard (the
+	// install then consumes bytes pending read completions write). Fills
+	// with no flash work (all subs unmapped, pure cache-side traffic) ride
+	// the icl shard.
 	dom := doms.icl
 	if len(fetch) > 0 {
-		dom = doms.fil
+		if s.twoStageFills {
+			dom = doms.pub
+			s.fillsTwoStage++
+		} else {
+			dom = doms.fil
+			s.fillsLegacy++
+		}
 	}
 	e.AtIn(dom, sim.MaxOf(flashDone, e.Now()), fo.doneFn)
 }

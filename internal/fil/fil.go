@@ -29,8 +29,21 @@ type AddrFunc func(ftl.PageLoc) nand.Address
 // unlike the per-channel bookkeeping events in nand.ChannelDomain shards —
 // they must never ride in a domain-local shard: the engine's horizon
 // computation assumes every cross-channel effect lives in a cross-domain
-// shard.
+// shard. This shard stays barrier-forcing: its continuations consume line
+// buffers that pending channel events write (the legacy one-stage fill
+// path, ReadSubsOn).
 const Domain = "fil"
+
+// PublishDomain names the cross-domain shard for the publish stage of
+// two-stage fill installs: the cache install, memory charge and waiter
+// wakeups of a fill whose page bytes were staged at issue (ReadSubsStaged).
+// Unlike Domain, a publish event reads no state that pending domain-local
+// events write — its line buffer was complete before the fill's channel
+// bookkeeping was even scheduled — so the core marks this shard
+// channel-neutral in the active architecture and the engine batches
+// consecutive publishes past pending channel work instead of paying a
+// barrier per fill (sim.Engine.MarkChannelNeutral, sim/doc.go).
+const PublishDomain = "fil.publish"
 
 // Stats aggregates FIL activity.
 type Stats struct {
@@ -39,6 +52,9 @@ type Stats struct {
 	Erases    uint64
 	PlanCount uint64
 	DepStalls uint64 // programs that had to wait for a source read
+	// CertifiedPlans counts plans executed through the certified fast path:
+	// construction-time certification honored, prevalidation walk skipped.
+	CertifiedPlans uint64
 }
 
 // Result reports the timing of one executed plan.
@@ -87,6 +103,24 @@ type FIL struct {
 	planAddrs []nand.Address
 	pvNext    []int32
 	pvTouched []int32
+
+	// Certified-plan state (AcceptCertified): the one FTL whose
+	// certificates this FIL honors, the sequence number of the next plan it
+	// expects from it, and the flash state epoch recorded after the last
+	// plan executed here. A certificate is honored only while all three
+	// line up — issuer identity, exact sequence continuity, untouched epoch
+	// — which together prove the flash is byte-for-byte in the state the
+	// FTL's model assumed when it built the plan. Any break permanently
+	// disarms the binding (until AcceptCertified is called again): a
+	// diverged model cannot be re-trusted just because one later plan
+	// happens to pass the walk.
+	certIssuer *ftl.FTL
+	certNext   uint64
+	certEpoch  uint64
+	// forceWalk routes certified plans through prevalidatePlan anyway while
+	// keeping the certificate chain advancing — the benchmark and test hook
+	// for measuring the walk's cost on identical executions.
+	forceWalk bool
 }
 
 // planRead records one completed pre-read: its completion time and (when
@@ -113,6 +147,64 @@ func New(flash *nand.Flash, addrOf AddrFunc) (*FIL, error) {
 
 // Stats returns a copy of the counters.
 func (f *FIL) Stats() Stats { return f.stats }
+
+// AcceptCertified binds the FIL to issuer's plan certificates: the caller
+// asserts that the flash and the issuer's mapping model are in lockstep
+// right now (typically both freshly constructed, as core.NewSystem wires
+// them). From then on, a plan stamped by issuer with the exact next
+// sequence number executes without the prevalidation walk, as long as
+// nothing but this FIL's plan chain has mutated the flash (checked against
+// nand.Flash.StateEpoch). Raw OCSSD traffic, a skipped or replayed plan, or
+// a plan from another FTL breaks the lockstep and disarms the binding;
+// every plan then takes the slow path until AcceptCertified re-asserts it.
+// A nil issuer disarms explicitly.
+func (f *FIL) AcceptCertified(issuer *ftl.FTL) error {
+	if issuer == nil {
+		f.certIssuer = nil
+		return nil
+	}
+	if issuer.Config().Geometry != f.flash.Geometry() {
+		return fmt.Errorf("fil: certifying FTL geometry %+v does not match flash geometry %+v",
+			issuer.Config().Geometry, f.flash.Geometry())
+	}
+	f.certIssuer = issuer
+	f.certNext = issuer.PlanSeq()
+	f.certEpoch = f.flash.StateEpoch()
+	return nil
+}
+
+// ForcePrevalidate routes every plan — certified or not — through the
+// prevalidation walk while still advancing the certificate chain, so a
+// later ForcePrevalidate(false) resumes the fast path seamlessly. It exists
+// for benchmarks (measuring the walk's cost against identical executions)
+// and for equivalence tests; production callers never need it.
+func (f *FIL) ForcePrevalidate(v bool) { f.forceWalk = v }
+
+// certCheck reports whether the plan's certificate is honored right now:
+// bound issuer, exact sequence continuity, untouched flash epoch. A
+// sequence or epoch break disarms the binding — the FTL model and the
+// flash have diverged, so no later certificate can be trusted. An
+// uncertified or foreign plan returns false without disarming (executing
+// it will advance the epoch past certEpoch, so the next certified plan
+// disarms then).
+func (f *FIL) certCheck(plan ftl.Plan) bool {
+	if f.certIssuer == nil || !plan.Cert.By(f.certIssuer) {
+		return false
+	}
+	if plan.Cert.Seq() != f.certNext || f.flash.StateEpoch() != f.certEpoch {
+		f.certIssuer = nil
+		return false
+	}
+	return true
+}
+
+// certAdvance moves the certificate chain past a successfully executed
+// in-sequence plan: the next certificate expected and the flash epoch that
+// execution left behind.
+func (f *FIL) certAdvance() {
+	f.certNext++
+	f.certEpoch = f.flash.StateEpoch()
+}
 
 // SubKey identifies one logical sub-page for data pairing inside a plan.
 type SubKey struct {
@@ -184,6 +276,11 @@ func (f *FIL) readBuf() []byte {
 func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, error) {
 	var res Result
 	res.Done = now
+	// The synchronous path validates per op inside the flash calls, so the
+	// certificate buys no skipped work here; the chain still advances so a
+	// mixed Execute/ExecuteOn caller (core's Flush) keeps the fast path
+	// armed for the deferred executions around it.
+	inSeq := f.certCheck(plan)
 	g := f.flash.Geometry()
 
 	if f.reads == nil {
@@ -275,6 +372,9 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 		}
 	}
 	f.stats.PlanCount++
+	if inSeq {
+		f.certAdvance()
+	}
 	return res, nil
 }
 
@@ -377,13 +477,27 @@ func (f *FIL) prevalidatePlan(plan ftl.Plan) error {
 // paths (each path is individually deterministic and byte-identical at
 // any worker count). The deferred events let an intra-parallel engine run the
 // channels' completion work concurrently between horizons, extending PR 3's
-// read-only windows to writes and GC. The whole plan is prevalidated before
-// any transaction claims resources or schedules, so an error returns with
-// no events queued and no state mutated.
+// read-only windows to writes and GC.
+//
+// An uncertified plan is prevalidated whole before any transaction claims
+// resources or schedules, so an error returns with no events queued and no
+// state mutated. A plan whose construction-time certificate is honored
+// (AcceptCertified: bound issuer, in-sequence, flash epoch untouched) skips
+// the walk and the overlay reset entirely — the FTL already proved every
+// address in bounds and every program in order when it built the plan, so
+// revalidating would re-derive the same answer from the same state. The
+// error-⇒-no-mutation contract holds on that path by construction: a
+// certified plan cannot fail, and a per-op check tripping anyway means the
+// certification invariant itself was broken, which panics rather than
+// returning with state the contract forbids.
 func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan ftl.Plan, hostData PlanData) (Result, error) {
 	var res Result
 	res.Done = now
-	if err := f.prevalidatePlan(plan); err != nil {
+	inSeq := f.certCheck(plan)
+	certified := inSeq && !f.forceWalk
+	if certified {
+		f.stats.CertifiedPlans++
+	} else if err := f.prevalidatePlan(plan); err != nil {
 		return res, err
 	}
 	g := f.flash.Geometry()
@@ -410,12 +524,37 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 		}
 	}
 
-	ai := 0 // cursor into the prevalidated address cache
+	// fail abandons the batch on a mid-plan error. On the certified path no
+	// op can fail by construction — the skipped walk is precisely what
+	// would have caught it — so tripping a per-op check there means the
+	// lockstep invariant itself broke, and continuing (or returning with
+	// the valid prefix already claimed) would corrupt state silently.
+	fail := func(err error) error {
+		batch.Abort()
+		if certified {
+			panic("fil: certified plan failed mid-execution (certification invariant broken): " + err.Error())
+		}
+		return err
+	}
+
+	// addrFor resolves one op's physical address: translated inline on the
+	// certified path, consumed from the prevalidation cache (which walked
+	// the plan in this same op order, erases contributing one address per
+	// plane) otherwise. One definition keeps the two paths' address
+	// sequences structurally identical.
+	ai := 0
+	addrFor := func(loc ftl.PageLoc) nand.Address {
+		if certified {
+			return f.addrOf(loc)
+		}
+		a := f.planAddrs[ai]
+		ai++
+		return a
+	}
 	for _, op := range plan.Ops {
 		switch op.Kind {
 		case ftl.OpRead:
-			addr := f.planAddrs[ai]
-			ai++
+			addr := addrFor(op.Loc)
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			var buf []byte
 			if trackData {
@@ -423,8 +562,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			}
 			r, err := batch.Read(start, addr, buf)
 			if err != nil {
-				batch.Abort()
-				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
+				return res, fail(fmt.Errorf("fil: plan read %v: %w", op.Loc, err))
 			}
 			f.stats.Reads++
 			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf}
@@ -434,8 +572,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			touch(op.Loc.SB, r.Done)
 
 		case ftl.OpWrite:
-			addr := f.planAddrs[ai]
-			ai++
+			addr := addrFor(op.Loc)
 			k := SubKey{op.LSPN, op.Loc.Sub}
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			data, _ := hostData.Bytes(k)
@@ -451,8 +588,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			}
 			r, err := batch.Program(start, addr, data)
 			if err != nil {
-				batch.Abort()
-				return res, fmt.Errorf("fil: plan program %v: %w", op.Loc, err)
+				return res, fail(fmt.Errorf("fil: plan program %v: %w", op.Loc, err))
 			}
 			f.stats.Programs++
 			if !op.GC && r.Done > res.HostWritesDone {
@@ -467,12 +603,10 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			start := sim.MaxOf(now, f.sbSlot(op.SB).touched)
 			var done sim.Time
 			for plane := 0; plane < g.TotalPlanes(); plane++ {
-				addr := f.planAddrs[ai]
-				ai++
+				addr := addrFor(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
 				r, err := batch.Erase(start, addr)
 				if err != nil {
-					batch.Abort()
-					return res, fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err)
+					return res, fail(fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err))
 				}
 				f.stats.Erases++
 				if r.Done > done {
@@ -481,10 +615,18 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			}
 			f.sbSlot(op.SB).erased = done
 			touch(op.SB, done)
+
+		default:
+			// Unreachable: the walk rejects unknown kinds up front, and
+			// certified plans only carry kinds the FTL emits.
+			return res, fail(fmt.Errorf("fil: unknown plan op kind %d", op.Kind))
 		}
 	}
 	batch.Commit()
 	f.stats.PlanCount++
+	if inSeq {
+		f.certAdvance()
+	}
 	return res, nil
 }
 
@@ -523,6 +665,31 @@ func (f *FIL) ReadSubs(now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Tim
 // read claims or schedules, so an error leaves no completion events queued
 // against the caller's buffers.
 func (f *FIL) ReadSubsOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
+	return f.readSubsDeferred(e, chDoms, now, locs, dsts, false)
+}
+
+// ReadSubsStaged is ReadSubsOn with each read's page bytes delivered into
+// its dst at issue time (nand.Flash.ReadDeferredEager) instead of inside
+// the channel's completion event: when this call returns, every dst already
+// holds the bytes a synchronous ReadSubs would have produced, and the
+// channel shards carry only the reads' counters and energy. Timing is
+// identical to ReadSubs/ReadSubsOn. This is the precopy stage of two-stage
+// fill installs: because the caller's buffer is complete before any
+// completion event exists, the fill's publish continuation depends on no
+// pending channel work and may ride a channel-neutral shard
+// (PublishDomain), letting the engine batch consecutive publishes past
+// pending channel bookkeeping instead of paying one barrier per fill. Every
+// address is validated before any read claims or schedules, so an error
+// leaves no completion events queued and no dst written.
+func (f *FIL) ReadSubsStaged(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
+	return f.readSubsDeferred(e, chDoms, now, locs, dsts, true)
+}
+
+// readSubsDeferred is the shared body of ReadSubsOn and ReadSubsStaged:
+// prevalidate every address (so a mid-batch failure leaves no completion
+// events queued), then issue each read on the deferred path — eager
+// delivers the bytes at issue, otherwise the channel event copies them.
+func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte, eager bool) (sim.Time, error) {
 	addrs := f.addrScratch[:0]
 	for _, loc := range locs {
 		addr := f.addrOf(loc)
@@ -539,7 +706,13 @@ func (f *FIL) ReadSubsOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, loc
 		if dsts != nil {
 			dst = dsts[i]
 		}
-		r, err := f.flash.ReadDeferred(e, chDoms[addr.Channel], now, addr, dst)
+		var r nand.Result
+		var err error
+		if eager {
+			r, err = f.flash.ReadDeferredEager(e, chDoms[addr.Channel], now, addr, dst)
+		} else {
+			r, err = f.flash.ReadDeferred(e, chDoms[addr.Channel], now, addr, dst)
+		}
 		if err != nil {
 			return done, fmt.Errorf("fil: read %v: %w", locs[i], err)
 		}

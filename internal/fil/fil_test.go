@@ -293,6 +293,212 @@ func TestExecuteOnEquivalence(t *testing.T) {
 	}
 }
 
+// TestCertifiedPlanEquivalence drives the same GC-heavy write trajectory
+// through two certified-bound stacks, one with the certificate honored
+// (prevalidation skipped) and one force-routed through the walk, and
+// demands identical plan timings, identical flash/FIL counters and
+// identical read-back bytes. It is the semantic bar for the certified fast
+// path: skipping the walk must change nothing but the work done.
+func TestCertifiedPlanEquivalence(t *testing.T) {
+	fFast, trFast, flFast := newStack(t, true)
+	fWalk, trWalk, flWalk := newStack(t, true)
+	if err := fFast.AcceptCertified(trFast); err != nil {
+		t.Fatal(err)
+	}
+	if err := fWalk.AcceptCertified(trWalk); err != nil {
+		t.Fatal(err)
+	}
+	fWalk.ForcePrevalidate(true)
+	eF, eW := sim.NewEngine(), sim.NewEngine()
+	domsF := chDomsFor(t, eF, flFast)
+	domsW := chDomsFor(t, eW, flWalk)
+
+	nowF, nowW := sim.Time(0), sim.Time(0)
+	rng := sim.NewRNG(12)
+	write := func(lspn int64) {
+		t.Helper()
+		payload := make([]byte, 4*512)
+		for i := range payload {
+			payload[i] = byte(int64(i)*5 + lspn)
+		}
+		dirty := []bool{true, true, true, true}
+
+		planF, err := trFast.Write(nowF, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resF, err := fFast.ExecuteOn(eF, domsF, nowF, planF, HostData(lspn, dirty, payload, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nowF = resF.Done + sim.Microsecond
+
+		planW, err := trWalk.Write(nowW, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resW, err := fWalk.ExecuteOn(eW, domsW, nowW, planW, HostData(lspn, dirty, payload, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nowW = resW.Done + sim.Microsecond
+
+		if resF != resW {
+			t.Fatalf("lspn %d: certified result %+v != walked %+v", lspn, resF, resW)
+		}
+	}
+	for lspn := int64(0); lspn < trFast.UserSuperPages(); lspn++ {
+		write(lspn)
+	}
+	for i := int64(0); i < 3*trFast.UserSuperPages(); i++ {
+		write(int64(rng.Uint64n(uint64(trFast.UserSuperPages()))))
+	}
+	if trFast.Stats().GCMigrated == 0 {
+		t.Fatal("GC never migrated; equivalence is vacuous")
+	}
+	eF.Run()
+	eW.Run()
+
+	sf, sw := fFast.Stats(), fWalk.Stats()
+	if sf.CertifiedPlans != sf.PlanCount {
+		t.Fatalf("certified leg fast-pathed %d of %d plans; the chain broke", sf.CertifiedPlans, sf.PlanCount)
+	}
+	if sw.CertifiedPlans != 0 {
+		t.Fatalf("forced-walk leg fast-pathed %d plans", sw.CertifiedPlans)
+	}
+	sf.CertifiedPlans, sw.CertifiedPlans = 0, 0
+	if sf != sw {
+		t.Fatalf("fil stats diverged: certified %+v walked %+v", sf, sw)
+	}
+	if flFast.Stats() != flWalk.Stats() {
+		t.Fatalf("flash stats diverged: certified %+v walked %+v", flFast.Stats(), flWalk.Stats())
+	}
+	// Byte-for-byte read-back of every mapped super-page.
+	for lspn := int64(0); lspn < trFast.UserSuperPages(); lspn++ {
+		read := func(f *FIL, tr *ftl.FTL, at sim.Time) []byte {
+			t.Helper()
+			locs, err := tr.Lookup(lspn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 4*512)
+			dsts := make([][]byte, len(locs))
+			for i, l := range locs {
+				dsts[i] = got[l.Sub*512 : (l.Sub+1)*512]
+			}
+			if _, err := f.ReadSubs(at, locs, dsts); err != nil {
+				t.Fatal(err)
+			}
+			return got
+		}
+		if !bytes.Equal(read(fFast, trFast, nowF), read(fWalk, trWalk, nowW)) {
+			t.Fatalf("LSPN %d bytes diverged between certified and walked execution", lspn)
+		}
+	}
+}
+
+// TestCertificationInvalidation locks in the slow-path fallbacks: a raw
+// flash mutation behind the FIL's back (epoch break) and a replayed plan
+// (sequence break) must both disarm the certificate chain, and an
+// invalidated plan that then fails mid-way must be rejected by the walk
+// with no events queued, no counters moved and no block state touched —
+// the error-⇒-no-mutation contract survives certification.
+func TestCertificationInvalidation(t *testing.T) {
+	f, tr, fl := newStack(t, true)
+	if err := f.AcceptCertified(tr); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	doms := chDomsFor(t, e, fl)
+	dirty := []bool{true, true, true, true}
+	payload := make([]byte, 4*512)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	// Plan 1 rides the fast path.
+	plan1, err := tr.Write(0, 0, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep a private copy: replaying the scratch-backed plan later needs
+	// ops that survive the next Write call.
+	replay := plan1
+	replay.Ops = append([]ftl.Op(nil), plan1.Ops...)
+	if _, err := f.ExecuteOn(e, doms, 0, plan1, HostData(0, dirty, payload, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().CertifiedPlans; got != 1 {
+		t.Fatalf("CertifiedPlans = %d, want 1", got)
+	}
+	e.Run()
+
+	// A raw OCSSD program into the FTL's open super-block: the flash epoch
+	// moves without the certificate chain, and the raw page collides with
+	// the next page the FTL will allocate there.
+	rawLoc := plan1.Ops[0].Loc
+	rawLoc.Page = fl.NextProgramPage(tr.Address(rawLoc))
+	if _, err := f.ProgramPage(sim.FromMicroseconds(50000), tr.Address(rawLoc), payload[:512]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plan 2 carries a valid-looking certificate, but the lockstep is
+	// broken: the walk must run, catch the collision mid-plan and reject
+	// with nothing queued and nothing mutated.
+	plan2, err := tr.Write(sim.FromMicroseconds(60000), 1, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.Cert.Certified() {
+		t.Fatal("FTL did not certify plan 2")
+	}
+	statsBefore, flashBefore := f.Stats(), fl.Stats()
+	if _, err := f.ExecuteOn(e, doms, sim.FromMicroseconds(60000), plan2, HostData(1, dirty, payload, 512)); err == nil {
+		t.Fatal("stale-certified colliding plan accepted")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events queued by a rejected plan", e.Pending())
+	}
+	if got := f.Stats(); got != statsBefore {
+		t.Fatalf("fil counters moved on rejection: %+v -> %+v", statsBefore, got)
+	}
+	if got := fl.Stats(); got != flashBefore {
+		t.Fatalf("flash counters moved on rejection: %+v -> %+v", flashBefore, got)
+	}
+	for _, op := range plan2.Ops {
+		if op.Kind == ftl.OpWrite && op.Loc != rawLoc && fl.PageWritten(tr.Address(op.Loc)) {
+			t.Fatalf("rejected plan programmed %v", op.Loc)
+		}
+	}
+
+	// Replaying an already-executed plan is a sequence break: slow path,
+	// and the walk rejects the duplicate programs.
+	if _, err := f.ExecuteOn(e, doms, sim.FromMicroseconds(70000), replay, HostData(0, dirty, payload, 512)); err == nil {
+		t.Fatal("replayed plan accepted")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events queued by a replayed plan", e.Pending())
+	}
+	if got := f.Stats().CertifiedPlans; got != 1 {
+		t.Fatalf("CertifiedPlans = %d after invalidation, want 1", got)
+	}
+
+	// Re-binding is explicit: a fresh lockstep assertion re-arms nothing
+	// here because the flash genuinely diverged from the model, so even a
+	// hand re-bound chain walks (seq mismatch) — only a fresh stack pair
+	// earns the fast path again. A hand-built (uncertified) plan also
+	// walks.
+	var bare ftl.Plan
+	bare.Ops = append(bare.Ops, ftl.Op{Kind: ftl.OpRead, Loc: plan1.Ops[0].Loc, LSPN: 0})
+	if _, err := f.ExecuteOn(e, doms, sim.FromMicroseconds(80000), bare, PlanData{}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := f.Stats().CertifiedPlans; got != 1 {
+		t.Fatalf("uncertified plan took the fast path (CertifiedPlans = %d)", got)
+	}
+}
+
 // TestExecuteOnPrevalidates verifies the batching contract: a plan that
 // fails mid-way (an out-of-order program after valid ops) must be rejected
 // before anything claims, mutates or schedules — no events queued, no

@@ -139,7 +139,37 @@ type Plan struct {
 	Migrated int
 	// WearLevelMoves counts static wear-leveling migrations.
 	WearLevelMoves int
+	// Cert is the construction-time certification (see Cert). The zero
+	// value marks a hand-built plan, which executors must validate
+	// themselves. Note a copied Plan keeps its certificate: what protects
+	// executors from copies is the sequence check — the original and the
+	// copy carry the same number, so at most one of them (whichever runs
+	// first, unmodified) is honored and the other breaks the chain.
+	Cert Cert
 }
+
+// Cert certifies that a plan is valid by construction: the FTL knows the
+// geometry bounds and every block's next-page pointer when it emits reads,
+// writes and erases, so a plan it returns needs no second validation walk —
+// provided the executor's flash is in lockstep with the FTL's model. The
+// certificate binds the plan to its issuing FTL and to its position in that
+// FTL's plan sequence; an executor (fil.FIL.AcceptCertified) honors it only
+// while every certified plan has executed in issue order against a flash
+// nothing else has mutated. Only the ftl package can mint a non-zero Cert,
+// so hand-built plans always take the executor's slow validation path.
+type Cert struct {
+	issuer *FTL
+	seq    uint64
+}
+
+// Certified reports whether the plan carries a certification at all.
+func (c Cert) Certified() bool { return c.issuer != nil }
+
+// By reports whether the certificate was minted by f.
+func (c Cert) By(f *FTL) bool { return f != nil && c.issuer == f }
+
+// Seq returns the plan's position in the issuing FTL's plan sequence.
+func (c Cert) Seq() uint64 { return c.seq }
 
 // Reads returns the plan's pre-reads in order.
 func (p Plan) Reads() []PageRead {
@@ -226,6 +256,12 @@ type FTL struct {
 	stats     Stats
 	inGC      bool // reentrancy guard: GC's own writes must not trigger GC
 
+	// planSeq numbers the plans this FTL has certified. The FTL mutates its
+	// mapping and append-pointer state eagerly at Write time, so plan N is
+	// valid against a flash that has executed exactly plans 0..N-1 — the
+	// contract the sequence number lets executors enforce.
+	planSeq uint64
+
 	// scratchOps backs the Ops slice of the plan returned by Write, reused
 	// across calls: the submit path executes each plan synchronously before
 	// the next FTL call, so one growable buffer serves every request.
@@ -294,6 +330,22 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // FreeSuperBlocks returns the current reserve of erased super-blocks.
 func (f *FTL) FreeSuperBlocks() int { return len(f.freeSB) }
+
+// PlanSeq returns the sequence number the next certified plan will carry.
+// Executors binding to this FTL (fil.FIL.AcceptCertified) record it as the
+// first certificate they will accept.
+func (f *FTL) PlanSeq() uint64 { return f.planSeq }
+
+// certify stamps a successfully constructed plan as pre-checked. Error
+// paths never certify — and once plan construction may have mutated the
+// mapping model, they must still consume a sequence number (see Write's
+// burn defer): a partially built plan never executes, so the flash epoch
+// alone cannot reveal the divergence, and only the sequence gap forces the
+// executor's chain to break and every later plan to take the walk.
+func (f *FTL) certify(p *Plan) {
+	p.Cert = Cert{issuer: f, seq: f.planSeq}
+	f.planSeq++
+}
 
 func (f *FTL) physIndex(loc PageLoc) int64 {
 	return (int64(loc.SB)*int64(f.pagesPerSB)+int64(loc.Page))*int64(f.subCount) + int64(loc.Plane)
@@ -480,6 +532,10 @@ func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) 
 //
 // The returned plan's Ops slice aliases a per-FTL scratch buffer valid
 // until the next Write call; execute (or copy) it before writing again.
+// A successfully constructed plan — host writes, RMW, GC migrations and
+// wear-leveling alike — is stamped as certified (see Cert): every address
+// is in bounds and every program lands on its block's next in-order page
+// by construction, so a lockstep executor may skip revalidation.
 func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
 	plan := Plan{Ops: f.scratchOps[:0]}
 	defer func() { f.scratchOps = plan.Ops[:0] }()
@@ -501,9 +557,26 @@ func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
 			}
 		}
 		if !any {
+			f.certify(&plan)
 			return plan, nil
 		}
 	}
+
+	// From here on plan construction mutates the mapping model (appendSub
+	// installs mappings and advances append pointers before a later sub can
+	// fail), so a mid-plan error leaves the model diverged from any flash
+	// that never executes the partial plan — and since that plan never
+	// runs, the flash epoch cannot expose the divergence. Burn this plan's
+	// sequence number on every error return: the gap breaks the executor's
+	// chain at its sequence check, so every later plan takes the validation
+	// walk instead of a certified fast path built on a stale model.
+	// certify() consumes the number on success and clears the burn.
+	burn := true
+	defer func() {
+		if burn {
+			f.planSeq++
+		}
+	}()
 
 	writeSub := func(sub int, gc bool) error {
 		if !gc {
@@ -556,6 +629,8 @@ func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
 	if f.cfg.WearLevelDelta > 0 {
 		f.maybeWearLevel(now, &plan)
 	}
+	f.certify(&plan)
+	burn = false
 	return plan, nil
 }
 

@@ -42,6 +42,50 @@ func newTestFTL(t *testing.T, mutate func(*Config)) *FTL {
 	return f
 }
 
+// TestWriteErrorBurnsPlanSeq pins the certificate-chain break on failed
+// plan construction: once Write may have mutated the mapping model, an
+// error return must still consume a sequence number. The failed plan never
+// executes, so the flash epoch cannot expose the divergence — only the
+// sequence gap forces a lockstep executor off the certified fast path and
+// onto the validation walk for every later plan.
+func TestWriteErrorBurnsPlanSeq(t *testing.T) {
+	f := newTestFTL(t, nil)
+	if _, err := f.Write(0, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the device: no free reserve, every plane of the open block
+	// full, so the next write fails mid-construction (allocOpen finds no
+	// victim worth collecting and no free super-block).
+	f.freeSB = f.freeSB[:0]
+	for sb := range f.sbs {
+		if !f.sbs[sb].free {
+			for p := range f.sbs[sb].nextPage {
+				f.sbs[sb].nextPage[p] = int32(f.pagesPerSB)
+			}
+		}
+	}
+	seq := f.PlanSeq()
+	plan, err := f.Write(0, 1, nil)
+	if err == nil {
+		t.Fatal("write on an exhausted device succeeded")
+	}
+	if plan.Cert.Certified() {
+		t.Fatal("failed Write returned a certified plan")
+	}
+	if got := f.PlanSeq(); got != seq+1 {
+		t.Fatalf("failed Write left PlanSeq at %d, want %d (burned)", got, seq+1)
+	}
+	// Cheap validation failures happen before any model mutation and must
+	// NOT burn: the chain stays intact across a caller's bad-LSPN mistake.
+	seq = f.PlanSeq()
+	if _, err := f.Write(0, -1, nil); err == nil {
+		t.Fatal("negative LSPN accepted")
+	}
+	if got := f.PlanSeq(); got != seq {
+		t.Fatalf("pre-mutation validation error burned a sequence number (%d -> %d)", seq, got)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := testConfig()
 	if err := good.Validate(); err != nil {

@@ -422,6 +422,14 @@ type Flash struct {
 	plan       PlanBatch
 	domScratch []sim.DomainID
 
+	// epoch counts functional block-state transitions (programs and erases,
+	// on any path — synchronous, deferred, batched). It backs the certified
+	// plan fast path: an executor that recorded the epoch after its last
+	// plan can tell with one comparison whether anything else (raw OCSSD
+	// ops, another executor) has mutated the flash since, which would break
+	// the lockstep its certificates assume. Reads never bump it.
+	epoch uint64
+
 	// pendingProg indexes, per channel, the deferred program installs that
 	// have been issued but whose batch event has not yet dispatched: global
 	// physical page number -> the batch record holding the staged bytes.
@@ -506,6 +514,12 @@ func (f *Flash) chanLocal(pageIdx int64) int64 { return pageIdx % f.pagesPerC }
 
 // TrackData reports whether the flash stores real page contents.
 func (f *Flash) TrackData() bool { return f.trackData }
+
+// StateEpoch returns the functional block-state epoch: a counter bumped by
+// every program and erase at issue time, on every path. Two equal readings
+// with no plan execution in between prove no block state changed — the
+// staleness check behind fil's certified-plan fast path.
+func (f *Flash) StateEpoch() uint64 { return f.epoch }
 
 // Geometry returns the physical organization.
 func (f *Flash) Geometry() Geometry { return f.geo }
@@ -754,6 +768,30 @@ func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr
 		f.copyOut(f.geo.PageIndex(addr), op.buf)
 		op.staged = true
 	}
+	e.AtIn(dom, done, op.fn)
+	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+}
+
+// ReadDeferredEager is ReadDeferred with the tracked-data copy performed at
+// issue time instead of inside the channel event: dst receives the page
+// bytes (pending-aware, exactly what a synchronous Read would deliver)
+// before this call returns, and the deferred event carries only the
+// channel's counters and energy. The bytes are fixed at issue for the same
+// physical reason ReadDeferred's staging is sound — the array read latches
+// its data before any later erase or program can touch the block — so eager
+// delivery observes the identical bytes, and does it with one page copy
+// instead of ReadDeferred's stage-then-copy pair. Because the consumer-side
+// buffer is complete at issue, a continuation that reads it no longer
+// depends on this channel's pending events at all: that independence is
+// what lets the core's two-stage fill installs ride a channel-neutral
+// publish shard (horizon batching) instead of forcing a barrier per fill.
+func (f *Flash) ReadDeferredEager(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte) (Result, error) {
+	if err := f.CheckRead(addr); err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr)
+	f.copyOut(f.geo.PageIndex(addr), dst)
+	op := f.acquireReadCompletion(addr.Channel) // accounting-only carrier: dst nil, staged false
 	e.AtIn(dom, done, op.fn)
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
 }
@@ -1043,9 +1081,11 @@ func (b *PlanBatch) Commit() {
 // Abort discards the batched bookkeeping without scheduling it, for a
 // caller abandoning a plan after a mid-plan error. Resource claims and
 // functional block-state transitions made through the batch are not rolled
-// back — prevalidating callers (fil.ExecuteOn) never reach this state with
-// any issued — and pending-install registrations of the aborted records
-// are withdrawn.
+// back — fil.ExecuteOn's walked path never reaches this state with any
+// issued (whole-plan prevalidation), and its certified path treats a
+// mid-plan failure as a broken invariant and panics right after the Abort
+// rather than continue with claims outstanding — and pending-install
+// registrations of the aborted records are withdrawn.
 func (b *PlanBatch) Abort() {
 	for _, di := range b.used {
 		db := b.dies[di]
@@ -1173,6 +1213,7 @@ func (f *Flash) claimProgram(now sim.Time, addr Address) (xferStart, done sim.Ti
 	blk := &f.blocks[f.geo.BlockIndex(addr)]
 	blk.written[addr.Page] = true
 	blk.nextPage++
+	f.epoch++
 	return xferStart, done
 }
 
@@ -1220,6 +1261,7 @@ func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time)
 	for i := range blk.written {
 		blk.written[i] = false
 	}
+	f.epoch++
 	return cmdStart, done
 }
 

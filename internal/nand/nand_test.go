@@ -559,6 +559,69 @@ func TestReadDeferred(t *testing.T) {
 	}
 }
 
+// TestReadDeferredEager locks in the eager-staged deferred read (the
+// precopy stage of two-stage fill installs): timing identical to the
+// synchronous Read, page bytes delivered into dst before any event
+// dispatches (and immune to a later erase + reprogram, like ReadDeferred's
+// staging), counters and energy landing only when the channel event runs,
+// and pooled carriers that keep steady state allocation-free.
+func TestReadDeferredEager(t *testing.T) {
+	fSync := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	fDef := newTestFlash(t, Options{TrackData: true, Seed: 1})
+	addr := Address{Channel: 2, Page: 0}
+	payload := bytes.Repeat([]byte{0x3c}, 4096)
+	for _, f := range []*Flash{fSync, fDef} {
+		if _, err := f.Program(0, addr, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := sim.FromMicroseconds(5000)
+	want, err := fSync.Read(now, addr, make([]byte, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := sim.NewEngine()
+	dom := e.Domain(ChannelDomain(addr.Channel))
+	dst := make([]byte, 4096)
+	got, err := fDef.ReadDeferredEager(e, dom, now, addr, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("eager timing %+v != sync %+v", got, want)
+	}
+	// The consumer-side contract: bytes are complete at issue, so a
+	// continuation reading dst depends on no pending channel event.
+	if !bytes.Equal(dst, payload) {
+		t.Fatal("eager read did not deliver the page contents at issue")
+	}
+	if n := fDef.Stats().Reads; n != 0 {
+		t.Fatalf("stats counted before completion: %d reads", n)
+	}
+	e.Run()
+	if fDef.Stats() != fSync.Stats() {
+		t.Fatalf("stats after completion %+v != sync %+v", fDef.Stats(), fSync.Stats())
+	}
+	if fDef.EnergyJoules() != fSync.EnergyJoules() {
+		t.Fatalf("energy %v != %v", fDef.EnergyJoules(), fSync.EnergyJoules())
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatal("dst changed after the accounting event")
+	}
+
+	// Steady state reuses the pooled completion carrier: no allocations.
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := fDef.ReadDeferredEager(e, dom, e.Now(), addr, dst); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("eager deferred read allocated %v per op", allocs)
+	}
+}
+
 // TestProgramDeferred verifies the deferred program path: timing and
 // functional block state identical to the synchronous Program, counters,
 // energy and the tracked-data install landing only when the completion

@@ -187,9 +187,11 @@
 // L, so dispatching C before L — the only reordering batching introduces
 // relative to the serial total order — leaves every state partition's
 // history unchanged. In the full system, core marks host, CPU and DMA
-// arbitration shards neutral (active architecture); the fil continuation
-// shard (fill installs read line buffers that pending read completions
-// write) and the icl write-back shard stay barrier-forcing.
+// arbitration shards neutral (active architecture), and — with two-stage
+// fill installs, the default — the fil.publish and icl shards too (the
+// next two sections). The legacy fil continuation shard (single-stage fill
+// installs read line buffers that pending read completions write) stays
+// barrier-forcing.
 //
 // The wall-clock win has three parts: batch-draining a shard skips the
 // per-event tournament read/repair the serial loop pays (measurable even
@@ -198,6 +200,76 @@
 // work — dominated by tracked-data page copies and installs on
 // data-tracking systems — runs on real cores in parallel (RunParallel
 // clamps its fan-out to GOMAXPROCS; extra workers only add handoff cost).
+//
+// # Two-stage fill installs: precopy at issue, publish horizon-ordered
+//
+// The fill continuation — the cache install, memory charge and waiter
+// wakeup that follow a flash-backed fetch — originally had to ride a
+// barrier-forcing cross shard: the install read a line buffer that the
+// fetch's pending channel events were still writing (the deferred dst
+// copies), so dispatching it early would observe incomplete bytes. That
+// coupling cost one barrier per fill, the dominant tax on read-miss-heavy
+// workloads whose windows average near one local event.
+//
+// The two-stage structure dissolves the coupling instead of scheduling
+// around it. The precopy stage delivers the page bytes into the fill's
+// line buffer at issue time (nand.Flash.ReadDeferredEager through
+// fil.ReadSubsStaged): the copy happens in the serial section, reads the
+// channel's pending-aware index — so it is channel-ordered by
+// construction, observing exactly the bytes the synchronous path would —
+// and is the only data movement (one copy, where the deferred-dst scheme
+// staged the same bytes at issue and copied them again inside the channel
+// event). The channel shards then carry only the reads' counters and
+// energy. The publish stage (core's fil.publish shard) installs the
+// completed buffer, and is horizon-ordered like any cross event — but
+// because its buffer was finished before the fill's bookkeeping was even
+// scheduled, it reads nothing that any pending domain-local event writes.
+// It therefore satisfies the channel-neutral condition above and is marked
+// MarkChannelNeutral in the active architecture: consecutive fills from
+// different channels batch past pending channel work instead of paying a
+// barrier each. Determinism is immediate: the publish consumes bytes fixed
+// at issue (identical in every mode), publishes dispatch in cross order
+// (batching never reorders cross events), and the accounting it skips past
+// merges per channel in shard order exactly as before.
+//
+// # The icl write-back shard is channel-neutral: proof obligation
+//
+// Marking the icl shard (write-ops stages, eviction flushes, no-flash
+// fills) neutral carries a proof obligation under the same condition: its
+// events must not read or write any state pending domain-local events
+// write. The discharge is an audit of everything a write-ops event does:
+// ICL probes and installs (cross-owned line state), DRAM and flush-buffer
+// claims (serial-section resources), FTL mapping mutations (cross-owned),
+// and the eviction flush itself — fil.ExecuteOn — which *issues* flash
+// transactions. Issuing is exactly the case the safety condition already
+// blesses: resource claims, functional block state, the certified-plan
+// epoch and the pending-install index all live in serial sections and
+// commute with pending bookkeeping; plan pre-reads (GC migrations, RMW
+// fills) copy their bytes at issue through the pending-aware index, which
+// returns identical bytes whether or not the pending install has run; and
+// the per-channel counters, energy and arena mutations the flush *causes*
+// are scheduled as new channel-shard events with later keys, not touched
+// directly. Nothing in the path reads a channel counter, an energy
+// accumulator, an arena page outside the staging path, or an in-flight
+// destination buffer. With fills published neutrally and the icl shard
+// neutral, every cross shard of the active architecture batches, which is
+// what extends horizon batching to write-heavy traffic.
+//
+// # The batch limit: bounding deferred channel work
+//
+// With every cross shard neutral, nothing would drain the local shards
+// until the cross queue empties at the end of the run — unbounded pending
+// events, carriers and staged buffers. Engine.SetBatchLimit bounds the
+// accumulation: once the eligible local shards' queue depth exceeds the
+// limit (DefaultBatchLimit 4096), a neutral head forces a window anyway
+// (ParallelStats.LimitBarriers). The decision reads only shard queue
+// depths, so the window placement is a pure function of queue state —
+// identical at every worker count — and since batching a neutral event is
+// safe at any depth, the limit affects only when barriers are paid, never
+// what any event observes. The forced windows double as the parallelism
+// pump on wide workloads: accumulated channel work fans out over the
+// worker pool in large, efficient windows instead of the per-fill slivers
+// the barrier-per-fill structure produced.
 //
 // # Resources
 //

@@ -104,6 +104,11 @@ type Engine struct {
 	locals  []DomainID // domains marked domain-local, in registration order
 	elig    []DomainID // RunParallel's per-window eligible-domain scratch
 
+	// batchLimit bounds how much pending domain-local work horizon batching
+	// may accumulate before RunParallel forces a window anyway (see
+	// SetBatchLimit and parallel.go).
+	batchLimit int
+
 	// inWindow is true between BeginWindow and EndWindow: the only legal
 	// engine calls are then StepDomainUntil on distinct domain-local shards
 	// (possibly from concurrent workers). Every serial mutator checks it, so
@@ -148,7 +153,7 @@ func (n treeNode) beats(m treeNode) bool {
 // NewEngine returns an empty engine at time zero with only the default
 // domain registered.
 func NewEngine() *Engine {
-	e := &Engine{domains: make(map[string]DomainID, 4)}
+	e := &Engine{domains: make(map[string]DomainID, 4), batchLimit: DefaultBatchLimit}
 	e.shards = append(e.shards, shard{name: "default"})
 	e.domains["default"] = DefaultDomain
 	e.growTree()

@@ -49,6 +49,35 @@ func (e *Engine) checkSerial() {
 	}
 }
 
+// DefaultBatchLimit is the horizon-batching backstop every new engine
+// starts with: once the eligible domain-local shards hold more than this
+// many pending events, a neutral cross head forces a window instead of
+// batching past them. With every cross shard of a workload neutral (the
+// active architecture after the two-stage fill installs), nothing else
+// would ever drain the local shards until the cross queue empties, so the
+// backstop bounds the engine's latent event population — and doubles as a
+// parallelism pump, turning an otherwise run-length batching window into
+// periodic wide fan-outs. The bound is read from shard queue depths, so the
+// decision sequence is a pure function of queue state and identical at
+// every worker count.
+const DefaultBatchLimit = 4096
+
+// SetBatchLimit replaces the horizon-batching backstop (DefaultBatchLimit);
+// n < 1 restores the default. A smaller limit trades barrier frequency for
+// a tighter bound on pending domain-local work; results are byte-identical
+// at any limit (batching a neutral event is safe at any depth — the limit
+// only decides when to stop paying memory for saved barriers).
+func (e *Engine) SetBatchLimit(n int) {
+	e.checkSerial()
+	if n < 1 {
+		n = DefaultBatchLimit
+	}
+	e.batchLimit = n
+}
+
+// BatchLimit returns the current horizon-batching backstop.
+func (e *Engine) BatchLimit() int { return e.batchLimit }
+
 // MarkDomainLocal classifies dom as domain-local: its events touch only
 // per-domain state and never call the engine, so RunParallel may dispatch
 // them concurrently with other local domains between synchronization
@@ -230,6 +259,11 @@ type ParallelStats struct {
 	// forcing a drain-and-barrier first. Each one is a barrier the
 	// un-batched loop would have paid.
 	BatchedCross uint64
+	// LimitBarriers counts windows a neutral cross head would have batched
+	// past but the batch limit forced anyway (Engine.SetBatchLimit): the
+	// pending-local backstop draining accumulated channel work. They are
+	// included in Horizons.
+	LimitBarriers uint64
 }
 
 // MeanLocalPerHorizon returns the average number of domain-local events a
@@ -261,6 +295,7 @@ func (p *ParallelStats) Accumulate(o ParallelStats) {
 	p.LocalEvents += o.LocalEvents
 	p.CrossEvents += o.CrossEvents
 	p.BatchedCross += o.BatchedCross
+	p.LimitBarriers += o.LimitBarriers
 }
 
 // RunParallel dispatches events until the queue drains, like Run, but steps
@@ -347,6 +382,7 @@ func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelSt
 			at, seq = MaxTime, ^uint64(0)
 		}
 		eligible := e.elig[:0]
+		pendingLocal := 0
 		for _, dom := range e.locals {
 			sh := &e.shards[dom]
 			if len(sh.heap) == 0 {
@@ -355,6 +391,10 @@ func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelSt
 			rec := &e.records[sh.heap[0]]
 			if rec.at < at || (rec.at == at && rec.seq < seq) {
 				eligible = append(eligible, dom)
+				// Queue depth is a cheap upper bound on the shard's eligible
+				// events (some may lie past the horizon); exactness doesn't
+				// matter — the limit is a backstop, not a schedule.
+				pendingLocal += len(sh.heap)
 			}
 		}
 		e.elig = eligible // keep the (possibly grown) scratch for the next round
@@ -362,14 +402,20 @@ func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelSt
 			// Horizon batching: a channel-neutral cross head commutes with
 			// every pending local event, so dispatch it without paying the
 			// drain-and-barrier — the local work keeps accumulating for one
-			// larger window at the next channel-coupled horizon.
-			if ok && e.shards[cross].neutral {
+			// larger window at the next channel-coupled horizon, bounded by
+			// the batch limit so a fully neutral workload cannot defer its
+			// channel work (and the memory holding it) indefinitely.
+			neutral := ok && e.shards[cross].neutral
+			if neutral && pendingLocal <= e.batchLimit {
 				e.stepShard(cross)
 				st.CrossEvents++
 				st.BatchedCross++
 				continue
 			}
 			st.Horizons++
+			if neutral {
+				st.LimitBarriers++
+			}
 			e.BeginWindow()
 			if workers <= 1 || len(eligible) == 1 {
 				for _, dom := range eligible {

@@ -206,6 +206,50 @@ func TestHorizonBatching(t *testing.T) {
 	}
 }
 
+// TestBatchLimit verifies the horizon-batching backstop: with a tiny batch
+// limit, neutral cross heads stop skipping the drain once the eligible
+// local shards' queue depth exceeds the limit (LimitBarriers counts the
+// forced windows), and the final state still matches the unbounded run —
+// the limit only decides when barriers are paid, never what dispatches.
+func TestBatchLimit(t *testing.T) {
+	const nLocal, rounds, seed = 8, 50, 4242
+	free := newParallelHarness(nLocal, rounds, seed)
+	stFree := free.e.RunParallel(4)
+
+	tight := newParallelHarness(nLocal, rounds, seed)
+	tight.e.SetBatchLimit(4)
+	if got := tight.e.BatchLimit(); got != 4 {
+		t.Fatalf("BatchLimit = %d, want 4", got)
+	}
+	stTight := tight.e.RunParallel(4)
+
+	if got, want := tight.fingerprint(), free.fingerprint(); got != want {
+		t.Fatalf("batch limit changed observable state:\nfree:  %s\ntight: %s", want, got)
+	}
+	if stTight.LimitBarriers == 0 {
+		t.Fatalf("limit 4 forced no windows: %+v", stTight)
+	}
+	if stTight.Horizons <= stFree.Horizons {
+		t.Fatalf("tight limit did not add windows: %d vs %d", stTight.Horizons, stFree.Horizons)
+	}
+	if stTight.BatchedCross >= stFree.BatchedCross {
+		t.Fatalf("tight limit did not reduce batching: %d vs %d", stTight.BatchedCross, stFree.BatchedCross)
+	}
+	// Totals are invariant: every event dispatches exactly once either way.
+	if la, lb := stTight.LocalEvents, stFree.LocalEvents; la != lb {
+		t.Fatalf("local event totals differ: %d vs %d", la, lb)
+	}
+	if ca, cb := stTight.CrossEvents, stFree.CrossEvents; ca != cb {
+		t.Fatalf("cross event totals differ: %d vs %d", ca, cb)
+	}
+
+	// n < 1 restores the default.
+	tight.e.SetBatchLimit(0)
+	if got := tight.e.BatchLimit(); got != DefaultBatchLimit {
+		t.Fatalf("BatchLimit after reset = %d, want %d", got, DefaultBatchLimit)
+	}
+}
+
 // TestMarkChannelNeutralGuards verifies the classification is exclusive:
 // a domain cannot be both domain-local and channel-neutral, and marking an
 // unregistered domain panics.
