@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/ftl"
+	"amber/internal/nand"
 	"amber/internal/sim"
 	"amber/internal/simbench"
 	"amber/internal/workload"
@@ -68,6 +71,11 @@ type jsonReport struct {
 	// construction-time check replaces the FIL's prevalidation double-walk)
 	// versus force-routed through the walk.
 	CertifiedPlans jsonCertifiedPlans `json:"certified_plans"`
+	// FaultInjection reports the fault subsystem's cost structure: the
+	// submit path with injection disabled (must stay allocation-free and
+	// within noise of SubmitBench — the nil-model check is the only cost)
+	// and a separate injected run's fault/recovery counters.
+	FaultInjection jsonFaultInjection `json:"fault_injection"`
 }
 
 type jsonExperiment struct {
@@ -226,6 +234,113 @@ type jsonCertifiedPlans struct {
 	Identical       bool    `json:"identical"` // end-time match across modes
 	WalkAllocsPerOp float64 `json:"walk_allocs_per_op"`
 	CertAllocsPerOp float64 `json:"certified_allocs_per_op"`
+}
+
+// jsonFaultInjection reports the deterministic fault-injection bench: the
+// serial submit path measured with injection disabled (its cost must match
+// the plain SubmitBench — one nil check per flash op, zero allocations),
+// then a GC-heavy overwrite run under wear-independent injected faults with
+// the firmware's recovery counters.
+type jsonFaultInjection struct {
+	Requests         int     `json:"requests"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	DisabledAllocsOp float64 `json:"disabled_allocs_per_op"`
+	// Injected-run outcome.
+	ProgramFails   uint64  `json:"program_fails"`
+	EraseFails     uint64  `json:"erase_fails"`
+	Uncorrectable  uint64  `json:"uncorrectable"`
+	ReadRetries    uint64  `json:"read_retries"`
+	Retirements    uint64  `json:"retirements"`
+	Replans        uint64  `json:"replans"`
+	LostSubs       uint64  `json:"lost_subs"`
+	FailedWrites   int     `json:"failed_writes"`
+	SpareHeadroom  int     `json:"spare_headroom"`
+	ReadOnly       bool    `json:"read_only"`
+	EnabledNsPerOp float64 `json:"enabled_ns_per_op"`
+}
+
+// faultInjectionBench measures the submit path with fault injection
+// disabled (the overhead gate: the BENCH_submit.json trajectory and the
+// root BenchmarkSubmitPath both demand an allocation-free loop, and the
+// disabled fault path must not change that), then runs the same GC-heavy
+// overwrite stream under wear-independent faults and reports what the
+// firmware absorbed.
+func faultInjectionBench(n int) (jsonFaultInjection, error) {
+	b := jsonFaultInjection{Requests: n}
+
+	run := func(faults nand.FaultConfig) (nsPerOp, allocsPerOp float64, failedWrites int, s *core.System, err error) {
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		d.Faults = faults
+		s, err = core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		if err = s.Precondition(16); err != nil {
+			return 0, 0, 0, nil, err
+		}
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		submit := func(i int) error {
+			_, err := s.Submit(s.Now(), gen.Next(i), nil)
+			if err != nil && (errors.Is(err, ftl.ErrReadOnly) || errors.Is(err, nand.ErrUncorrectable)) {
+				// Degradation outcome, not a bench failure: a worn device
+				// refusing writes is the subsystem working as designed.
+				failedWrites++
+				return nil
+			}
+			return err
+		}
+		for i := 0; i < 500; i++ { // steady-state warmup
+			if err = submit(i); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err = submit(500 + i); err != nil {
+				return 0, 0, 0, nil, err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		return float64(wall.Nanoseconds()) / float64(n),
+			float64(ms1.Mallocs-ms0.Mallocs) / float64(n), failedWrites, s, nil
+	}
+
+	disNs, disAllocs, _, _, err := run(nand.FaultConfig{})
+	if err != nil {
+		return b, err
+	}
+	b.DisabledNsPerOp, b.DisabledAllocsOp = disNs, disAllocs
+
+	// Wear-independent probabilities (WearEraseLimit 0) so faults fire on a
+	// fresh small device without grinding blocks to their erase limit first.
+	enNs, _, failed, s, err := run(nand.FaultConfig{
+		Seed:            99,
+		ProgramFailProb: 5e-4,
+		EraseFailProb:   5e-4,
+		ReadFailProb:    2e-4,
+		MaxReadRetries:  2,
+	})
+	if err != nil {
+		return b, err
+	}
+	b.EnabledNsPerOp = enNs
+	b.FailedWrites = failed
+	fst := s.Flash.FaultStats()
+	b.ProgramFails, b.EraseFails = fst.ProgramFails, fst.EraseFails
+	b.Uncorrectable, b.ReadRetries = fst.Uncorrectable, fst.ReadRetries
+	fs := s.FTL.Stats()
+	b.Retirements, b.Replans, b.LostSubs = fs.Retirements, fs.Replans, fs.LostSubs
+	b.SpareHeadroom = s.FTL.SpareHeadroom()
+	b.ReadOnly = s.FTL.ReadOnly()
+	return b, nil
 }
 
 // fillBarriersBench runs the 4K random-read miss-heavy workload once per
@@ -671,6 +786,13 @@ func main() {
 			failed++
 		} else {
 			report.CertifiedPlans = cp
+		}
+		fi, err := faultInjectionBench(n / 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: fault-injection bench: %v\n", err)
+			failed++
+		} else {
+			report.FaultInjection = fi
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -47,6 +47,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrently simulated devices (0/1 = serial)")
 		contigDMA = flag.Bool("contig-dma", false, "model payload buffers as physically contiguous host pages (Timing-mode DMA batches descriptors)")
 		intraPar  = flag.Int("intra-parallel", 0, "workers for horizon-synchronized intra-device dispatch: NAND channel shards step concurrently between cross-domain events, byte-identical to serial (0/1 = serial)")
+		faultProf = flag.String("fault-profile", "off", "deterministic NAND fault injection: off|light|heavy|wearout")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule (same seed + same workload = same faults at any worker count)")
 	)
 	flag.Parse()
 
@@ -115,8 +117,17 @@ func main() {
 		}
 	}
 
+	// Validate the fault profile up front too, for the same reason.
+	if _, err := config.FaultProfile(*faultProf, *faultSeed); err != nil {
+		fatal(err)
+	}
+
 	runOne := func(dev string, w io.Writer) error {
 		d, err := config.Device(dev)
+		if err != nil {
+			return err
+		}
+		d.Faults, err = config.FaultProfile(*faultProf, *faultSeed)
 		if err != nil {
 			return err
 		}
@@ -187,6 +198,16 @@ func main() {
 		twoStage, legacyFills := s.FillStats()
 		fmt.Fprintf(w, "fil             %d plans (%d certified fast-path), fills %d two-stage / %d legacy\n",
 			fils.PlanCount, fils.CertifiedPlans, twoStage, legacyFills)
+		if s.Flash.FaultsEnabled() {
+			fst := s.Flash.FaultStats()
+			state := "healthy"
+			if s.FTL.ReadOnly() {
+				state = "READ-ONLY"
+			}
+			fmt.Fprintf(w, "faults          %d program / %d erase / %d uncorrectable, %d read retries; retired %v, spare headroom %d, %d failed writes / %d failed reads [%s]\n",
+				fst.ProgramFails, fst.EraseFails, fst.Uncorrectable, fst.ReadRetries,
+				s.FTL.RetiredSuperBlocks(), s.FTL.SpareHeadroom(), res.FailedWrites, res.FailedReads, state)
+		}
 		fmt.Fprintf(w, "engine          %d events", res.Events)
 		// The busiest scheduling domains, most-loaded first.
 		sort.Slice(res.DomainEvents, func(i, j int) bool {

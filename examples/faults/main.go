@@ -1,0 +1,95 @@
+// Faults: run a small SSD to wear-out under deterministic fault injection
+// and print the degradation timeline — injected failures, grown-bad-block
+// retirements, recovery replans, shrinking spare headroom — until the
+// spare reserve runs out and the device latches read-only (writes then
+// fail with ftl.ErrReadOnly; reads keep serving).
+//
+// The schedule is a pure function of the fault seed and the request
+// stream: rerunning this program, serially or with intra-parallel
+// workers, reproduces the same faults at the same operations.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"amber/internal/config"
+	"amber/internal/core"
+	"amber/internal/ftl"
+	"amber/internal/workload"
+)
+
+func main() {
+	// A tiny device under the end-of-life fault profile: blocks wear out
+	// after ~50 erases, and program/erase/read failure rates climb with
+	// each block's erase count.
+	d := config.SmallTestDevice()
+	d.TrackData = false
+	// Generous over-provisioning gives the grown-bad-block machinery room
+	// to absorb several retirements before capacity, not the spare budget,
+	// would end the device.
+	d.OPRatio = 0.4
+	faults, err := config.FaultProfile("wearout", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Faults = faults
+	d.SpareBlocks = 4
+
+	sys, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %s, %d MB volume, %d super-blocks, %d spares, fault profile wearout (seed %d)\n",
+		sys.Config().Device.Name, sys.VolumeBytes()>>20,
+		sys.FTL.UserSuperPages()/16, d.SpareBlocks, faults.Seed)
+	if err := sys.Precondition(16); err != nil {
+		log.Fatal(err)
+	}
+
+	// Hammer the volume with 4K random overwrites in chunks, printing the
+	// degradation after each: GC erases age the blocks, wear raises the
+	// injected failure rates, failures retire blocks out of the spare
+	// reserve, and eventually the reserve runs dry.
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, sys.VolumeBytes(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const chunk = 400
+	for round := 1; ; round++ {
+		res, err := sys.Run(gen, core.RunConfig{Requests: chunk, IODepth: 16})
+		if err != nil {
+			// A non-degradation error would abort the run; spare
+			// exhaustion never does — it surfaces through the result.
+			if errors.Is(err, ftl.ErrReadOnly) {
+				log.Fatal("unexpected: ErrReadOnly aborted the run instead of degrading it")
+			}
+			log.Fatal(err)
+		}
+		fst := sys.Flash.FaultStats()
+		fs := sys.FTL.Stats()
+		fmt.Printf("round %2d: %5d writes (%4d refused)  faults %3dp/%3de/%3du  retries %4d  retired %2d  replans %3d  spare headroom %d\n",
+			round, chunk*round, res.FailedWrites,
+			fst.ProgramFails, fst.EraseFails, fst.Uncorrectable, fst.ReadRetries,
+			fs.Retirements, fs.Replans, sys.FTL.SpareHeadroom())
+		if res.ReadOnly {
+			fmt.Printf("\nwear-out: spare reserve exhausted after %d retirements (order %v)\n",
+				fs.Retirements, sys.FTL.RetiredSuperBlocks())
+			break
+		}
+		if round > 200 {
+			log.Fatal("device refused to die; raise the fault rates")
+		}
+	}
+
+	// The device is read-only, not dead: writes fail fast with a sentinel
+	// the host can test for, reads still serve every mapped page.
+	_, err = sys.Submit(sys.Now(), workload.Request{Write: true, Offset: 0, Length: 4096}, nil)
+	fmt.Printf("write after wear-out: %v (errors.Is(ftl.ErrReadOnly) = %v)\n", err, errors.Is(err, ftl.ErrReadOnly))
+	if _, err := sys.Submit(sys.Now(), workload.Request{Offset: 0, Length: 4096}, nil); err != nil {
+		fmt.Printf("read after wear-out: %v\n", err)
+	} else {
+		fmt.Println("read after wear-out: still served")
+	}
+}

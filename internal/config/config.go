@@ -227,6 +227,50 @@ func MobileSystem(d core.DeviceConfig) core.SystemConfig {
 	return core.SystemConfig{Device: d, Host: host.Mobile()}
 }
 
+// FaultProfile returns a named deterministic fault-injection preset.
+// The seed fixes the fault schedule: the same seed with the same request
+// stream draws identical faults at any intra-parallel worker count.
+//
+//	off     — no injection (the zero FaultConfig)
+//	light   — rare failures on a healthy device, wear from 3000 erases
+//	heavy   — an aging device: frequent failures, wear from 500 erases
+//	wearout — an end-of-life device that degrades to read-only quickly
+func FaultProfile(name string, seed uint64) (nand.FaultConfig, error) {
+	switch name {
+	case "off", "":
+		return nand.FaultConfig{}, nil
+	case "light":
+		return nand.FaultConfig{
+			Seed:            seed,
+			ProgramFailProb: 2e-4,
+			EraseFailProb:   5e-4,
+			ReadFailProb:    2e-4,
+			WearEraseLimit:  3000,
+			MaxReadRetries:  3,
+		}, nil
+	case "heavy":
+		return nand.FaultConfig{
+			Seed:            seed,
+			ProgramFailProb: 2e-3,
+			EraseFailProb:   5e-3,
+			ReadFailProb:    1e-3,
+			WearEraseLimit:  500,
+			MaxReadRetries:  3,
+		}, nil
+	case "wearout":
+		return nand.FaultConfig{
+			Seed:            seed,
+			ProgramFailProb: 0.02,
+			EraseFailProb:   0.05,
+			ReadFailProb:    0.01,
+			WearEraseLimit:  50,
+			MaxReadRetries:  2,
+		}, nil
+	default:
+		return nand.FaultConfig{}, fmt.Errorf("config: unknown fault profile %q (want off, light, heavy or wearout)", name)
+	}
+}
+
 // SmallTestDevice returns a deliberately tiny device for fast unit and
 // integration tests: full firmware stack, data tracking on.
 func SmallTestDevice() core.DeviceConfig {

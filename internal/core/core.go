@@ -67,6 +67,14 @@ type DeviceConfig struct {
 	// guaranteed for sub-page-aligned I/O.
 	TrackData bool
 	Seed      uint64
+
+	// Faults configures deterministic NAND fault injection (zero disables):
+	// program/erase failures retire blocks, uncorrectable reads lose data,
+	// and spare exhaustion degrades the device to read-only.
+	Faults nand.FaultConfig
+	// SpareBlocks overrides the FTL's grown-bad-block budget before the
+	// read-only transition; zero keeps the FTL default.
+	SpareBlocks int
 }
 
 // Validate reports descriptive configuration errors.
@@ -212,7 +220,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	flash, err := nand.New(d.Geometry, d.Flash, d.FlashPower, d.Cell, nand.Options{
-		TrackData: d.TrackData, Seed: d.Seed,
+		TrackData: d.TrackData, Seed: d.Seed, Faults: d.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -224,6 +232,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		GCFreeThreshold: 2,
 		PartialUpdate:   d.PartialUpdate,
 		WearLevelDelta:  d.WearLevelDelta,
+		SpareBlocks:     d.SpareBlocks,
 	})
 	if err != nil {
 		return nil, err

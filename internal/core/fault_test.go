@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"amber/internal/config"
+	"amber/internal/core"
+	"amber/internal/nand"
+	"amber/internal/workload"
+)
+
+// faultSystem builds the wideSystem shape with deterministic fault
+// injection armed: wear-independent probabilities (WearEraseLimit 0) so
+// faults fire on a fresh device, and a spare reserve large enough that the
+// trajectory degrades without latching read-only.
+func faultSystem(t *testing.T) *core.System {
+	t.Helper()
+	d := config.SmallTestDevice()
+	d.Geometry = nand.Geometry{
+		Channels:           8,
+		PackagesPerChannel: 1,
+		DiesPerPackage:     1,
+		PlanesPerDie:       2,
+		BlocksPerPlane:     10,
+		PagesPerBlock:      16,
+		PageSize:           4096,
+	}
+	// Generous over-provisioning: each retirement removes one of only ten
+	// super-blocks, and GC needs room to keep absorbing the churn.
+	d.OPRatio = 0.4
+	d.Faults = nand.FaultConfig{
+		Seed:            99,
+		ProgramFailProb: 0.0015,
+		EraseFailProb:   0.01,
+		ReadFailProb:    0.05,
+		MaxReadRetries:  1,
+	}
+	d.SpareBlocks = 4
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// renderFaults writes every fault-injection observable into the golden
+// buffer: aggregate fault counters, the ordered fault-site log, the
+// retirement order, the remaining spare headroom and the read-only latch.
+func renderFaults(out *bytes.Buffer, s *core.System) {
+	fmt.Fprintf(out, "faults %+v\n", s.Flash.FaultStats())
+	for i, site := range s.Flash.FaultSites() {
+		fmt.Fprintf(out, "  site %d %v %+v ec %d\n", i, site.Op, site.Addr, site.EraseCount)
+	}
+	fmt.Fprintf(out, "retired %v headroom %d readonly %v\n",
+		s.FTL.RetiredSuperBlocks(), s.FTL.SpareHeadroom(), s.FTL.ReadOnly())
+}
+
+// renderFaultRow extends the experiment-table row with the degradation
+// counters a faulty run surfaces.
+func renderFaultRow(out *bytes.Buffer, name string, res *core.RunResult) {
+	renderRow(out, name, res)
+	fmt.Fprintf(out, "  failed wr %d rd %d readonly %v\n",
+		res.FailedWrites, res.FailedReads, res.ReadOnly)
+}
+
+// renderFaultData fingerprints a deterministic payload sample like
+// renderData, but folds read errors into the golden string instead of
+// failing: on a faulty device an uncorrectable read is a legitimate,
+// deterministic outcome the equivalence must cover.
+func renderFaultData(out *bytes.Buffer, s *core.System) {
+	bs := 4096
+	for i := 0; i < 16; i++ {
+		off := (int64(i) * 977 * int64(bs)) % (s.VolumeBytes() - int64(bs))
+		off -= off % int64(bs)
+		buf := make([]byte, bs)
+		if _, err := s.Submit(s.Now(), workload.Request{Offset: off, Length: bs}, buf); err != nil {
+			fmt.Fprintf(out, "data@%d err %v\n", off, err)
+			continue
+		}
+		sum := uint64(0)
+		for j, b := range buf {
+			sum += uint64(b) * uint64(j+1)
+		}
+		fmt.Fprintf(out, "data@%d sum %d\n", off, sum)
+	}
+}
+
+// faultTrajectory drives one fault-armed system through a GC-heavy
+// overwrite storm plus a read phase and renders every observable — run
+// rows with failure counters, fault sites, retirement order, component
+// stats, payload fingerprints — into one golden string.
+func faultTrajectory(t *testing.T, s *core.System, workers int) string {
+	t.Helper()
+	if err := s.Precondition(16); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+
+	// Phase 1: 4K random overwrites on the fully mapped volume — GC churn
+	// draws program and erase faults, retires blocks, replans.
+	wgen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(wgen, core.RunConfig{Requests: 600, IODepth: 16, IntraWorkers: workers, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderFaultRow(&out, "fault-rand-write", res)
+	if s.FTL.Stats().GCRuns == 0 {
+		t.Fatal("write phase did not trigger GC; the fault equivalence must cover recovery under GC")
+	}
+
+	// Phase 2: random reads against the degraded volume — the retry
+	// ladder draws, some reads are lost as uncorrectable.
+	rgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Run(rgen, core.RunConfig{Requests: 300, IODepth: 16, IntraWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderFaultRow(&out, "fault-rand-read", res)
+
+	renderFaults(&out, s)
+	renderState(&out, s)
+	renderFaultData(&out, s)
+	return out.String()
+}
+
+// TestFaultScheduleGoldenEquivalence is the acceptance bar for
+// deterministic fault injection: with a fixed seed, a GC-heavy trajectory
+// must draw the identical fault schedule — same fault sites in the same
+// order, same retirements, same replans, same lost pages, same payload
+// bytes — at every intra-parallel worker count as under plain serial
+// dispatch. Faults, like claims, are drawn only in serial sections, so the
+// schedule is a property of the op sequence alone. Run under -race (with
+// the AMBERSIM_INTRA_WORKERS CI matrix) this also proves the fault path
+// adds no data races.
+func TestFaultScheduleGoldenEquivalence(t *testing.T) {
+	serial := faultTrajectory(t, faultSystem(t), 0)
+
+	// The equivalence is vacuous unless faults actually fired and retired
+	// blocks on this trajectory.
+	if !strings.Contains(serial, "site 0") {
+		t.Fatalf("trajectory drew no faults; raise the probabilities:\n%s", serial)
+	}
+	if strings.Contains(serial, "retired []") {
+		t.Fatalf("trajectory retired no blocks; the equivalence must cover retirement order:\n%s", serial)
+	}
+
+	for _, workers := range intraWorkerMatrix(t) {
+		got := faultTrajectory(t, faultSystem(t), workers)
+		if got != serial {
+			sl := strings.Split(serial, "\n")
+			gl := strings.Split(got, "\n")
+			for i := 0; i < len(sl) || i < len(gl); i++ {
+				var a, b string
+				if i < len(sl) {
+					a = sl[i]
+				}
+				if i < len(gl) {
+					b = gl[i]
+				}
+				if a != b {
+					t.Fatalf("workers=%d fault schedule diverged at line %d:\nserial: %s\nworkers: %s", workers, i, a, b)
+				}
+			}
+			t.Fatalf("workers=%d diverged from serial (length %d vs %d)", workers, len(serial), len(got))
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"amber/internal/ftl"
+	"amber/internal/nand"
 	"amber/internal/sim"
 	"amber/internal/stats"
 	"amber/internal/workload"
@@ -60,6 +63,15 @@ type RunResult struct {
 	// RunConfig.IntraWorkers > 1 (zero value otherwise): synchronization
 	// horizons, events stepped inside windows vs dispatched serially.
 	Intra sim.ParallelStats
+
+	// Degradation under injected faults: writes refused because the device
+	// latched read-only, reads lost to uncorrectable errors, and whether
+	// the run ended with the device read-only. These requests complete with
+	// an error instead of aborting the run — real hosts retry or fail the
+	// I/O, they don't stop the machine.
+	FailedWrites int
+	FailedReads  int
+	ReadOnly     bool
 }
 
 // Elapsed returns the wall-clock span of the run in simulated time.
@@ -152,6 +164,19 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 		issue := e.Now()
 		s.SubmitAsync(e, req, data, func(done sim.Time, err error) {
 			if err != nil {
+				// Degradation errors are per-request outcomes, not run
+				// failures: a read-only device refuses writes and an
+				// uncorrectable page fails its read, but the host keeps
+				// issuing. Anything else is a simulator fault and aborts.
+				if errors.Is(err, ftl.ErrReadOnly) || errors.Is(err, nand.ErrUncorrectable) {
+					if req.Write {
+						res.FailedWrites++
+					} else {
+						res.FailedReads++
+					}
+					e.AtIn(doms.host, e.Now(), issueNext)
+					return
+				}
 				if runErr == nil {
 					runErr = fmt.Errorf("core: request %d (%+v): %w", i, req, err)
 				}
@@ -188,6 +213,7 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	}
 	res.Events = e.Dispatched()
 	res.DomainEvents = e.DomainStats()
+	res.ReadOnly = s.FTL.ReadOnly()
 	if runErr != nil {
 		return nil, runErr
 	}

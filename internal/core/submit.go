@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"amber/internal/dma"
@@ -16,6 +17,12 @@ import (
 // fillOp carries one flash fetch to its cache install. Both are recycled
 // through per-System free lists with their step callbacks bound once, so a
 // steady-state request schedules engine events without allocating.
+
+// maxFaultRetries bounds how many consecutive injected flash faults one
+// eviction absorbs before giving up: each retry retires a block and
+// re-plans, so the bound only trips under a fault storm (at which point
+// the FTL has usually latched read-only anyway).
+const maxFaultRetries = 8
 
 // submitOp pipeline stages.
 const (
@@ -219,6 +226,19 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 	if data != nil && len(data) < req.Length {
 		cb(0, fmt.Errorf("core: data buffer shorter than request"))
 		return
+	}
+	if s.FTL.ReadOnly() {
+		if req.Write {
+			// Grown bad blocks exhausted the spare reserve: the device
+			// degrades to read-only instead of risking further data.
+			// Reads still serve.
+			cb(0, fmt.Errorf("core: write of [%d,+%d) refused: %w",
+				req.Offset, req.Length, ftl.ErrReadOnly))
+			return
+		}
+		// Reads on a read-only device must not evict dirty lines (their
+		// write-back can never succeed); pin them and recycle clean frames.
+		s.ICL.SetPreferCleanVictims(true)
 	}
 	now := e.Now()
 
@@ -729,9 +749,16 @@ func (s *System) prefetch(e *sim.Engine, lspn int64) {
 func (s *System) flushEviction(e *sim.Engine, t sim.Time, ev *iclEviction) (sim.Time, error) {
 	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
 	plan, err := s.FTL.Write(t2, ev.LSPN, ev.Dirty)
-	if err != nil {
+	// A mid-plan FTL error (allocation exhausted on a degrading device)
+	// still returns the partial plan covering every mutation the model
+	// made. It must be executed — flash in lockstep with the model — before
+	// the error surfaces, because on a read-only device the host keeps
+	// running past this failure and later plans build on this state.
+	pending := err
+	if err != nil && len(plan.Ops) == 0 {
 		return 0, err
 	}
+	err = nil
 	if plan.GCRuns > 0 {
 		t2 = s.chargeFirmware(t2, 1, "ftl.gc", s.gcMix(plan.Migrated))
 	}
@@ -757,13 +784,47 @@ func (s *System) flushEviction(e *sim.Engine, t sim.Time, ev *iclEviction) (sim.
 	}
 	var res fil.Result
 	hostData := fil.HostData(ev.LSPN, ev.Dirty, ev.Data, s.ICL.Config().SubSize)
-	if e != nil {
-		res, err = s.FIL.ExecuteOn(e, s.domainsFor(e).nand, t3, plan, hostData)
-	} else {
-		res, err = s.FIL.Execute(t3, plan, hostData)
+	execute := func(p ftl.Plan) (fil.Result, error) {
+		if e != nil {
+			return s.FIL.ExecuteOn(e, s.domainsFor(e).nand, t3, p, hostData)
+		}
+		return s.FIL.Execute(t3, p, hostData)
+	}
+	res, err = execute(plan)
+	// Injected flash faults surface as *fil.PlanFault: the executed prefix
+	// is committed, the certified chain disarmed, and the FTL re-places the
+	// stranded suffix (retiring the bad block) into a fresh uncertified
+	// plan. Bounded retries absorb back-to-back faults; once the recovered
+	// plan lands clean the certified chain re-arms. A recovery that itself
+	// runs out of space returns a partial plan plus an error: the partial
+	// plan still executes (lockstep, as above) and the error is surfaced
+	// once the flash has caught up.
+	for attempt := 0; err != nil && attempt < maxFaultRetries; attempt++ {
+		var pf *fil.PlanFault
+		if !errors.As(err, &pf) {
+			break
+		}
+		rplan, rerr := s.FTL.RecoverPlanFault(t3, plan, pf.Executed, pf.Err)
+		if rerr != nil {
+			if pending == nil {
+				pending = fmt.Errorf("core: plan-fault recovery: %w", rerr)
+			}
+			if len(rplan.Ops) == 0 {
+				return 0, pending
+			}
+		}
+		t3 = s.chargeFirmware(t3, 1, "ftl.recover", s.filScheduleMix(len(rplan.Ops)))
+		plan = rplan
+		res, err = execute(plan)
+		if err == nil && pending == nil {
+			s.FIL.AcceptCertified(s.FTL)
+		}
 	}
 	if err != nil {
 		return 0, err
+	}
+	if pending != nil {
+		return 0, pending
 	}
 	if res.HostWritesDone > 0 {
 		return res.HostWritesDone, nil

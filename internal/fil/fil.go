@@ -55,7 +55,34 @@ type Stats struct {
 	// CertifiedPlans counts plans executed through the certified fast path:
 	// construction-time certification honored, prevalidation walk skipped.
 	CertifiedPlans uint64
+	// PlanFaults counts plans stopped mid-execution by an injected flash
+	// fault (reported as *PlanFault, recovered by ftl.RecoverPlanFault).
+	PlanFaults uint64
 }
+
+// PlanFault reports a plan stopped mid-execution by an injected flash
+// fault. Unlike a structural error (which prevalidation guarantees arrives
+// with nothing issued), a fault interrupts real work: the plan's first
+// Executed ops claimed resources, transitioned block state and scheduled
+// their bookkeeping — only the op at index Executed (and everything after
+// it) did not happen. The executor disarms its certified chain before
+// returning one: the issuing FTL's model and the flash have diverged, and
+// no later certificate can be trusted until recovery completes and
+// AcceptCertified re-arms the binding. Err wraps the nand sentinel
+// (ErrProgramFail, ErrEraseFail, ErrUncorrectable) with address context.
+type PlanFault struct {
+	Executed int    // plan ops fully executed before the fault
+	Op       ftl.Op // the faulting op
+	Plane    int    // faulting plane for erases, -1 otherwise
+	Err      error  // wrapped nand fault sentinel
+}
+
+func (p *PlanFault) Error() string {
+	return fmt.Sprintf("fil: plan fault after %d ops: %v", p.Executed, p.Err)
+}
+
+// Unwrap exposes the underlying fault for errors.Is.
+func (p *PlanFault) Unwrap() error { return p.Err }
 
 // Result reports the timing of one executed plan.
 type Result struct {
@@ -253,6 +280,20 @@ func (f *FIL) sbSlot(sb int) *sbTime {
 	return &f.sbTimes[len(f.sbTimes)-1]
 }
 
+// planFault finalizes a mid-plan injected fault: the executed prefix's
+// batched bookkeeping is committed (those transactions really happened —
+// aborting would discard real claims and installs), the certified chain is
+// disarmed, and the typed report is built for the recovery orchestration.
+// batch is nil on the synchronous path, whose bookkeeping already applied.
+func (f *FIL) planFault(batch *nand.PlanBatch, executed int, op ftl.Op, plane int, err error) *PlanFault {
+	if batch != nil {
+		batch.Commit()
+	}
+	f.certIssuer = nil
+	f.stats.PlanFaults++
+	return &PlanFault{Executed: executed, Op: op, Plane: plane, Err: err}
+}
+
 // readBuf hands out a pooled page buffer for a plan pre-read.
 func (f *FIL) readBuf() []byte {
 	if f.readBufN == len(f.readBufs) {
@@ -304,7 +345,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 		}
 	}
 
-	for _, op := range plan.Ops {
+	for i, op := range plan.Ops {
 		switch op.Kind {
 		case ftl.OpRead:
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
@@ -314,6 +355,9 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			}
 			r, err := f.flash.Read(start, f.addrOf(op.Loc), buf)
 			if err != nil {
+				if nand.IsInjectedFault(err) {
+					return res, f.planFault(nil, i, op, -1, err)
+				}
 				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
 			}
 			f.stats.Reads++
@@ -339,6 +383,9 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			}
 			r, err := f.flash.Program(start, f.addrOf(op.Loc), data)
 			if err != nil {
+				if nand.IsInjectedFault(err) {
+					return res, f.planFault(nil, i, op, -1, err)
+				}
 				return res, fmt.Errorf("fil: plan program %v: %w", op.Loc, err)
 			}
 			f.stats.Programs++
@@ -352,6 +399,19 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			// all earlier plan ops touching this super-block (the
 			// migration reads) completed.
 			start := sim.MaxOf(now, f.sbSlot(op.SB).touched)
+			// Probe the fault draw for every plane before wiping any: the
+			// op must fail atomically or the planes issued ahead of a
+			// faulting one would already be erased when the FTL recovers
+			// under the assumption the whole erase never happened.
+			for plane := 0; plane < g.TotalPlanes(); plane++ {
+				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
+				if err := f.flash.ProbeErase(addr); err != nil {
+					if nand.IsInjectedFault(err) {
+						return res, f.planFault(nil, i, op, plane, err)
+					}
+					return res, fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err)
+				}
+			}
 			var done sim.Time
 			for plane := 0; plane < g.TotalPlanes(); plane++ {
 				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
@@ -524,11 +584,14 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 		}
 	}
 
-	// fail abandons the batch on a mid-plan error. On the certified path no
-	// op can fail by construction — the skipped walk is precisely what
-	// would have caught it — so tripping a per-op check there means the
-	// lockstep invariant itself broke, and continuing (or returning with
-	// the valid prefix already claimed) would corrupt state silently.
+	// fail abandons the batch on a mid-plan structural error. On the
+	// certified path no structural check can fail by construction — the
+	// skipped walk is precisely what would have caught it — so tripping a
+	// per-op check there means the lockstep invariant itself broke, and
+	// continuing (or returning with the valid prefix already claimed)
+	// would corrupt state silently. Injected faults never reach here:
+	// recoverable runtime events on either path, they route through
+	// planFault, which commits the executed prefix and disarms the chain.
 	fail := func(err error) error {
 		batch.Abort()
 		if certified {
@@ -551,7 +614,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 		ai++
 		return a
 	}
-	for _, op := range plan.Ops {
+	for i, op := range plan.Ops {
 		switch op.Kind {
 		case ftl.OpRead:
 			addr := addrFor(op.Loc)
@@ -562,6 +625,9 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			}
 			r, err := batch.Read(start, addr, buf)
 			if err != nil {
+				if nand.IsInjectedFault(err) {
+					return res, f.planFault(batch, i, op, -1, err)
+				}
 				return res, fail(fmt.Errorf("fil: plan read %v: %w", op.Loc, err))
 			}
 			f.stats.Reads++
@@ -588,6 +654,9 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			}
 			r, err := batch.Program(start, addr, data)
 			if err != nil {
+				if nand.IsInjectedFault(err) {
+					return res, f.planFault(batch, i, op, -1, err)
+				}
 				return res, fail(fmt.Errorf("fil: plan program %v: %w", op.Loc, err))
 			}
 			f.stats.Programs++
@@ -601,6 +670,22 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			// all earlier plan ops touching this super-block (the
 			// migration reads) completed.
 			start := sim.MaxOf(now, f.sbSlot(op.SB).touched)
+			// Probe the fault draw for every plane before wiping any: the
+			// op must fail atomically or the planes issued ahead of a
+			// faulting one would already be erased when the FTL recovers
+			// under the assumption the whole erase never happened.
+			// Translated inline, NOT via addrFor: the prevalidation cache
+			// holds one address per plane for the issue loop below, and
+			// consuming them here would shift every later op's address.
+			for plane := 0; plane < g.TotalPlanes(); plane++ {
+				addr := f.addrOf(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
+				if err := f.flash.ProbeErase(addr); err != nil {
+					if nand.IsInjectedFault(err) {
+						return res, f.planFault(batch, i, op, plane, err)
+					}
+					return res, fail(fmt.Errorf("fil: plan erase SB %d plane %d: %w", op.SB, plane, err))
+				}
+			}
 			var done sim.Time
 			for plane := 0; plane < g.TotalPlanes(); plane++ {
 				addr := addrFor(ftl.PageLoc{SB: op.SB, Page: 0, Plane: plane, Sub: plane})
@@ -693,7 +778,12 @@ func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Tim
 	addrs := f.addrScratch[:0]
 	for _, loc := range locs {
 		addr := f.addrOf(loc)
-		if err := f.flash.CheckRead(addr); err != nil {
+		// ProbeRead covers the structural checks AND the injected read-fault
+		// ladder: the fault draw is pure, so a batch whose every probe
+		// passes cannot fault at issue below — an uncorrectable read
+		// surfaces here, with no completion events queued and no dst
+		// written, same contract as a structural failure.
+		if err := f.flash.ProbeRead(addr); err != nil {
 			f.addrScratch = addrs
 			return now, fmt.Errorf("fil: read %v: %w", loc, err)
 		}

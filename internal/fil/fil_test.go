@@ -2,6 +2,7 @@ package fil
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"amber/internal/ftl"
@@ -665,5 +666,158 @@ func TestHostDataHelper(t *testing.T) {
 	// The zero value covers nothing.
 	if _, ok := (PlanData{}).Bytes(Key(0, 0)); ok {
 		t.Fatal("zero PlanData covered a key")
+	}
+}
+
+// newFaultStack is newStack with deterministic fault injection armed on the
+// flash and a spare-block reserve on the FTL.
+func newFaultStack(t *testing.T, faults nand.FaultConfig) (*FIL, *ftl.FTL, *nand.Flash) {
+	t.Helper()
+	g := nand.Geometry{
+		Channels: 2, PackagesPerChannel: 1, DiesPerPackage: 1, PlanesPerDie: 2,
+		BlocksPerPlane: 8, PagesPerBlock: 4, PageSize: 512,
+	}
+	tim := nand.Timing{
+		ReadFast: sim.FromMicroseconds(60), ReadSlow: sim.FromMicroseconds(105),
+		ProgFast: sim.FromMicroseconds(820), ProgSlow: sim.FromMicroseconds(2250),
+		Erase: sim.FromMicroseconds(3000), BusMTps: 333, CmdCycles: sim.FromNanoseconds(100),
+	}
+	fl, err := nand.New(g, tim, nand.Power{}, nand.MLC, nand.Options{TrackData: true, Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ftl.New(ftl.Config{
+		Geometry: g, OPRatio: 0.25, GCFreeThreshold: 2, PartialUpdate: true,
+		SpareBlocks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(fl, tr.Address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tr, fl
+}
+
+// TestCertifiedChainFaultDisarm proves the certified fast path and fault
+// injection compose safely: an injected program failure mid-plan surfaces
+// as *PlanFault, disarms the certified chain (so every later plan —
+// including the recovery plan and fresh certified plans — takes the
+// walking slow path), and only an explicit AcceptCertified after clean
+// recovery re-arms the fast path.
+func TestCertifiedChainFaultDisarm(t *testing.T) {
+	f, tr, fl := newFaultStack(t, nand.FaultConfig{Seed: 5, ProgramFailProb: 0.02})
+	if err := f.AcceptCertified(tr); err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	doms := chDomsFor(t, e, fl)
+	dirty := []bool{true, true, true, true}
+	payload := make([]byte, 4*512)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	// Overwrite the volume until a plan draws a program fault. Every clean
+	// plan before it must ride the certified fast path.
+	var (
+		pf        *PlanFault
+		faulty    ftl.Plan
+		faultLSPN int64
+		now       sim.Time
+	)
+	user := tr.UserSuperPages()
+	for i := 0; i < 10000; i++ {
+		lspn := int64(i) % user
+		plan, err := tr.Write(now, lspn, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Cert.Certified() {
+			t.Fatalf("write %d: plan not certified", i)
+		}
+		certBefore := f.Stats().CertifiedPlans
+		_, err = f.ExecuteOn(e, doms, now, plan, HostData(lspn, dirty, payload, 512))
+		e.Run()
+		if err == nil {
+			if got := f.Stats().CertifiedPlans; got != certBefore+1 {
+				t.Fatalf("write %d: clean certified plan walked (CertifiedPlans %d -> %d)", i, certBefore, got)
+			}
+			now += sim.FromMicroseconds(5000)
+			continue
+		}
+		if !errors.As(err, &pf) {
+			t.Fatalf("write %d: non-fault error: %v", i, err)
+		}
+		// The plan's ops live in the FTL's scratch buffer; recovery below
+		// must see them as the fault left them.
+		faulty = plan
+		faultLSPN = lspn
+		break
+	}
+	if pf == nil {
+		t.Fatal("no program fault drawn in 10000 writes; raise ProgramFailProb")
+	}
+	if !errors.Is(pf.Err, nand.ErrProgramFail) {
+		t.Fatalf("fault cause = %v, want ErrProgramFail", pf.Err)
+	}
+	if pf.Executed < 0 || pf.Executed >= len(faulty.Ops) {
+		t.Fatalf("Executed %d outside plan of %d ops", pf.Executed, len(faulty.Ops))
+	}
+	if got := f.Stats().PlanFaults; got != 1 {
+		t.Fatalf("PlanFaults = %d, want 1", got)
+	}
+
+	// Recovery: the FTL retires the bad block and re-places the stranded
+	// suffix into an uncertified plan — which must walk.
+	certAtFault := f.Stats().CertifiedPlans
+	rplan, err := tr.RecoverPlanFault(now, faulty, pf.Executed, pf.Err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rplan.Cert.Certified() {
+		t.Fatal("recovery plan carries a certificate")
+	}
+	if _, err := f.ExecuteOn(e, doms, now, rplan, HostData(faultLSPN, dirty, payload, 512)); err != nil {
+		t.Fatalf("recovery plan rejected: %v", err)
+	}
+	e.Run()
+	if tr.Stats().Retirements == 0 {
+		t.Fatal("program fault retired no block")
+	}
+
+	// The chain is still disarmed: a fresh, validly-certified plan walks.
+	now += sim.FromMicroseconds(5000)
+	plan, err := tr.Write(now, 0, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Cert.Certified() {
+		t.Fatal("post-recovery plan not certified")
+	}
+	if _, err := f.ExecuteOn(e, doms, now, plan, HostData(0, dirty, payload, 512)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := f.Stats().CertifiedPlans; got != certAtFault {
+		t.Fatalf("disarmed chain took the fast path (CertifiedPlans %d -> %d)", certAtFault, got)
+	}
+
+	// AcceptCertified re-arms: the next certified plan rides fast again.
+	if err := f.AcceptCertified(tr); err != nil {
+		t.Fatal(err)
+	}
+	now += sim.FromMicroseconds(5000)
+	plan, err = tr.Write(now, 1, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ExecuteOn(e, doms, now, plan, HostData(1, dirty, payload, 512)); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if got := f.Stats().CertifiedPlans; got != certAtFault+1 {
+		t.Fatalf("re-armed chain did not take the fast path (CertifiedPlans %d -> %d)", certAtFault, got)
 	}
 }

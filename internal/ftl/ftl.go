@@ -13,11 +13,18 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"amber/internal/nand"
 	"amber/internal/sim"
 )
+
+// ErrReadOnly marks the device's graceful-degradation end state: grown bad
+// blocks have exhausted the spare reserve, so new host writes are refused
+// (wrapped with this sentinel) while reads keep working. Matched with
+// errors.Is.
+var ErrReadOnly = errors.New("ftl: device is read-only (grown bad blocks exhausted spare reserve)")
 
 // GCPolicy selects the garbage-collection victim scoring.
 type GCPolicy int
@@ -57,6 +64,10 @@ type Config struct {
 	// WearLevelDelta triggers static wear-leveling when the spread between
 	// max and min block erase counts exceeds it. Zero disables.
 	WearLevelDelta uint32
+	// SpareBlocks is the number of grown-bad-block retirements the device
+	// absorbs before transitioning to read-only. Zero selects the default
+	// reservation, max(1, super-blocks/16).
+	SpareBlocks int
 }
 
 // Validate reports descriptive configuration errors.
@@ -73,6 +84,9 @@ func (c Config) Validate() error {
 	minSBs := c.GCFreeThreshold + 2
 	if c.Geometry.BlocksPerPlane < minSBs {
 		return fmt.Errorf("ftl: geometry has %d super-blocks, need >= %d", c.Geometry.BlocksPerPlane, minSBs)
+	}
+	if c.SpareBlocks < 0 {
+		return fmt.Errorf("ftl: SpareBlocks must be >= 0, got %d", c.SpareBlocks)
 	}
 	return nil
 }
@@ -214,6 +228,9 @@ type Stats struct {
 	RMWReads       uint64 // pre-reads caused by partial writes without the optimization
 	PartialRemaps  uint64 // sub-page writes served by the partial-update hashmap
 	WearLevelMoves uint64
+	Retirements    uint64 // super-blocks retired as grown bad blocks
+	Replans        uint64 // recovery plans built after injected plan faults
+	LostSubs       uint64 // sub-pages unmapped after uncorrectable reads
 }
 
 // WAF returns the write-amplification factor.
@@ -231,6 +248,10 @@ type superBlock struct {
 	lastWrite  sim.Time
 	closed     bool
 	free       bool
+	// retired marks a grown bad block: never erased, programmed or chosen
+	// as a GC/wear-leveling victim again. Still-valid sub-pages stay
+	// readable until recovery migrates them out.
+	retired bool
 }
 
 // FTL is the page-level translator. Not safe for concurrent use.
@@ -255,6 +276,14 @@ type FTL struct {
 	userLSPNs int64
 	stats     Stats
 	inGC      bool // reentrancy guard: GC's own writes must not trigger GC
+
+	// spares is the grown-bad-block budget; retireOrder lists retired
+	// super-blocks in retirement order (deterministic, rendered by the
+	// golden tests); readOnly latches once retirements exceed the budget
+	// and gates new host writes (recovery and reads proceed).
+	spares      int
+	retireOrder []int
+	readOnly    bool
 
 	// planSeq numbers the plans this FTL has certified. The FTL mutates its
 	// mapping and append-pointer state eagerly at Write time, so plan N is
@@ -309,6 +338,13 @@ func New(cfg Config) (*FTL, error) {
 		f.sbs[i] = superBlock{nextPage: make([]int32, f.subCount), free: true}
 		f.freeSB = append(f.freeSB, i)
 	}
+	f.spares = cfg.SpareBlocks
+	if f.spares == 0 {
+		f.spares = f.sbCount / 16
+		if f.spares < 1 {
+			f.spares = 1
+		}
+	}
 	return f, nil
 }
 
@@ -330,6 +366,26 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // FreeSuperBlocks returns the current reserve of erased super-blocks.
 func (f *FTL) FreeSuperBlocks() int { return len(f.freeSB) }
+
+// ReadOnly reports whether grown bad blocks exhausted the spare reserve
+// and the device now refuses new host writes.
+func (f *FTL) ReadOnly() bool { return f.readOnly }
+
+// SpareHeadroom returns how many more super-block retirements the device
+// absorbs before going read-only (floored at zero).
+func (f *FTL) SpareHeadroom() int {
+	if h := f.spares - len(f.retireOrder); h > 0 {
+		return h
+	}
+	return 0
+}
+
+// RetiredSuperBlocks returns the grown bad blocks in retirement order.
+func (f *FTL) RetiredSuperBlocks() []int {
+	out := make([]int, len(f.retireOrder))
+	copy(out, f.retireOrder)
+	return out
+}
 
 // PlanSeq returns the sequence number the next certified plan will carry.
 // Executors binding to this FTL (fil.FIL.AcceptCertified) record it as the
@@ -454,7 +510,14 @@ func (f *FTL) allocOpen(now sim.Time, plan *Plan) error {
 		f.inGC = false
 	}
 	if len(f.freeSB) == 0 {
-		return fmt.Errorf("ftl: no free super-blocks (device full beyond OP)")
+		if len(f.retireOrder) > 0 {
+			// Retirements permanently shrank the pool: this exhaustion
+			// cannot resolve (GC already found nothing reclaimable), so
+			// the device latches read-only even if the spare budget was
+			// not formally overrun — effective spare exhaustion.
+			f.readOnly = true
+		}
+		return fmt.Errorf("%w: no free super-blocks (device full beyond OP)", ErrReadOnly)
 	}
 	f.openSB = f.popFreeSB()
 	sb := &f.sbs[f.openSB]
@@ -539,6 +602,9 @@ func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) 
 func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
 	plan := Plan{Ops: f.scratchOps[:0]}
 	defer func() { f.scratchOps = plan.Ops[:0] }()
+	if f.readOnly {
+		return plan, fmt.Errorf("%w: write of LSPN %d refused", ErrReadOnly, lspn)
+	}
 	if err := f.checkLSPN(lspn); err != nil {
 		return plan, err
 	}
@@ -564,12 +630,17 @@ func (f *FTL) Write(now sim.Time, lspn int64, dirty []bool) (Plan, error) {
 
 	// From here on plan construction mutates the mapping model (appendSub
 	// installs mappings and advances append pointers before a later sub can
-	// fail), so a mid-plan error leaves the model diverged from any flash
-	// that never executes the partial plan — and since that plan never
-	// runs, the flash epoch cannot expose the divergence. Burn this plan's
-	// sequence number on every error return: the gap breaks the executor's
-	// chain at its sequence check, so every later plan takes the validation
-	// walk instead of a certified fast path built on a stale model.
+	// fail), so a mid-plan error leaves the model ahead of the flash. Two
+	// defenses keep that from ever being observable. First, every mutation
+	// appends its op to the plan before the next mutation can fail, so the
+	// partial plan returned alongside the error replays exactly the
+	// mutations made — the caller (core.flushEviction) executes it to
+	// restore lockstep before surfacing the error; this matters on a
+	// degrading device, where allocation failures (ErrReadOnly) are
+	// survivable outcomes the host keeps running past, not run-enders.
+	// Second, burn this plan's sequence number on every error return: the
+	// gap breaks the executor's chain at its sequence check, so every later
+	// plan takes the validation walk instead of a certified fast path.
 	// certify() consumes the number on success and clears the burn.
 	burn := true
 	defer func() {

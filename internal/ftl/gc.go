@@ -86,7 +86,7 @@ func (f *FTL) selectVictim(now sim.Time) int {
 	totalSubs := float64(f.pagesPerSB * f.subCount)
 	for sb := range f.sbs {
 		blk := &f.sbs[sb]
-		if blk.free || sb == f.openSB {
+		if blk.free || blk.retired || sb == f.openSB {
 			continue
 		}
 		written := 0
@@ -133,7 +133,7 @@ func (f *FTL) maybeWearLevel(now sim.Time, plan *Plan) {
 	var coldestTime sim.Time
 	for sb := range f.sbs {
 		blk := &f.sbs[sb]
-		if blk.free || sb == f.openSB || blk.validSubs == 0 {
+		if blk.free || blk.retired || sb == f.openSB || blk.validSubs == 0 {
 			continue
 		}
 		// Only blocks with below-median wear hold back the spread.

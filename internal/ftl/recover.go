@@ -1,0 +1,291 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"amber/internal/nand"
+	"amber/internal/sim"
+)
+
+// retireSB marks sb as a grown bad block: it leaves the free pool and the
+// open slot, is never erased, programmed or selected as a victim again,
+// and counts against the spare reserve. Once retirements exceed the
+// reserve the device latches read-only. The block is NOT erased — retired
+// cells keep whatever the flash last programmed, so still-valid sub-pages
+// remain readable until recovery migrates them out.
+func (f *FTL) retireSB(sb int) {
+	blk := &f.sbs[sb]
+	if blk.retired {
+		return
+	}
+	blk.retired = true
+	blk.free = false
+	blk.closed = true
+	for i, fs := range f.freeSB {
+		if fs == sb {
+			f.freeSB = append(f.freeSB[:i], f.freeSB[i+1:]...)
+			break
+		}
+	}
+	if f.openSB == sb {
+		f.openSB = -1
+	}
+	f.retireOrder = append(f.retireOrder, sb)
+	f.stats.Retirements++
+	if len(f.retireOrder) > f.spares {
+		f.readOnly = true
+	}
+}
+
+// loseSub unmaps the forward entry fi after an uncorrectable read: the
+// current mapping (which points at the location the in-flight plan was
+// migrating the data to) is dropped, so the super-page reads back as
+// unmapped zeroes from now on — data loss, surfaced honestly instead of
+// serving stale bytes.
+func (f *FTL) loseSub(fi int64) {
+	packed := f.fwd[fi]
+	if packed < 0 {
+		return
+	}
+	sub := int(fi % int64(f.subCount))
+	loc := f.unpackLoc(packed, sub)
+	pi := f.physIndex(loc)
+	if f.valid[pi] {
+		f.valid[pi] = false
+		f.rev[pi] = -1
+		f.sbs[loc.SB].validSubs--
+	}
+	f.fwd[fi] = -1
+	f.stats.LostSubs++
+}
+
+// RecoverPlanFault absorbs an injected flash fault that stopped a plan
+// mid-execution and returns the recovery plan that restores model/flash
+// lockstep. plan is the failed plan, executed the number of its ops that
+// completed before the fault (the op at index executed is the one that
+// drew it, claiming and mutating nothing), cause the fault error.
+//
+// Program failure: the target super-block is retired and every op the
+// fault stranded is re-placed — suffix writes aimed at the retired block
+// get fresh allocations (invalidating their stale mappings), then the
+// block's surviving valid sub-pages are migrated out. Erase failure: the
+// block is retired out of the free pool; the suffix continues without it.
+// Uncorrectable read: the sub-page is unmapped (data loss) and its paired
+// migration write degrades to a padding program — the physical page is
+// still burned so the target block's append pointer advances in lockstep
+// on the model and the flash, which strict in-order programming requires.
+//
+// GC rewrites in the suffix whose source reads executed before the fault
+// are re-read from the original location (those pages are physically
+// intact: a plan always orders a victim's erase after its migration
+// reads, so an executed read's erase is still in the suffix). The
+// returned plan is uncertified — the executor walks it — and its Ops are
+// freshly allocated (recovery is the cold path and must not alias the
+// scratch buffer the failed plan borrowed).
+func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause error) (Plan, error) {
+	if executed < 0 || executed >= len(plan.Ops) {
+		return Plan{}, fmt.Errorf("ftl: recover with executed %d outside plan of %d ops", executed, len(plan.Ops))
+	}
+	failed := plan.Ops[executed]
+	f.stats.Replans++
+
+	lostFi := int64(-1)
+	switch {
+	case errors.Is(cause, nand.ErrProgramFail):
+		if failed.Kind != OpWrite {
+			return Plan{}, fmt.Errorf("ftl: program fault on %v op", failed.Kind)
+		}
+		f.retireSB(failed.Loc.SB)
+	case errors.Is(cause, nand.ErrEraseFail):
+		if failed.Kind != OpErase {
+			return Plan{}, fmt.Errorf("ftl: erase fault on %v op", failed.Kind)
+		}
+		f.retireSB(failed.SB)
+	case errors.Is(cause, nand.ErrUncorrectable):
+		if failed.Kind != OpRead {
+			return Plan{}, fmt.Errorf("ftl: read fault on %v op", failed.Kind)
+		}
+		lostFi = f.fwdIndex(failed.LSPN, failed.Loc.Sub)
+		f.loseSub(lostFi)
+	default:
+		return Plan{}, fmt.Errorf("ftl: unrecoverable plan failure: %w", cause)
+	}
+
+	suffix := plan.Ops[executed:]
+	out := Plan{Ops: make([]Op, 0, len(suffix)+8)}
+
+	// A mega-plan can chain a logical sub-page through several physical
+	// homes: migrated from its pre-plan page to a fresh block, that block
+	// later collected in the SAME plan, migrated again, and so on. When a
+	// link in the chain lands on the block this fault retired, every later
+	// read of the chain points at a page whose programming write will
+	// never burn. So pre-scan the plan per sub-page for the two places the
+	// data is still physically real: the last write that EXECUTED before
+	// the fault (programmed, but the executor's buffer is gone), else the
+	// chain's original pre-plan source (intact — its erase follows the
+	// chain's first write in plan order, so it is still in the suffix). A
+	// chain rooted at a host write of this flush has no read source at
+	// all; its data comes from hostData.
+	type fiInfo struct {
+		origin    PageLoc // first read loc in the plan (pre-plan home)
+		lastExec  PageLoc // last write loc in the executed prefix
+		hasOrigin bool
+		hasExec   bool
+		touched   bool
+	}
+	info := make(map[int64]*fiInfo)
+	for idx, op := range plan.Ops {
+		if op.Kind == OpErase {
+			continue
+		}
+		fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
+		in := info[fi]
+		if in == nil {
+			in = &fiInfo{}
+			info[fi] = in
+		}
+		switch op.Kind {
+		case OpRead:
+			if !in.touched {
+				in.origin, in.hasOrigin = op.Loc, true
+			}
+		case OpWrite:
+			if idx < executed {
+				in.lastExec, in.hasExec = op.Loc, true
+			}
+		}
+		in.touched = true
+	}
+
+	emitted := make(map[int64]bool)  // fi whose data a recovery read loads
+	broken := make(map[PageLoc]bool) // pages whose programming write was displaced
+
+	// ensureData emits the read that loads fi's sub-page into the
+	// executor's buffers, if one is needed and a physically-programmed
+	// source exists. Returns false for host-rooted chains: no read source,
+	// the write must pull from hostData instead (GC flag cleared).
+	ensureData := func(op Op, fi int64) bool {
+		if emitted[fi] {
+			return true
+		}
+		in := info[fi]
+		if in == nil {
+			return false
+		}
+		src := in.origin
+		if in.hasExec {
+			src = in.lastExec
+		} else if !in.hasOrigin {
+			return false
+		}
+		out.Ops = append(out.Ops, Op{Kind: OpRead, Loc: src, LSPN: op.LSPN})
+		emitted[fi] = true
+		return true
+	}
+
+	// Writes stranded on the retired block are re-placed with fresh
+	// allocations — but only after the whole verbatim suffix has been
+	// emitted. Appending them mid-walk would violate flash ordering two
+	// ways: a fresh allocation can land on a free-pool block whose erase
+	// is still later in the suffix (programming a block before erasing
+	// it), and it can land on the open block at a page past verbatim
+	// suffix writes that would then program behind it (out-of-order
+	// pages). Their source reads DO stay in place: a read must precede
+	// any later suffix erase of the block it reads.
+	type displacedWrite struct {
+		op Op
+		gc bool
+	}
+	var moves []displacedWrite
+
+	for j, op := range suffix {
+		switch op.Kind {
+		case OpRead:
+			if j == 0 && lostFi >= 0 {
+				continue // the uncorrectable read itself
+			}
+			fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
+			if broken[op.Loc] {
+				// The write that was to program this page was displaced
+				// onto the retired block; load from the still-intact
+				// source instead (or nothing, for host-rooted chains —
+				// the paired write degrades to a hostData write below).
+				ensureData(op, fi)
+				continue
+			}
+			out.Ops = append(out.Ops, op)
+			emitted[fi] = true
+		case OpWrite:
+			fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
+			if f.sbs[op.Loc.SB].retired {
+				broken[op.Loc] = true
+				// Re-place only a write that still owns fi's live
+				// mapping; one superseded later in the plan (or whose
+				// data an uncorrectable read lost) needs neither a
+				// mapping nor a burn on a block nothing programs again.
+				if packed := f.fwd[fi]; packed >= 0 && f.unpackLoc(packed, op.Loc.Sub) == op.Loc {
+					dataOK := !op.GC || ensureData(op, fi)
+					moves = append(moves, displacedWrite{op: op, gc: op.GC && dataOK})
+				}
+				continue
+			}
+			if fi == lostFi {
+				// Padding program: the data is gone but the page must
+				// still burn, or the live target block's next-page
+				// pointer would diverge between model and flash.
+				out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN, GC: true})
+				continue
+			}
+			if op.GC && !ensureData(op, fi) {
+				// Host-rooted chain whose read source was displaced:
+				// re-program from the flush's host data.
+				out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN})
+				continue
+			}
+			out.Ops = append(out.Ops, op)
+		case OpErase:
+			if f.sbs[op.SB].retired {
+				continue
+			}
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	for i, m := range moves {
+		if err := f.appendSub(now, m.op.LSPN, m.op.Loc.Sub, m.gc, &out); err != nil {
+			// No space to re-place the remaining stranded writes: their
+			// mappings point at pages the fault kept the flash from ever
+			// programming, so unmap them — honest data loss — instead of
+			// leaving phantom locations a later read would trip over. The
+			// partial plan is still returned: the caller must execute it
+			// to bring the flash in lockstep with the mutations already
+			// made (see Write's contract on mid-plan errors).
+			f.readOnly = true
+			for _, rest := range moves[i:] {
+				f.loseSub(f.fwdIndex(rest.op.LSPN, rest.op.Loc.Sub))
+			}
+			return out, err
+		}
+	}
+
+	// With the stranded suffix re-placed, whatever is still valid in a
+	// block retired by this fault was physically programmed before the
+	// fault — migrate it to safety. (Erase-failure retirements are always
+	// empty: a victim's migration precedes its erase in plan order.)
+	var retired int
+	switch {
+	case errors.Is(cause, nand.ErrProgramFail):
+		retired = failed.Loc.SB
+	case errors.Is(cause, nand.ErrEraseFail):
+		retired = failed.SB
+	default:
+		return out, nil
+	}
+	if f.sbs[retired].validSubs > 0 {
+		if err := f.migrateSuperBlock(now, retired, &out, false); err != nil {
+			f.readOnly = true
+			return out, err
+		}
+	}
+	return out, nil
+}

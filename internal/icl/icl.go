@@ -168,6 +168,13 @@ type Cache struct {
 	seqNext   int64
 	seqStreak int
 
+	// preferClean restricts victim selection to clean frames whenever any
+	// exist in the set. Core enables it once the FTL latches read-only:
+	// dirty lines can never be written back then, so evicting one would
+	// fail the read that needed the frame — pinning them keeps reads
+	// serving through the clean frames instead.
+	preferClean bool
+
 	// scratchEv is the reusable eviction record returned by Fill/Write:
 	// the submit path consumes it synchronously, so one preallocated
 	// buffer per cache avoids a Dirty-mask (and Data) copy per eviction.
@@ -233,6 +240,11 @@ func (c *Cache) find(lspn int64) *line {
 	return nil
 }
 
+// SetPreferCleanVictims toggles degraded-mode victim selection: clean
+// frames are evicted before dirty ones regardless of the replacement
+// policy's preference. See the preferClean field.
+func (c *Cache) SetPreferCleanVictims(on bool) { c.preferClean = on }
+
 // victim picks the replacement frame in lspn's set, preferring an empty or
 // fully clean-invalid frame.
 func (c *Cache) victim(lspn int64) *line {
@@ -240,6 +252,17 @@ func (c *Cache) victim(lspn int64) *line {
 	for _, ln := range set {
 		if ln.lspn < 0 {
 			return ln
+		}
+	}
+	if c.preferClean {
+		clean := make([]*line, 0, len(set))
+		for _, ln := range set {
+			if !lineDirty(ln) {
+				clean = append(clean, ln)
+			}
+		}
+		if len(clean) > 0 {
+			set = clean
 		}
 	}
 	switch c.cfg.Replacement {
@@ -299,6 +322,16 @@ func (c *Cache) evictInto(ln *line, lspn int64) *Eviction {
 	ln.inserted = c.tick
 	ln.lastUse = c.tick
 	return ev
+}
+
+// lineDirty reports whether any sub of the frame is dirty.
+func lineDirty(ln *line) bool {
+	for _, d := range ln.dirty {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Cache) touch(ln *line) {
@@ -404,6 +437,13 @@ func (c *Cache) Fill(lspn int64, subs []int, data []byte, prefetched bool) (*Evi
 	var ev *Eviction
 	if ln == nil {
 		ln = c.victim(lspn)
+		if c.preferClean && ln.lspn >= 0 && lineDirty(ln) {
+			// Degraded read-around: every candidate frame holds dirty
+			// data that can never flush on a read-only device. The
+			// caller's buffer already has the fetched bytes; serve them
+			// uncached rather than evict what cannot be written back.
+			return nil, nil
+		}
 		ev = c.evictInto(ln, lspn)
 	}
 	ln.prefetched = ln.prefetched || prefetched

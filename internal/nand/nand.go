@@ -399,6 +399,12 @@ type Flash struct {
 
 	rng *sim.RNG
 
+	// faults draws injected program/erase/read failures; nil when fault
+	// injection is disabled, so the hot paths pay one nil check. All draws
+	// and stat updates happen in serial sections (issue time), never inside
+	// deferred completion events.
+	faults *faultModel
+
 	// Activity counters and dynamic energy are accumulated per channel and
 	// merged (in channel order, so float sums stay deterministic) by
 	// Stats/EnergyJoules: a channel's deferred completion events may then
@@ -457,6 +463,9 @@ type Options struct {
 	TrackData bool
 	// Seed drives the ISPP jitter stream.
 	Seed uint64
+	// Faults configures deterministic fault injection. The zero value
+	// disables it.
+	Faults FaultConfig
 }
 
 // New constructs a Flash from a validated geometry, timing and power model.
@@ -470,6 +479,9 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 	if cell.LatencyClasses() == 0 {
 		return nil, fmt.Errorf("nand: invalid cell type %v", cell)
 	}
+	if err := opt.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	f := &Flash{
 		geo:       geo,
 		tim:       tim,
@@ -477,6 +489,9 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 		cell:      cell,
 		trackData: opt.TrackData,
 		rng:       sim.NewRNG(opt.Seed ^ 0xa3b1), // decorrelate from other consumers of the same seed
+	}
+	if opt.Faults.Enabled() {
+		f.faults = newFaultModel(opt.Faults, tim)
 	}
 	f.channels = make([]*sim.Resource, geo.Channels)
 	for i := range f.channels {
@@ -619,20 +634,21 @@ func (f *Flash) CheckRead(addr Address) error {
 		return err
 	}
 	if !f.blocks[f.geo.BlockIndex(addr)].written[addr.Page] {
-		return fmt.Errorf("nand: read of unwritten page %v", addr)
+		return fmt.Errorf("%w %v", ErrUnwritten, addr)
 	}
 	return nil
 }
 
 // claimRead reserves the read's three phases: the command/address phase
 // occupies the channel briefly, then the die runs the array read, then the
-// data streams back over the channel. Shared by Read and ReadDeferred so
-// the two paths can never diverge in timing.
-func (f *Flash) claimRead(now sim.Time, addr Address) (cmdStart, ready, done sim.Time) {
+// data streams back over the channel. extra stretches the die phase with
+// the read-retry ladder's cost (zero when the first rung succeeded). Shared
+// by Read and ReadDeferred so the two paths can never diverge in timing.
+func (f *Flash) claimRead(now sim.Time, addr Address, extra sim.Duration) (cmdStart, ready, done sim.Time) {
 	ch := f.channels[addr.Channel]
 	die := f.dies[f.geo.DieIndex(addr)]
 	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
-	_, ready = die.Claim(cmdEnd, f.readLatency(addr.Page))
+	_, ready = die.Claim(cmdEnd, f.readLatency(addr.Page)+extra)
 	_, done = ch.Claim(ready, f.tim.XferTime(f.geo.PageSize))
 	return cmdStart, ready, done
 }
@@ -644,7 +660,11 @@ func (f *Flash) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	cmdStart, ready, done := f.claimRead(now, addr)
+	extra, err := f.readFaultExtra(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	f.accountRead(addr.Channel)
 	f.copyOut(f.geo.PageIndex(addr), dst)
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
@@ -757,7 +777,11 @@ func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	cmdStart, ready, done := f.claimRead(now, addr)
+	extra, err := f.readFaultExtra(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr, extra)
 
 	op := f.acquireReadCompletion(addr.Channel)
 	op.dst = dst
@@ -789,7 +813,11 @@ func (f *Flash) ReadDeferredEager(e *sim.Engine, dom sim.DomainID, now sim.Time,
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	cmdStart, ready, done := f.claimRead(now, addr)
+	extra, err := f.readFaultExtra(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	f.copyOut(f.geo.PageIndex(addr), dst)
 	op := f.acquireReadCompletion(addr.Channel) // accounting-only carrier: dst nil, staged false
 	e.AtIn(dom, done, op.fn)
@@ -996,7 +1024,11 @@ func (b *PlanBatch) Read(now sim.Time, addr Address, dst []byte) (Result, error)
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	cmdStart, ready, done := f.claimRead(now, addr)
+	extra, err := f.readFaultExtra(addr)
+	if err != nil {
+		return Result{}, err
+	}
+	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	f.copyOut(f.geo.PageIndex(addr), dst)
 	b.die(addr, done).nReads++
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
@@ -1010,6 +1042,9 @@ func (b *PlanBatch) Read(now sim.Time, addr Address, dst []byte) (Result, error)
 func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, error) {
 	f := b.f
 	if err := f.CheckProgram(addr); err != nil {
+		return Result{}, err
+	}
+	if err := f.drawProgramFault(addr); err != nil {
 		return Result{}, err
 	}
 	xferStart, done := f.claimProgram(now, addr)
@@ -1052,6 +1087,9 @@ func (b *PlanBatch) Erase(now sim.Time, addr Address) (Result, error) {
 	if err := f.geo.CheckAddress(addr); err != nil {
 		return Result{}, err
 	}
+	if err := f.drawEraseFault(addr); err != nil {
+		return Result{}, err
+	}
 	bi := f.geo.BlockIndex(addr)
 	cmdStart, done := f.claimErase(now, addr)
 	if !f.trackData {
@@ -1079,13 +1117,13 @@ func (b *PlanBatch) Commit() {
 }
 
 // Abort discards the batched bookkeeping without scheduling it, for a
-// caller abandoning a plan after a mid-plan error. Resource claims and
-// functional block-state transitions made through the batch are not rolled
-// back — fil.ExecuteOn's walked path never reaches this state with any
-// issued (whole-plan prevalidation), and its certified path treats a
-// mid-plan failure as a broken invariant and panics right after the Abort
-// rather than continue with claims outstanding — and pending-install
-// registrations of the aborted records are withdrawn.
+// caller abandoning a plan whose error preceded any issued transaction.
+// Resource claims and functional block-state transitions made through the
+// batch are not rolled back — which is why fil.ExecuteOn only Aborts for
+// structural errors its prevalidation guarantees arrive with nothing
+// issued; a mid-plan injected fault instead Commits the executed prefix
+// (those transactions really happened) and reports a PlanFault. Pending-
+// install registrations of the aborted records are withdrawn.
 func (b *PlanBatch) Abort() {
 	for _, di := range b.used {
 		db := b.dies[di]
@@ -1168,10 +1206,10 @@ func (f *Flash) CheckProgram(addr Address) error {
 	}
 	blk := &f.blocks[f.geo.BlockIndex(addr)]
 	if blk.written[addr.Page] {
-		return fmt.Errorf("nand: program of already-written page %v (erase-before-write)", addr)
+		return fmt.Errorf("%w: %v", ErrOverwrite, addr)
 	}
 	if int32(addr.Page) != blk.nextPage {
-		return fmt.Errorf("nand: out-of-order program of page %d in block (next is %d)", addr.Page, blk.nextPage)
+		return fmt.Errorf("%w: page %d at %v (next is %d)", ErrOutOfOrder, addr.Page, addr, blk.nextPage)
 	}
 	return nil
 }
@@ -1217,12 +1255,24 @@ func (f *Flash) claimProgram(now sim.Time, addr Address) (xferStart, done sim.Ti
 	return xferStart, done
 }
 
-// checkNoPendingInstalls panics when a synchronous tracked-data mutation
-// targets a channel with deferred installs still in flight: the
-// synchronous path applies its arena update immediately, while the pending
-// batch would replay staged bytes over it later — silent data corruption.
-// Mixing the paths on one channel is only legal with the engine drained
-// (the map is then empty), so the guard costs one length check.
+// syncMutateErr reports (wrapping ErrDeferredInFlight) when a synchronous
+// tracked-data mutation targets a channel with deferred installs still in
+// flight: the synchronous path applies its arena update immediately, while
+// the pending batch would replay staged bytes over it later — silent data
+// corruption. Mixing the paths on one channel is only legal with the engine
+// drained (the map is then empty), so the guard costs one length check.
+// Public entry points return this error before touching anything;
+// checkNoPendingInstalls backs it as the internal invariant.
+func (f *Flash) syncMutateErr(ch int) error {
+	if f.pendingProg != nil && len(f.pendingProg[ch]) > 0 {
+		return fmt.Errorf("%w on channel %d (drain the engine first)", ErrDeferredInFlight, ch)
+	}
+	return nil
+}
+
+// checkNoPendingInstalls is the internal invariant behind syncMutateErr:
+// the synchronous arena mutation paths assert it immediately before
+// writing, unreachable once the public entry points return the error.
 func (f *Flash) checkNoPendingInstalls(ch int) {
 	if f.pendingProg != nil && len(f.pendingProg[ch]) > 0 {
 		panic("nand: synchronous program/erase while deferred installs are in flight on the channel (drain the engine first)")
@@ -1233,15 +1283,21 @@ func (f *Flash) checkNoPendingInstalls(ch int) {
 // page must be the next in-order page of its block (no overwrite, ascending
 // program order within a block for MLC/TLC disturb management). While a
 // deferred plan's installs are in flight on the channel, synchronous
-// programs are illegal (checkNoPendingInstalls).
+// programs fail with ErrDeferredInFlight.
 func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error) {
 	if err := f.CheckProgram(addr); err != nil {
 		return Result{}, err
 	}
-	f.checkNoPendingInstalls(addr.Channel)
+	if err := f.syncMutateErr(addr.Channel); err != nil {
+		return Result{}, err
+	}
+	if err := f.drawProgramFault(addr); err != nil {
+		return Result{}, err
+	}
 	xferStart, done := f.claimProgram(now, addr)
 	f.accountProgram(addr.Channel)
 	if f.trackData && data != nil {
+		f.checkNoPendingInstalls(addr.Channel)
 		f.data[addr.Channel].put(f.chanLocal(f.geo.PageIndex(addr)), data)
 	}
 	return Result{Start: xferStart, Ready: done, Done: done}, nil
@@ -1266,17 +1322,23 @@ func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time)
 }
 
 // Erase erases the block containing addr (its Page field is ignored).
-// Like Program, it is illegal while deferred installs are in flight on the
-// channel.
+// Like Program, it fails with ErrDeferredInFlight while deferred installs
+// are in flight on the channel.
 func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
 	addr.Page = 0
 	if err := f.geo.CheckAddress(addr); err != nil {
 		return Result{}, err
 	}
-	f.checkNoPendingInstalls(addr.Channel)
+	if err := f.syncMutateErr(addr.Channel); err != nil {
+		return Result{}, err
+	}
+	if err := f.drawEraseFault(addr); err != nil {
+		return Result{}, err
+	}
 	bi := f.geo.BlockIndex(addr)
 	cmdStart, done := f.claimErase(now, addr)
 	if f.trackData {
+		f.checkNoPendingInstalls(addr.Channel)
 		base := int64(bi) * int64(f.geo.PagesPerBlock)
 		f.data[addr.Channel].clearRange(f.chanLocal(base), f.geo.PagesPerBlock)
 	}

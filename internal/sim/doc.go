@@ -271,6 +271,52 @@
 // worker pool in large, efficient windows instead of the per-fill slivers
 // the barrier-per-fill structure produced.
 //
+// # Fault-schedule determinism under horizon-parallel execution
+//
+// The nand fault-injection subsystem (nand.FaultConfig) must draw the
+// same fault schedule — which operations fail, in which order, with which
+// recovery consequences — at any worker count, or the byte-identical
+// guarantee above would silently exclude the most interesting runs. Three
+// properties make the schedule a pure function of the seed and the
+// request stream, independent of wall-clock and of the horizon structure:
+//
+//  1. Draws happen at issue time, in serial sections. Every fault
+//     decision — program, erase, and the read-retry ladder — is evaluated
+//     when the transaction is issued (after its Check* validation,
+//     before any claim or functional mutation), and issuing only ever
+//     happens from cross-domain callbacks or setup code. Domain-local
+//     channel events never draw: the bookkeeping they defer (counters,
+//     energy, arena installs) is downstream of an already-decided issue.
+//     So the set of draws and their interleaving is fixed by the serial
+//     total order of issues, which mechanisms 1-4 above already prove
+//     identical at every worker count.
+//
+//  2. Draws are stateless. A draw is a pure hash of (seed, operation
+//     kind, physical index, the block's erase count, retry attempt) — no
+//     shared RNG stream whose cursor position could depend on draw
+//     order, no wall-clock, no global counter. Two consequences: probing
+//     an operation's outcome is idempotent (the FIL's deferred
+//     prevalidation probe and the later issue draw agree by
+//     construction, so a fault surfaces at probe time, claims nothing
+//     and queues nothing — the same error-implies-no-mutation contract
+//     prevalidation already provides), and the schedule depends only on
+//     each operation's own history (the erase count its block has
+//     reached), which is functional state mutated at issue in serial
+//     sections.
+//
+//  3. Fault accounting stays serial. FaultStats increments and
+//     fault-site records happen inside the issue draw, never inside a
+//     channel event, so the stats read identically at any worker count
+//     without merge rules.
+//
+// The recovery path inherits determinism from the same argument: a plan
+// fault surfaces from a serial-section issue, the FIL commits the
+// executed prefix and disarms the certified chain serially, and the
+// FTL's recovery replan is a pure function of its (serial) mapping
+// state. The core golden test locks the whole chain in: a GC-heavy run
+// with faults enabled renders identical fault sites, retirement order,
+// stats and payload bytes at workers 1, 2 and 4.
+//
 // # Resources
 //
 // Resource and Pool model FCFS servers by time reservation: Claim(now, dur)
