@@ -76,6 +76,11 @@ type jsonReport struct {
 	// within noise of SubmitBench — the nil-model check is the only cost)
 	// and a separate injected run's fault/recovery counters.
 	FaultInjection jsonFaultInjection `json:"fault_injection"`
+	// SnapshotRestore reports the crash-consistent state image's cost
+	// structure: image size, snapshot/restore wall time against the full
+	// re-preconditioning it replaces, and the identical=true assertion that
+	// a restored device continues byte-identical to the original.
+	SnapshotRestore jsonSnapshotRestore `json:"snapshot_restore"`
 }
 
 type jsonExperiment struct {
@@ -257,6 +262,88 @@ type jsonFaultInjection struct {
 	SpareHeadroom  int     `json:"spare_headroom"`
 	ReadOnly       bool    `json:"read_only"`
 	EnabledNsPerOp float64 `json:"enabled_ns_per_op"`
+}
+
+// jsonSnapshotRestore reports the snapshot/restore bench: a preconditioned
+// device under a GC-heavy overwrite storm is imaged, the image is restored
+// into a fresh system, and both continue through an identical tail run.
+// The wall-time comparison is against re-preconditioning from scratch —
+// the work a snapshot saves every time a steady-state device is reused.
+type jsonSnapshotRestore struct {
+	Requests                int     `json:"requests"`
+	ImageBytes              int     `json:"image_bytes"`
+	SnapshotWallSeconds     float64 `json:"snapshot_wall_seconds"`
+	RestoreWallSeconds      float64 `json:"restore_wall_seconds"`
+	PreconditionWallSeconds float64 `json:"precondition_wall_seconds"`
+	// SpeedupVsPrecondition is precondition wall / (snapshot + restore wall).
+	SpeedupVsPrecondition float64 `json:"speedup_vs_precondition"`
+	// Identical asserts the restored system's tail run matched the
+	// original's end time and event count exactly.
+	Identical bool `json:"identical"`
+}
+
+// snapshotRestoreBench builds a steady-state device, images it, restores
+// the image into a fresh system and proves the two continue identically.
+func snapshotRestoreBench(n int) (jsonSnapshotRestore, error) {
+	b := jsonSnapshotRestore{Requests: n}
+	d := config.SmallTestDevice()
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		return b, err
+	}
+	pstart := time.Now()
+	if err := s.Precondition(16); err != nil {
+		return b, err
+	}
+	b.PreconditionWallSeconds = time.Since(pstart).Seconds()
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+	if err != nil {
+		return b, err
+	}
+	if _, err := s.Run(gen, core.RunConfig{Requests: n, IODepth: 16, WithData: true}); err != nil {
+		return b, err
+	}
+
+	sstart := time.Now()
+	img, err := s.Snapshot()
+	if err != nil {
+		return b, err
+	}
+	b.SnapshotWallSeconds = time.Since(sstart).Seconds()
+	b.ImageBytes = len(img)
+
+	r, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		return b, err
+	}
+	rstart := time.Now()
+	if err := r.Restore(img); err != nil {
+		return b, err
+	}
+	b.RestoreWallSeconds = time.Since(rstart).Seconds()
+	if w := b.SnapshotWallSeconds + b.RestoreWallSeconds; w > 0 {
+		b.SpeedupVsPrecondition = b.PreconditionWallSeconds / w
+	}
+
+	// Identical continuation: the same tail storm on both systems must end
+	// at the same simulated time having dispatched the same event count.
+	tail := func(sys *core.System) (*core.RunResult, error) {
+		tgen, err := workload.NewFIO(workload.RandWrite, 4096, sys.VolumeBytes(), 7)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Run(tgen, core.RunConfig{Requests: n / 2, IODepth: 16, WithData: true})
+	}
+	ores, err := tail(s)
+	if err != nil {
+		return b, err
+	}
+	rres, err := tail(r)
+	if err != nil {
+		return b, err
+	}
+	b.Identical = ores.End == rres.End && ores.Events == rres.Events
+	return b, nil
 }
 
 // faultInjectionBench measures the submit path with fault injection
@@ -793,6 +880,13 @@ func main() {
 			failed++
 		} else {
 			report.FaultInjection = fi
+		}
+		sr, err := snapshotRestoreBench(n / 10)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: snapshot-restore bench: %v\n", err)
+			failed++
+		} else {
+			report.SnapshotRestore = sr
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -23,11 +23,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
 	"amber/internal/host"
+	"amber/internal/sim"
 	"amber/internal/workload"
 )
 
@@ -49,6 +51,9 @@ func main() {
 		intraPar  = flag.Int("intra-parallel", 0, "workers for horizon-synchronized intra-device dispatch: NAND channel shards step concurrently between cross-domain events, byte-identical to serial (0/1 = serial)")
 		faultProf = flag.String("fault-profile", "off", "deterministic NAND fault injection: off|light|heavy|wearout")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule (same seed + same workload = same faults at any worker count)")
+		powerLoss = flag.String("power-loss-at", "", "cut device power this long into the measured run (e.g. 50ms): volatile state is lost, in-flight programs resolve torn-or-committed by a seeded draw, then the device remounts from OOB and the run reports the recovery")
+		snapPath  = flag.String("snapshot", "", "after the run, write the device's full functional state to this file as a checksummed versioned image")
+		restPath  = flag.String("restore", "", "before the run, restore device state from this snapshot image (skips preconditioning; the image carries the device's steady state)")
 	)
 	flag.Parse()
 
@@ -122,6 +127,18 @@ func main() {
 		fatal(err)
 	}
 
+	var powerCut sim.Duration
+	if *powerLoss != "" {
+		d, err := time.ParseDuration(*powerLoss)
+		if err != nil || d <= 0 {
+			fatal(fmt.Errorf("bad -power-loss-at %q: want a positive duration like 50ms", *powerLoss))
+		}
+		powerCut = sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+	}
+	if (*snapPath != "" || *restPath != "") && len(devices) > 1 {
+		fatal(fmt.Errorf("-snapshot and -restore apply to a single device, got %d", len(devices)))
+	}
+
 	runOne := func(dev string, w io.Writer) error {
 		d, err := config.Device(dev)
 		if err != nil {
@@ -146,7 +163,19 @@ func main() {
 		// RunConfig fallback, and any synchronous Submit traffic (trace
 		// replay paths) drains through the pooled horizon dispatcher too.
 		s.SetIntraWorkers(*intraPar)
-		if !*noPrecond {
+		switch {
+		case *restPath != "":
+			// The image carries a complete device state (typically an
+			// already-preconditioned one), so preconditioning is skipped.
+			img, err := os.ReadFile(*restPath)
+			if err != nil {
+				return err
+			}
+			if err := s.Restore(img); err != nil {
+				return fmt.Errorf("restore %s: %w", *restPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: restored %d-byte state image from %s\n", dev, len(img), *restPath)
+		case !*noPrecond:
 			fmt.Fprintln(os.Stderr, dev+": preconditioning to steady state...")
 			if err := s.Precondition(32); err != nil {
 				return err
@@ -163,7 +192,11 @@ func main() {
 			return err
 		}
 
-		res, err := s.Run(gen, core.RunConfig{Requests: *n, IODepth: *depth, IntraWorkers: *intraPar})
+		rc := core.RunConfig{Requests: *n, IODepth: *depth, IntraWorkers: *intraPar}
+		if powerCut > 0 {
+			rc.PowerLossAt = s.Now() + powerCut
+		}
+		res, err := s.Run(gen, rc)
 		if err != nil {
 			return err
 		}
@@ -198,6 +231,14 @@ func main() {
 		twoStage, legacyFills := s.FillStats()
 		fmt.Fprintf(w, "fil             %d plans (%d certified fast-path), fills %d two-stage / %d legacy\n",
 			fils.PlanCount, fils.CertifiedPlans, twoStage, legacyFills)
+		if res.PowerLost {
+			pl := res.PowerLoss.Flash
+			fmt.Fprintf(w, "power loss      cut at %v: %d in-flight programs (%d torn / %d committed), %d erases undone, %d dirty cache lines lost\n",
+				rc.PowerLossAt, pl.InFlight, pl.Torn, pl.Committed, pl.ErasesUndone, res.PowerLoss.DirtyLinesLost)
+			m := res.Mount
+			fmt.Fprintf(w, "recovery        mount scan %v, %d mappings recovered, %d torn pages discarded, %d stale skipped, %d retired replayed, cleanup erased %d, squeezed %d blocks (%d sub-pages)\n",
+				m.ScanTime, m.RecoveredSubs, m.TornDiscarded, m.StaleSkipped, m.RetiredSBs, m.CleanupErases, m.SqueezedSBs, m.SqueezedSubs)
+		}
 		if s.Flash.FaultsEnabled() {
 			fst := s.Flash.FaultStats()
 			state := "healthy"
@@ -234,6 +275,16 @@ func main() {
 			s.DevCPU.AveragePowerW(full), s.DevDRAM.AveragePowerW(full), s.Flash.AveragePowerW(full))
 		fmt.Fprintf(w, "host            cpu busy %v, mem used %d MB\n",
 			s.Host.CPU.BusyTime(), s.Host.MemUsed()>>20)
+		if *snapPath != "" {
+			img, err := s.Snapshot()
+			if err != nil {
+				return fmt.Errorf("snapshot: %w", err)
+			}
+			if err := os.WriteFile(*snapPath, img, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "snapshot        %d-byte state image -> %s\n", len(img), *snapPath)
+		}
 		return nil
 	}
 

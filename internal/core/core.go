@@ -194,6 +194,20 @@ type System struct {
 	bytesWritten uint64
 }
 
+// ftlConfigOf maps the device knobs to the FTL configuration. Mount-time
+// recovery reconstructs FTLs from it, so it must stay the single source.
+func ftlConfigOf(d DeviceConfig) ftl.Config {
+	return ftl.Config{
+		Geometry:        d.Geometry,
+		OPRatio:         d.OPRatio,
+		GCPolicy:        d.GCPolicy,
+		GCFreeThreshold: 2,
+		PartialUpdate:   d.PartialUpdate,
+		WearLevelDelta:  d.WearLevelDelta,
+		SpareBlocks:     d.SpareBlocks,
+	}
+}
+
 // NewSystem wires a full machine from the configuration.
 func NewSystem(cfg SystemConfig) (*System, error) {
 	if err := cfg.Device.Validate(); err != nil {
@@ -225,18 +239,21 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	translator, err := ftl.New(ftl.Config{
-		Geometry:        d.Geometry,
-		OPRatio:         d.OPRatio,
-		GCPolicy:        d.GCPolicy,
-		GCFreeThreshold: 2,
-		PartialUpdate:   d.PartialUpdate,
-		WearLevelDelta:  d.WearLevelDelta,
-		SpareBlocks:     d.SpareBlocks,
-	})
+	translator, err := ftl.New(ftlConfigOf(d))
 	if err != nil {
 		return nil, err
 	}
+	// Durable bad-block table: every retirement the FTL decides is stamped
+	// into the flash's grown-bad-block list (one entry per plane block of
+	// the super-block), which is what mount-time recovery replays to rebuild
+	// the retirement order — and the read-only latch — from flash state
+	// alone.
+	translator.SetRetireHook(func(sb int) {
+		for plane := 0; plane < d.Geometry.TotalPlanes(); plane++ {
+			addr := translator.Address(ftl.PageLoc{SB: sb, Plane: plane})
+			flash.MarkBadBlock(d.Geometry.BlockIndex(addr))
+		}
+	})
 	f, err := fil.New(flash, translator.Address)
 	if err != nil {
 		return nil, err

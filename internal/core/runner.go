@@ -36,6 +36,19 @@ type RunConfig struct {
 	// System.SetIntraWorkers setting; <= 1 effective keeps the plain
 	// serial loop.
 	IntraWorkers int
+	// PowerLossAt cuts device power at this absolute simulated time (zero
+	// disables): the run's engine halts at the cut — a plain cross-domain
+	// event, so the dispatched prefix is identical at any worker count —
+	// all volatile firmware state is discarded with in-flight programs
+	// resolved torn-or-committed by the seeded fault draw, and mount-time
+	// recovery rebuilds the FTL from OOB stamps before the run returns.
+	// Requests in flight at the cut never complete and are not counted.
+	PowerLossAt sim.Time
+	// StopOnReadOnly stops issuing new requests after the first write the
+	// device refuses with ftl.ErrReadOnly, instead of grinding through the
+	// remaining budget against a read-only device. Outstanding requests
+	// still drain; RunResult.StoppedEarly reports the truncation.
+	StopOnReadOnly bool
 }
 
 // RunResult reports a completed run.
@@ -72,6 +85,17 @@ type RunResult struct {
 	FailedWrites int
 	FailedReads  int
 	ReadOnly     bool
+	// StoppedEarly reports that RunConfig.StopOnReadOnly truncated the run:
+	// Requests holds the count actually issued, not the configured budget.
+	StoppedEarly bool
+
+	// Power-loss outcome (RunConfig.PowerLossAt): whether the cut fired,
+	// how the flash resolved in-flight programs, and what mount-time
+	// recovery rebuilt. End excludes the mount scan; the system clock
+	// advances past it.
+	PowerLost bool
+	PowerLoss PowerLossReport
+	Mount     ftl.MountReport
 }
 
 // Elapsed returns the wall-clock span of the run in simulated time.
@@ -142,11 +166,21 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	// time order.
 	e := sim.NewEngine()
 	doms := s.domainsFor(e)
+	// The power cut rides a plain cross-domain event (its own shard, never
+	// marked local or neutral), so horizon batching treats it as a barrier:
+	// the set of events dispatched before it is identical at any worker
+	// count, and the cut point is registered before any workload event so
+	// its sequence number orders it ahead of same-time traffic.
+	if rc.PowerLossAt > 0 {
+		pwr := e.Domain("pwr")
+		e.AtIn(pwr, rc.PowerLossAt, func() { e.Halt() })
+	}
 	issued := 0
+	stopped := false
 	var runErr error
 	var issueNext func()
 	issueNext = func() {
-		if runErr != nil || issued >= rc.Requests {
+		if runErr != nil || stopped || issued >= rc.Requests {
 			return
 		}
 		i := issued
@@ -173,6 +207,10 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 						res.FailedWrites++
 					} else {
 						res.FailedReads++
+					}
+					if rc.StopOnReadOnly && errors.Is(err, ftl.ErrReadOnly) {
+						stopped = true
+						return
 					}
 					e.AtIn(doms.host, e.Now(), issueNext)
 					return
@@ -213,13 +251,30 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	}
 	res.Events = e.Dispatched()
 	res.DomainEvents = e.DomainStats()
-	res.ReadOnly = s.FTL.ReadOnly()
+	if stopped {
+		res.StoppedEarly = true
+		res.Requests = issued
+	}
 	if runErr != nil {
 		return nil, runErr
 	}
 	if res.End > s.now {
 		s.now = res.End
 	}
+	if e.Halted() {
+		// The cut fired: requests still in flight die with the firmware
+		// RAM (their completions never ran, so they were never counted),
+		// the device loses all volatile state, and mount-time recovery
+		// rebuilds the FTL from the flash's OOB stamps.
+		res.PowerLost = true
+		res.PowerLoss = s.PowerLoss(rc.PowerLossAt)
+		mrep, err := s.Mount()
+		if err != nil {
+			return nil, fmt.Errorf("core: mount after power loss: %w", err)
+		}
+		res.Mount = mrep
+	}
+	res.ReadOnly = s.FTL.ReadOnly()
 	res.BytesRead = int64(s.bytesRead - bytesRead0)
 	res.BytesWritten = int64(s.bytesWritten - bytesWritten0)
 	return res, nil
@@ -246,8 +301,16 @@ func (s *System) Precondition(depth int) error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.Run(gen, RunConfig{Requests: n, IODepth: depth}); err != nil {
+	res, err := s.Run(gen, RunConfig{Requests: n, IODepth: depth, StopOnReadOnly: true})
+	if err != nil {
 		return err
+	}
+	if res.StoppedEarly || res.FailedWrites > 0 {
+		// Surface wear-out as a typed error with progress context instead
+		// of grinding the remaining budget against a read-only device.
+		ok := res.Requests - res.FailedWrites
+		return fmt.Errorf("core: precondition stopped after %d of %d writes (%d refused): %w",
+			ok, n, res.FailedWrites, ftl.ErrReadOnly)
 	}
 	if _, err := s.Flush(s.now); err != nil {
 		return err
@@ -268,6 +331,14 @@ func (s *System) StressFill(blockSize int, writeFactor float64) error {
 	if n < 1 {
 		n = 1
 	}
-	_, err = s.Run(gen, RunConfig{Requests: n, IODepth: 32})
-	return err
+	res, err := s.Run(gen, RunConfig{Requests: n, IODepth: 32, StopOnReadOnly: true})
+	if err != nil {
+		return err
+	}
+	if res.StoppedEarly || res.FailedWrites > 0 {
+		ok := res.Requests - res.FailedWrites
+		return fmt.Errorf("core: stress fill stopped after %d of %d writes (%d refused): %w",
+			ok, n, res.FailedWrites, ftl.ErrReadOnly)
+	}
+	return nil
 }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"amber/internal/fil"
+	"amber/internal/ftl"
+	"amber/internal/nand"
+	"amber/internal/sim"
+	"amber/internal/snap"
+)
+
+// SnapshotVersion is the image format version Snapshot writes and Restore
+// accepts. Bump it whenever any module's Encode/DecodeState layout changes.
+const SnapshotVersion = 1
+
+// configFingerprint hashes the full system configuration: an image restores
+// only onto a device built from byte-identical knobs, because every decoder
+// sizes its collections from the live configuration.
+func (s *System) configFingerprint() uint64 {
+	return snap.Fingerprint([]byte(fmt.Sprintf("%+v", s.cfg)))
+}
+
+// quiescedForSnapshot reports why the system cannot snapshot right now:
+// snapshots capture states between Runs, with the engine drained — no
+// in-flight fills, no waiters parked on them, no half-open plan batches.
+func (s *System) quiescedForSnapshot() error {
+	if err := s.Flash.QuiescedForSnapshot(); err != nil {
+		return err
+	}
+	if len(s.filling) != 0 || len(s.waiters) != 0 {
+		return fmt.Errorf("core: snapshot with %d fills in flight", len(s.filling))
+	}
+	return nil
+}
+
+// Snapshot serializes the system's complete functional state — FTL tables,
+// cache contents, NAND pages with their OOB stamps and erase counts, fault
+// cursors, every stats and energy accumulator — into a checksummed,
+// versioned image. The system must be quiescent (between Runs, engine
+// drained). restore(snapshot(S)) continues byte-identical to S.
+func (s *System) Snapshot() ([]byte, error) {
+	if err := s.quiescedForSnapshot(); err != nil {
+		return nil, err
+	}
+	var e snap.Enc
+	e.I64(int64(s.now))
+	e.I64(s.lastEnd)
+	e.U64(s.reqs)
+	e.U64(s.bytesRead)
+	e.U64(s.bytesWritten)
+	e.U64(s.fillsTwoStage)
+	e.U64(s.fillsLegacy)
+	encodeResource(&e, s.link)
+	e.Bool(s.hba != nil)
+	if s.hba != nil {
+		encodeResource(&e, s.hba)
+	}
+	fb := s.flushBuf.State()
+	e.U64(uint64(len(fb.Servers)))
+	for _, t := range fb.Servers {
+		e.I64(int64(t))
+	}
+	e.I64(int64(fb.Busy))
+	e.U64(fb.Claims)
+	s.Flash.EncodeState(&e)
+	s.FTL.EncodeState(&e)
+	s.ICL.EncodeState(&e)
+	s.FIL.EncodeState(&e)
+	s.DevDRAM.EncodeState(&e)
+	s.DevCPU.EncodeState(&e)
+	s.Host.EncodeState(&e)
+	s.DMA.EncodeState(&e)
+	return snap.Seal(SnapshotVersion, s.configFingerprint(), e.Bytes()), nil
+}
+
+// Restore reinstalls a Snapshot image into s. The image must carry the
+// supported format version and the fingerprint of s's configuration; a
+// truncated, corrupted, version-skewed or mismatched image returns a typed
+// snap error with s untouched — the decode targets a freshly constructed
+// system and s is replaced only after every module decoded cleanly.
+func (s *System) Restore(img []byte) error {
+	body, err := snap.Open(img, SnapshotVersion, s.configFingerprint())
+	if err != nil {
+		return err
+	}
+	s2, err := NewSystem(s.cfg)
+	if err != nil {
+		return err
+	}
+	d := snap.NewDec(body)
+	s2.now = sim.Time(d.I64())
+	s2.lastEnd = d.I64()
+	s2.reqs = d.U64()
+	s2.bytesRead = d.U64()
+	s2.bytesWritten = d.U64()
+	s2.fillsTwoStage = d.U64()
+	s2.fillsLegacy = d.U64()
+	decodeResource(d, s2.link)
+	hadHBA := d.Bool()
+	if d.Err() == nil && hadHBA != (s2.hba != nil) {
+		return fmt.Errorf("%w: image hba presence %v, device %v", snap.ErrMismatch, hadHBA, s2.hba != nil)
+	}
+	if hadHBA {
+		decodeResource(d, s2.hba)
+	}
+	nFB := int(d.U64())
+	fb := sim.PoolState{Servers: make([]sim.Time, nFB)}
+	if d.Err() == nil && nFB != len(s2.flushBuf.State().Servers) {
+		return fmt.Errorf("%w: flush buffer of %d slots, want %d", snap.ErrMismatch, nFB, len(s2.flushBuf.State().Servers))
+	}
+	for i := range fb.Servers {
+		fb.Servers[i] = sim.Time(d.I64())
+	}
+	fb.Busy = sim.Duration(d.I64())
+	fb.Claims = d.U64()
+	if err := s2.Flash.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.FTL.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.ICL.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.FIL.DecodeState(d, s2.FTL); err != nil {
+		return err
+	}
+	if err := s2.DevDRAM.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.DevCPU.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.Host.DecodeState(d); err != nil {
+		return err
+	}
+	if err := s2.DMA.DecodeState(d); err != nil {
+		return err
+	}
+	if err := d.Done(); err != nil {
+		return err
+	}
+	s2.flushBuf.SetState(fb)
+	// Runtime knobs are session preferences, not device state: carry them
+	// over from the live system instead of the image.
+	s2.twoStageFills = s.twoStageFills
+	s2.intraWorkers = s.intraWorkers
+	if s2.FTL.ReadOnly() {
+		s2.ICL.SetPreferCleanVictims(true)
+	}
+	*s = *s2
+	return nil
+}
+
+// PowerLossReport summarizes a full device power cut.
+type PowerLossReport struct {
+	// Flash is the storage complex's in-flight program resolution.
+	Flash nand.PowerLossReport
+	// DirtyLinesLost counts cache lines holding unflushed writes at the cut
+	// — data that was never acknowledged durable and is legitimately gone.
+	DirtyLinesLost int
+}
+
+// PowerLoss cuts power to the device at simulated time now: the NAND
+// resolves its in-flight programs torn-or-committed by the seeded draw
+// (nand.Flash.PowerLoss), the cache drops every line (DRAM is volatile),
+// the FIL drops its scratch and disarms the certified chain, the flush
+// buffer and fill trackers empty. The caller must have stopped dispatching
+// events first (the cut event halts the engine); Mount rebuilds a servable
+// FTL afterwards.
+func (s *System) PowerLoss(now sim.Time) PowerLossReport {
+	var rep PowerLossReport
+	rep.DirtyLinesLost = s.ICL.DirtyLines()
+	seed := s.cfg.Device.Faults.Seed
+	if seed == 0 {
+		seed = s.cfg.Device.Seed
+	}
+	rep.Flash = s.Flash.PowerLoss(now, seed)
+	s.ICL.Invalidate()
+	s.FIL.PowerLoss()
+	s.flushBuf = sim.NewPool("flushbuf", s.cfg.Device.Geometry.TotalPlanes())
+	clear(s.filling)
+	clear(s.waiters)
+	s.lastEnd = -1
+	if now > s.now {
+		s.now = now
+	}
+	return rep
+}
+
+// Mount runs mount-time FTL recovery after a power cut: a fresh FTL is
+// rebuilt from the flash's OOB stamps alone (ftl.Mount), rewired into the
+// firmware stack — retire hook re-attached, certified chain re-armed,
+// degraded-mode cache policy re-derived — and the simulated clock advances
+// past the scan. Every write acknowledged durable before the cut is
+// readable afterwards; no torn page is ever served.
+func (s *System) Mount() (ftl.MountReport, error) {
+	mounted, rep, err := ftl.Mount(ftlConfigOf(s.cfg.Device), s.Flash)
+	if err != nil {
+		return rep, err
+	}
+	d := s.cfg.Device
+	mounted.SetRetireHook(func(sb int) {
+		for plane := 0; plane < d.Geometry.TotalPlanes(); plane++ {
+			addr := mounted.Address(ftl.PageLoc{SB: sb, Plane: plane})
+			s.Flash.MarkBadBlock(d.Geometry.BlockIndex(addr))
+		}
+	})
+	s.FTL = mounted
+	if err := s.FIL.AcceptCertified(mounted); err != nil {
+		return rep, err
+	}
+	s.now += rep.ScanTime
+	// Post-mount cleanup: erase blocks whose pages are all stale or torn,
+	// restoring the free reserve a mid-GC cut may have drained (the victim
+	// erase was undone, so its block came back closed and empty of valid
+	// data). Without this the first post-mount flush can find no free block
+	// and no GC destination, wedging a healthy device read-only.
+	if plan, n := mounted.MountCleanup(); n > 0 {
+		rep.CleanupErases = n
+		res, cerr := s.FIL.Execute(s.now, plan, fil.PlanData{})
+		if cerr != nil {
+			return rep, cerr
+		}
+		if res.Done > s.now {
+			s.now = res.Done
+		}
+	}
+	// Emergency compaction: when the cut undid every claimed erase the
+	// durable image can hold no erased block at all, leaving GC without a
+	// bootstrap destination. The squeeze reads a victim's valid pages into
+	// controller RAM, erases it, and rewrites them compactly — a no-op
+	// whenever the free reserve already clears the GC threshold.
+	plan, sqBlocks, sqSubs, serr := mounted.MountSqueeze(s.now)
+	if serr != nil {
+		return rep, serr
+	}
+	if sqBlocks > 0 || len(plan.Ops) > 0 {
+		rep.SqueezedSBs = sqBlocks
+		rep.SqueezedSubs = sqSubs
+		res, cerr := s.FIL.Execute(s.now, plan, fil.PlanData{})
+		if cerr != nil {
+			return rep, cerr
+		}
+		if res.Done > s.now {
+			s.now = res.Done
+		}
+	}
+	s.ICL.SetPreferCleanVictims(mounted.ReadOnly())
+	return rep, nil
+}
+
+func encodeResource(e *snap.Enc, r *sim.Resource) {
+	st := r.State()
+	e.I64(int64(st.FreeAt))
+	e.I64(int64(st.Busy))
+	e.U64(st.Claims)
+}
+
+func decodeResource(d *snap.Dec, r *sim.Resource) {
+	r.SetState(sim.ResourceState{
+		FreeAt: sim.Time(d.I64()),
+		Busy:   sim.Duration(d.I64()),
+		Claims: d.U64(),
+	})
+}

@@ -1,0 +1,23 @@
+package dma
+
+import "amber/internal/snap"
+
+// EncodeState serializes the engine's counters. The link and host-memory
+// resources are owned by the system assembly and serialized there.
+func (e *Engine) EncodeState(enc *snap.Enc) {
+	enc.U64(e.stats.Descriptors)
+	enc.U64(e.stats.Entries)
+	enc.U64(e.stats.BytesMoved)
+	enc.U64(e.stats.ListWalks)
+	enc.U64(e.stats.DescriptorBytes)
+}
+
+// DecodeState reinstalls a state captured by EncodeState.
+func (e *Engine) DecodeState(d *snap.Dec) error {
+	e.stats.Descriptors = d.U64()
+	e.stats.Entries = d.U64()
+	e.stats.BytesMoved = d.U64()
+	e.stats.ListWalks = d.U64()
+	e.stats.DescriptorBytes = d.U64()
+	return d.Err()
+}

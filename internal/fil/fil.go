@@ -150,11 +150,14 @@ type FIL struct {
 	forceWalk bool
 }
 
-// planRead records one completed pre-read: its completion time and (when
-// data is tracked) the page contents.
+// planRead records one completed pre-read: its completion time, (when
+// data is tracked) the page contents, and the super-block it read from —
+// a rewrite consuming it touches that source block with the program's
+// completion, so the victim's erase waits for the migration to land.
 type planRead struct {
-	done sim.Time
-	data []byte
+	done  sim.Time
+	data  []byte
+	srcSB int
 }
 
 // sbTime tracks in-plan per-super-block ordering state.
@@ -361,7 +364,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 				return res, fmt.Errorf("fil: plan read %v: %w", op.Loc, err)
 			}
 			f.stats.Reads++
-			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf}
+			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf, srcSB: op.Loc.SB}
 			if r.Done > res.ReadsDone {
 				res.ReadsDone = r.Done
 			}
@@ -371,6 +374,7 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			k := SubKey{op.LSPN, op.Loc.Sub}
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			data, _ := hostData.Bytes(k)
+			srcSB := -1
 			if pr, ok := f.reads[k]; ok {
 				// Rewrite of data sourced from flash: wait for the read.
 				if pr.done > start {
@@ -380,8 +384,9 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 				if data == nil {
 					data = pr.data
 				}
+				srcSB = pr.srcSB
 			}
-			r, err := f.flash.Program(start, f.addrOf(op.Loc), data)
+			r, err := f.flash.ProgramTagged(start, f.addrOf(op.Loc), data, planTag(op, g))
 			if err != nil {
 				if nand.IsInjectedFault(err) {
 					return res, f.planFault(nil, i, op, -1, err)
@@ -393,6 +398,13 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 				res.HostWritesDone = r.Done
 			}
 			touch(op.Loc.SB, r.Done)
+			if srcSB >= 0 && srcSB != op.Loc.SB {
+				// Crash consistency: the source block must not erase until
+				// the data moved off it has physically landed — otherwise a
+				// power cut between the erase and the migration program
+				// destroys the only durable copy.
+				touch(srcSB, r.Done)
+			}
 
 		case ftl.OpErase:
 			// The erase wipes the same block index on every plane, after
@@ -631,7 +643,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 				return res, fail(fmt.Errorf("fil: plan read %v: %w", op.Loc, err))
 			}
 			f.stats.Reads++
-			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf}
+			f.reads[SubKey{op.LSPN, op.Loc.Sub}] = planRead{done: r.Done, data: buf, srcSB: op.Loc.SB}
 			if r.Done > res.ReadsDone {
 				res.ReadsDone = r.Done
 			}
@@ -642,6 +654,7 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			k := SubKey{op.LSPN, op.Loc.Sub}
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			data, _ := hostData.Bytes(k)
+			srcSB := -1
 			if pr, ok := f.reads[k]; ok {
 				// Rewrite of data sourced from flash: wait for the read.
 				if pr.done > start {
@@ -651,8 +664,9 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 				if data == nil {
 					data = pr.data
 				}
+				srcSB = pr.srcSB
 			}
-			r, err := batch.Program(start, addr, data)
+			r, err := batch.ProgramTagged(start, addr, data, planTag(op, g))
 			if err != nil {
 				if nand.IsInjectedFault(err) {
 					return res, f.planFault(batch, i, op, -1, err)
@@ -664,6 +678,13 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 				res.HostWritesDone = r.Done
 			}
 			touch(op.Loc.SB, r.Done)
+			if srcSB >= 0 && srcSB != op.Loc.SB {
+				// Crash consistency: the source block must not erase until
+				// the data moved off it has physically landed — otherwise a
+				// power cut between the erase and the migration program
+				// destroys the only durable copy.
+				touch(srcSB, r.Done)
+			}
 
 		case ftl.OpErase:
 			// The erase wipes the same block index on every plane, after

@@ -285,6 +285,12 @@ type FTL struct {
 	retireOrder []int
 	readOnly    bool
 
+	// onRetire, when set, is invoked once per super-block retirement with
+	// the retired super-block. The core wires it to the flash's durable
+	// bad-block table (nand.MarkBadBlock per plane block), which is what
+	// makes retirement state survive power loss and rebuild at Mount.
+	onRetire func(sb int)
+
 	// planSeq numbers the plans this FTL has certified. The FTL mutates its
 	// mapping and append-pointer state eagerly at Write time, so plan N is
 	// valid against a flash that has executed exactly plans 0..N-1 — the
@@ -386,6 +392,12 @@ func (f *FTL) RetiredSuperBlocks() []int {
 	copy(out, f.retireOrder)
 	return out
 }
+
+// SetRetireHook registers fn to be called once per super-block retirement.
+// The core uses it to mirror retirements into the flash's durable
+// bad-block table; Mount reads that table back to rebuild the retirement
+// order after power loss.
+func (f *FTL) SetRetireHook(fn func(sb int)) { f.onRetire = fn }
 
 // PlanSeq returns the sequence number the next certified plan will carry.
 // Executors binding to this FTL (fil.FIL.AcceptCertified) record it as the

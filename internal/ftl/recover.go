@@ -36,6 +36,9 @@ func (f *FTL) retireSB(sb int) {
 	if len(f.retireOrder) > f.spares {
 		f.readOnly = true
 	}
+	if f.onRetire != nil {
+		f.onRetire(sb)
+	}
 }
 
 // loseSub unmaps the forward entry fi after an uncorrectable read: the

@@ -1,0 +1,144 @@
+package ftl
+
+import (
+	"fmt"
+
+	"amber/internal/sim"
+	"amber/internal/snap"
+)
+
+// EncodeState serializes the FTL's complete functional state: the forward
+// map, per-super-block metadata, the free reserve and open block, the
+// retirement order with the read-only latch, the counters and the plan
+// sequence. The reverse map, valid bits and valid counts are derived from
+// the forward map at decode time instead of being stored.
+func (f *FTL) EncodeState(e *snap.Enc) {
+	e.U64(uint64(len(f.fwd)))
+	for _, v := range f.fwd {
+		e.I64(v)
+	}
+	for i := range f.sbs {
+		sb := &f.sbs[i]
+		for _, np := range sb.nextPage {
+			e.I64(int64(np))
+		}
+		e.U64(uint64(sb.eraseCount))
+		e.I64(int64(sb.lastWrite))
+		e.Bool(sb.closed)
+		e.Bool(sb.free)
+		e.Bool(sb.retired)
+	}
+	e.U64(uint64(len(f.freeSB)))
+	for _, sb := range f.freeSB {
+		e.Int(sb)
+	}
+	e.Int(f.openSB)
+	e.U64(f.stats.HostSubWrites)
+	e.U64(f.stats.FlashSubWrites)
+	e.U64(f.stats.GCRuns)
+	e.U64(f.stats.GCMigrated)
+	e.U64(f.stats.Erases)
+	e.U64(f.stats.RMWReads)
+	e.U64(f.stats.PartialRemaps)
+	e.U64(f.stats.WearLevelMoves)
+	e.U64(f.stats.Retirements)
+	e.U64(f.stats.Replans)
+	e.U64(f.stats.LostSubs)
+	e.U64(uint64(len(f.retireOrder)))
+	for _, sb := range f.retireOrder {
+		e.Int(sb)
+	}
+	e.Bool(f.readOnly)
+	e.U64(f.planSeq)
+}
+
+// DecodeState reinstalls a state captured by EncodeState into f, which
+// must be freshly constructed with the identical configuration. The
+// reverse map, valid bits and per-super-block valid counts are rebuilt
+// from the decoded forward map. On error f must be discarded.
+func (f *FTL) DecodeState(d *snap.Dec) error {
+	if n := d.U64(); d.Err() == nil && n != uint64(len(f.fwd)) {
+		return fmt.Errorf("%w: forward map of %d entries, want %d", snap.ErrMismatch, n, len(f.fwd))
+	}
+	for i := range f.fwd {
+		f.fwd[i] = d.I64()
+	}
+	for i := range f.sbs {
+		sb := &f.sbs[i]
+		for p := range sb.nextPage {
+			sb.nextPage[p] = int32(d.I64())
+		}
+		sb.eraseCount = uint32(d.U64())
+		sb.lastWrite = sim.Time(d.I64())
+		sb.closed = d.Bool()
+		sb.free = d.Bool()
+		sb.retired = d.Bool()
+		sb.validSubs = 0
+	}
+	nFree := d.Len(f.sbCount)
+	f.freeSB = f.freeSB[:0]
+	for i := 0; i < nFree; i++ {
+		f.freeSB = append(f.freeSB, d.Int())
+	}
+	f.openSB = d.Int()
+	f.stats.HostSubWrites = d.U64()
+	f.stats.FlashSubWrites = d.U64()
+	f.stats.GCRuns = d.U64()
+	f.stats.GCMigrated = d.U64()
+	f.stats.Erases = d.U64()
+	f.stats.RMWReads = d.U64()
+	f.stats.PartialRemaps = d.U64()
+	f.stats.WearLevelMoves = d.U64()
+	f.stats.Retirements = d.U64()
+	f.stats.Replans = d.U64()
+	f.stats.LostSubs = d.U64()
+	nRet := d.Len(f.sbCount)
+	f.retireOrder = f.retireOrder[:0]
+	for i := 0; i < nRet; i++ {
+		f.retireOrder = append(f.retireOrder, d.Int())
+	}
+	f.readOnly = d.Bool()
+	f.planSeq = d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	// Rebuild the derived maps from the forward map.
+	for i := range f.rev {
+		f.rev[i] = -1
+		f.valid[i] = false
+	}
+	for fi := range f.fwd {
+		packed := f.fwd[fi]
+		if packed < 0 {
+			continue
+		}
+		sub := fi % f.subCount
+		loc := f.unpackLoc(packed, sub)
+		if loc.SB < 0 || loc.SB >= f.sbCount || loc.Page < 0 || loc.Page >= f.pagesPerSB ||
+			loc.Plane < 0 || loc.Plane >= f.subCount {
+			return fmt.Errorf("%w: forward entry %d decodes to out-of-range %+v", snap.ErrCorrupt, fi, loc)
+		}
+		pi := f.physIndex(loc)
+		if f.valid[pi] {
+			return fmt.Errorf("%w: physical sub %+v mapped twice", snap.ErrCorrupt, loc)
+		}
+		f.rev[pi] = int64(fi)
+		f.valid[pi] = true
+		f.sbs[loc.SB].validSubs++
+	}
+	for _, sb := range f.freeSB {
+		if sb < 0 || sb >= f.sbCount {
+			return fmt.Errorf("%w: free super-block %d out of range", snap.ErrCorrupt, sb)
+		}
+	}
+	for _, sb := range f.retireOrder {
+		if sb < 0 || sb >= f.sbCount {
+			return fmt.Errorf("%w: retired super-block %d out of range", snap.ErrCorrupt, sb)
+		}
+	}
+	if f.openSB < -1 || f.openSB >= f.sbCount {
+		return fmt.Errorf("%w: open super-block %d out of range", snap.ErrCorrupt, f.openSB)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package host
+
+import (
+	"amber/internal/sim"
+	"amber/internal/snap"
+)
+
+// EncodeState serializes the host's complete functional state: the CPU
+// complex, the memory-bandwidth resource and the capacity accountant.
+func (h *Host) EncodeState(e *snap.Enc) {
+	h.CPU.EncodeState(e)
+	st := h.Mem.State()
+	e.I64(int64(st.FreeAt))
+	e.I64(int64(st.Busy))
+	e.U64(st.Claims)
+	e.I64(h.memUsed)
+}
+
+// DecodeState reinstalls a state captured by EncodeState into h, which
+// must be freshly constructed with the identical configuration.
+func (h *Host) DecodeState(d *snap.Dec) error {
+	if err := h.CPU.DecodeState(d); err != nil {
+		return err
+	}
+	h.Mem.SetState(sim.ResourceState{
+		FreeAt: sim.Time(d.I64()),
+		Busy:   sim.Duration(d.I64()),
+		Claims: d.U64(),
+	})
+	h.memUsed = d.I64()
+	return d.Err()
+}

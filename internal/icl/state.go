@@ -1,0 +1,126 @@
+package icl
+
+import (
+	"fmt"
+
+	"amber/internal/snap"
+)
+
+// Invalidate models a power cut hitting the cache: the DRAM contents are
+// volatile, so every frame is dropped — including dirty lines whose
+// write-back never reached flash (that is exactly the data a power-loss
+// test must prove was either acknowledged-durable or never acknowledged).
+// The sequential detector and degraded-mode latch reset with the frames;
+// the statistics survive (they are the observer's, not the firmware's).
+func (c *Cache) Invalidate() {
+	for _, set := range c.sets {
+		for _, ln := range set {
+			ln.lspn = -1
+			ln.prefetched = false
+			ln.lastUse = 0
+			ln.inserted = 0
+			for i := range ln.valid {
+				ln.valid[i] = false
+				ln.dirty[i] = false
+			}
+			if c.cfg.TrackData {
+				for i := range ln.data {
+					ln.data[i] = 0
+				}
+			}
+		}
+	}
+	c.tick = 0
+	c.seqNext = -1
+	c.seqStreak = 0
+	c.preferClean = false
+}
+
+// EncodeState serializes the cache's complete functional state: every
+// frame (tag, valid/dirty masks, payload, replacement metadata), the
+// replacement clock, the RNG, the sequential detector and the statistics.
+func (c *Cache) EncodeState(e *snap.Enc) {
+	e.U64(uint64(len(c.sets)))
+	e.U64(uint64(c.ways))
+	for _, set := range c.sets {
+		for _, ln := range set {
+			e.I64(ln.lspn)
+			for i := range ln.valid {
+				e.Bool(ln.valid[i])
+				e.Bool(ln.dirty[i])
+			}
+			e.Bool(ln.prefetched)
+			e.U64(ln.lastUse)
+			e.U64(ln.inserted)
+			if c.cfg.TrackData {
+				e.Blob(ln.data)
+			}
+		}
+	}
+	e.U64(c.tick)
+	for _, w := range c.rng.State() {
+		e.U64(w)
+	}
+	e.I64(c.seqNext)
+	e.Int(c.seqStreak)
+	e.Bool(c.preferClean)
+	e.U64(c.stats.ReadSubHits)
+	e.U64(c.stats.ReadSubMisses)
+	e.U64(c.stats.WriteSubHits)
+	e.U64(c.stats.WriteSubMisses)
+	e.U64(c.stats.Evictions)
+	e.U64(c.stats.DirtyEvictions)
+	e.U64(c.stats.Readaheads)
+	e.U64(c.stats.ReadaheadHits)
+	e.U64(c.stats.Flushes)
+}
+
+// DecodeState reinstalls a state captured by EncodeState into c, which
+// must be freshly constructed with the identical configuration. On error
+// c must be discarded.
+func (c *Cache) DecodeState(d *snap.Dec) error {
+	if n := d.U64(); d.Err() == nil && n != uint64(len(c.sets)) {
+		return fmt.Errorf("%w: %d cache sets, want %d", snap.ErrMismatch, n, len(c.sets))
+	}
+	if w := d.U64(); d.Err() == nil && w != uint64(c.ways) {
+		return fmt.Errorf("%w: %d cache ways, want %d", snap.ErrMismatch, w, c.ways)
+	}
+	for _, set := range c.sets {
+		for _, ln := range set {
+			ln.lspn = d.I64()
+			for i := range ln.valid {
+				ln.valid[i] = d.Bool()
+				ln.dirty[i] = d.Bool()
+			}
+			ln.prefetched = d.Bool()
+			ln.lastUse = d.U64()
+			ln.inserted = d.U64()
+			if c.cfg.TrackData {
+				buf := d.Blob()
+				if d.Err() == nil && len(buf) != len(ln.data) {
+					return fmt.Errorf("%w: cache line of %d bytes, want %d", snap.ErrMismatch, len(buf), len(ln.data))
+				}
+				copy(ln.data, buf)
+			}
+		}
+	}
+	c.tick = d.U64()
+	var rs [4]uint64
+	for i := range rs {
+		rs[i] = d.U64()
+	}
+	c.rng.SetState(rs)
+	c.seqNext = d.I64()
+	c.seqStreak = d.Int()
+	c.preferClean = d.Bool()
+	c.stats.ReadSubHits = d.U64()
+	c.stats.ReadSubMisses = d.U64()
+	c.stats.WriteSubHits = d.U64()
+	c.stats.WriteSubMisses = d.U64()
+	c.stats.Evictions = d.U64()
+	c.stats.DirtyEvictions = d.U64()
+	c.stats.Readaheads = d.U64()
+	c.stats.ReadaheadHits = d.U64()
+	c.stats.Flushes = d.U64()
+	return d.Err()
+}

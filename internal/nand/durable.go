@@ -1,0 +1,235 @@
+package nand
+
+import "amber/internal/sim"
+
+// Durable-state surface: what survives a power cut, and the cut itself.
+//
+// The durable state of the storage complex is exactly what physically lives
+// in the NAND array — block erase counts, programmed-page bitmaps and
+// in-order pointers, page payloads, per-page OOB stamps, and the grown
+// bad-block table. Everything else (pending deferred bookkeeping, staged
+// page buffers, pooled carriers, accounting not yet applied) is firmware
+// RAM and is discarded by PowerLoss.
+
+// OOBInfo is the readable view of one page's out-of-band metadata, the
+// input to mount-time FTL recovery.
+type OOBInfo struct {
+	// FI is the FTL-defined logical tag stamped at program time (the
+	// forward-map index of the logical sub-page), or -1 for raw/untagged
+	// programs.
+	FI int64
+	// Seq is the device-wide write sequence number: among pages claiming
+	// the same FI, the highest sequence holds the current data.
+	Seq uint64
+	// Good reports the modeled checksum verdict: false marks a torn
+	// program (the power cut interrupted the array operation), which
+	// recovery must treat as unwritten.
+	Good bool
+}
+
+// PageOOB returns the OOB metadata of the page at addr. Pages never
+// programmed since their block's last erase return FI -1, Seq 0.
+func (f *Flash) PageOOB(addr Address) OOBInfo {
+	o := &f.oob[f.geo.PageIndex(addr)]
+	return OOBInfo{FI: o.fi, Seq: o.seq, Good: o.good}
+}
+
+// VerifyPage recomputes the modeled OOB checksum of the written page at
+// addr against its stored payload: false marks a torn program. Pages
+// stamped without tracked data (sum 0) verify trivially — their torn state
+// is carried by the Good flag alone.
+func (f *Flash) VerifyPage(addr Address) bool {
+	pageIdx := f.geo.PageIndex(addr)
+	o := &f.oob[pageIdx]
+	if !o.good {
+		return false
+	}
+	if !f.trackData || o.sum == 0 {
+		return true
+	}
+	data := f.data[int(pageIdx/f.pagesPerC)].get(f.chanLocal(pageIdx))
+	if data == nil {
+		return false
+	}
+	return oobSum(data) == o.sum
+}
+
+// MarkBadBlock records the block at global index bi in the durable grown
+// bad-block table, in call order. Idempotent. The FTL's retire hook calls
+// it for every plane block of a retired super-block, which is what lets
+// Mount rebuild the retirement order (and the read-only latch) from flash
+// state alone.
+func (f *Flash) MarkBadBlock(bi int) {
+	blk := &f.blocks[bi]
+	if blk.bad {
+		return
+	}
+	blk.bad = true
+	f.badOrder = append(f.badOrder, int32(bi))
+}
+
+// IsBadBlock reports whether the block at global index bi is in the grown
+// bad-block table.
+func (f *Flash) IsBadBlock(bi int) bool { return f.blocks[bi].bad }
+
+// BadBlocks returns the grown bad-block table: global block indices in the
+// order they were marked.
+func (f *Flash) BadBlocks() []int {
+	out := make([]int, len(f.badOrder))
+	for i, bi := range f.badOrder {
+		out[i] = int(bi)
+	}
+	return out
+}
+
+// WriteSeq returns the device-wide write sequence counter (the source of
+// OOB sequence stamps).
+func (f *Flash) WriteSeq() uint64 { return f.progSeq }
+
+// PowerLossReport summarizes how a power cut resolved the storage state.
+type PowerLossReport struct {
+	// InFlight counts programs whose array operation had not completed at
+	// the cut time and were resolved by the seeded torn-or-committed draw.
+	InFlight int
+	// Torn counts in-flight programs resolved as torn: their OOB checksum
+	// is marked bad and their payload is lost, so mount-time recovery
+	// treats the page as unwritten.
+	Torn int
+	// Committed counts in-flight programs resolved as committed: the array
+	// operation latched enough charge that the page reads back intact.
+	Committed int
+	// ErasesUndone counts claimed erases whose array operation had not yet
+	// started at the cut: the block never physically erased, so its
+	// pre-erase contents (typically GC-migration sources whose copies were
+	// still in flight) are restored.
+	ErasesUndone int
+}
+
+// landPending installs the staged bytes of a not-yet-dispatched deferred
+// program into the tracked arena, so the page's durable payload survives
+// the batch carrier being dropped at a power cut. The checksum guard keeps
+// it honest: if the page's current OOB stamp is not the staged program's
+// (an undone erase restored an older generation over it), the staged bytes
+// belong to a program that never physically started and must not land.
+func (f *Flash) landPending(pageIdx int64) {
+	if !f.trackData {
+		return
+	}
+	ch := int(pageIdx / f.pagesPerC)
+	m := f.pendingProg[ch]
+	if m == nil {
+		return
+	}
+	ref, ok := m[pageIdx]
+	if !ok {
+		return
+	}
+	rec := &ref.batch.ops[ref.idx]
+	if rec.hasData {
+		if oobSum(rec.buf) == f.oob[pageIdx].sum {
+			f.data[ch].put(f.chanLocal(pageIdx), rec.buf)
+		}
+	} else if f.oob[pageIdx].sum == 0 {
+		f.data[ch].clearRange(f.chanLocal(pageIdx), 1)
+	}
+}
+
+// PowerLoss cuts power at simulated time now: every program whose array
+// operation would complete after the cut is resolved torn-or-committed by
+// a pure seeded draw (see tornDraw), torn pages lose their payload and
+// their OOB checksum, pending erase presence-clears are applied (an
+// interrupted erase completes — the model's deterministic resolution
+// rule), and all volatile firmware-side state — pending install indexes,
+// pooled deferred carriers, staged page buffers — is discarded.
+//
+// The caller must have stopped dispatching events first (sim.Engine.Halt):
+// every deferred bookkeeping event still queued is abandoned, which is the
+// point — that bookkeeping was firmware RAM. Because the in-flight set is
+// decided purely by comparing each page's OOB completion stamp against the
+// cut time, and the draw is a pure function of (seed, page, write
+// sequence), the resolution is identical at any dispatch parallelism.
+func (f *Flash) PowerLoss(now sim.Time, seed uint64) PowerLossReport {
+	var rep PowerLossReport
+	// Un-erase blocks whose erase claim's array operation starts after the
+	// cut: the functional reset applied at claim time (the in-order pointer
+	// must reset before later claims target the block), but physically the
+	// erase never began — the block still holds its data, which may be the
+	// only durable copy of migrations still in flight. Newest-first so
+	// stacked claims against one block settle on the oldest snapshot. The
+	// tracked arena needs no restore: every mutation that could follow the
+	// claim (the erase's presence clear, re-program installs) rides batch
+	// events at completion times after the cut, all abandoned.
+	for i := len(f.eraseUndo) - 1; i >= 0; i-- {
+		u := f.eraseUndo[i]
+		if u.done || u.start <= now {
+			continue
+		}
+		blk := &f.blocks[u.bi]
+		blk.eraseCount = u.eraseCount
+		blk.nextPage = u.nextPage
+		copy(blk.written, u.written)
+		base := int64(u.bi) * int64(f.geo.PagesPerBlock)
+		copy(f.oob[base:base+int64(f.geo.PagesPerBlock)], u.oob)
+		rep.ErasesUndone++
+	}
+	f.eraseUndo = nil
+	for bi := range f.blocks {
+		blk := &f.blocks[bi]
+		base := int64(bi) * int64(f.geo.PagesPerBlock)
+		for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+			pageIdx := base + int64(pg)
+			if !blk.written[pg] {
+				// Unwritten (possibly erased with the presence clear still
+				// queued in an abandoned event): settle the durable state.
+				if f.trackData {
+					ch := int(pageIdx / f.pagesPerC)
+					f.data[ch].clearRange(f.chanLocal(pageIdx), 1)
+				}
+				f.oob[pageIdx] = pageOOB{fi: -1}
+				continue
+			}
+			o := &f.oob[pageIdx]
+			if o.doneAt <= now {
+				// Completed before the cut: durable as-is. The bytes may
+				// still be staged though — a die batch dispatches at its
+				// LAST completion, so an abandoned batch can hold installs
+				// for programs that finished before the cut.
+				f.landPending(pageIdx)
+				continue
+			}
+			rep.InFlight++
+			if tornDraw(seed, pageIdx, o.seq) {
+				rep.Torn++
+				o.good = false
+				o.sum = 0
+				if f.trackData {
+					ch := int(pageIdx / f.pagesPerC)
+					f.data[ch].clearRange(f.chanLocal(pageIdx), 1)
+				}
+				continue
+			}
+			rep.Committed++
+			f.landPending(pageIdx)
+		}
+	}
+	// Drop all volatile firmware-side state: pending install indexes and
+	// every pooled carrier (abandoned queued events still reference some of
+	// them; the fresh pools make reuse impossible).
+	if f.pendingProg != nil {
+		for ch := range f.pendingProg {
+			f.pendingProg[ch] = nil
+		}
+	}
+	for ch := range f.readOps {
+		f.readOps[ch] = nil
+		f.dieOps[ch] = nil
+		f.pageBufs[ch] = nil
+	}
+	for i := range f.plan.dies {
+		f.plan.dies[i] = nil
+	}
+	f.plan.used = f.plan.used[:0]
+	f.plan.e, f.plan.doms, f.plan.open = nil, nil, false
+	f.epoch++ // the cut is a functional state transition
+	return rep
+}

@@ -149,7 +149,22 @@ const (
 	faultKindProgram uint64 = 0x70726f675f666169
 	faultKindErase   uint64 = 0x65726173655f6661
 	faultKindRead    uint64 = 0x726561645f666169
+	faultKindTorn    uint64 = 0x746f726e5f706f77
 )
+
+// tornDraw resolves one in-flight program at a power cut: true means the
+// interrupted array operation left the page torn (checksum-bad, payload
+// lost), false means it latched enough charge to commit. Like every fault
+// draw it is a pure function — of (seed, physical page, the program's
+// write sequence number) — so the resolution is independent of dispatch
+// order and identical for serial and horizon-parallel runs that cut power
+// at the same point. The split is even: an array operation interrupted at
+// a uniformly random point is modeled as a coin flip.
+func tornDraw(seed uint64, pageIdx int64, seq uint64) bool {
+	h := mix64(seed ^ (faultKindTorn + uint64(pageIdx)*0x9e3779b97f4a7c15))
+	h = mix64(h ^ seq)
+	return h&1 == 1
+}
 
 // faultModel draws injected faults. All draws run in serial sections (claim
 // paths and validation probes), so plain fields suffice; nothing here is

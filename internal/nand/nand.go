@@ -301,6 +301,40 @@ type blockState struct {
 	eraseCount uint32
 	nextPage   int32 // next programmable page (in-order constraint); PagesPerBlock means full
 	written    []bool
+	// bad marks a grown bad block: durable (it survives power loss — real
+	// firmware keeps a bad-block table in flash), recorded by MarkBadBlock
+	// when the FTL retires the block's super-block.
+	bad bool
+}
+
+// pageOOB models the out-of-band (spare) area real NAND pages carry: the
+// firmware stamps every program with the owning logical sub-page (fi, an
+// FTL-defined tag; -1 for untagged raw programs), a device-wide
+// monotonically increasing write sequence number, and a payload checksum.
+// Mount-time recovery rebuilds the whole mapping table from these stamps
+// alone: the highest sequence number wins a logical sub-page, and a failed
+// checksum (modeled by the good flag, cleared when a power cut tears the
+// program) marks the page unwritten. doneAt records when the array
+// operation completes, which is what decides whether a power cut at time T
+// caught the program in flight.
+type pageOOB struct {
+	fi     int64
+	seq    uint64
+	doneAt sim.Time
+	sum    uint64
+	good   bool
+}
+
+// oobSum is the modeled payload checksum: FNV-1a over the page bytes. Pages
+// programmed without tracked data carry sum 0 and skip verification.
+func oobSum(data []byte) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // arenaChunkPages is the number of physical pages per arena chunk. Chunks
@@ -386,6 +420,17 @@ type Flash struct {
 	dies     []*sim.Resource // one per die
 	blocks   []blockState
 
+	// oob holds the per-page out-of-band metadata, indexed by global
+	// physical page number; progSeq is the device-wide write sequence
+	// counter its stamps draw from. Both are durable across power loss.
+	oob     []pageOOB
+	progSeq uint64
+
+	// badOrder lists grown bad blocks (global block indices) in the order
+	// MarkBadBlock recorded them — the durable bad-block table mount-time
+	// recovery rebuilds the FTL retirement order from.
+	badOrder []int32
+
 	trackData bool
 	// data holds one tracked-page arena per channel, indexed by
 	// channel-local physical page number (the channel is the geometry's
@@ -435,6 +480,21 @@ type Flash struct {
 	// ops, another executor) has mutated the flash since, which would break
 	// the lockstep its certificates assume. Reads never bump it.
 	epoch uint64
+
+	// eraseUndo snapshots the durable state each claimed erase destroys,
+	// until the erase's array operation has verifiably started. The
+	// functional reset applies at claim time (later claims against the
+	// block need the in-order pointer reset), but physically the block
+	// still holds its data until the array operation begins — a power cut
+	// before that start means the erase never happened, and PowerLoss
+	// restores the snapshot so data still being migrated off the block
+	// survives the cut. Records are pruned once the dispatch clock passes
+	// their start (from then on any cut catches the erase mid-operation,
+	// which the model resolves as completed). eraseUndoPool recycles
+	// pruned records so the steady-state deferred erase path stays
+	// allocation-free.
+	eraseUndo     []*eraseUndoRec
+	eraseUndoPool []*eraseUndoRec
 
 	// pendingProg indexes, per channel, the deferred program installs that
 	// have been issued but whose batch event has not yet dispatched: global
@@ -504,6 +564,10 @@ func New(geo Geometry, tim Timing, pow Power, cell CellType, opt Options) (*Flas
 	f.blocks = make([]blockState, geo.TotalBlocks())
 	for i := range f.blocks {
 		f.blocks[i].written = make([]bool, geo.PagesPerBlock)
+	}
+	f.oob = make([]pageOOB, geo.TotalPages())
+	for i := range f.oob {
+		f.oob[i].fi = -1
 	}
 	f.chStats = make([]Stats, geo.Channels)
 	f.chEnergy = make([]float64, geo.Channels)
@@ -1040,6 +1104,15 @@ func (b *PlanBatch) Read(now sim.Time, addr Address, dst []byte) (Result, error)
 // batch event observe the bytes through the channel's pending-install
 // index) and batching the accounting and the tracked-data install.
 func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, error) {
+	return b.ProgramTagged(now, addr, data, -1)
+}
+
+// ProgramTagged is Program with an OOB logical tag: the FTL-defined
+// identity of the logical sub-page this program stores (fil passes the
+// forward-map index), stamped into the page's out-of-band metadata so
+// mount-time recovery can rebuild the mapping from flash alone. Raw and
+// untagged programs pass -1.
+func (b *PlanBatch) ProgramTagged(now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
 	f := b.f
 	if err := f.CheckProgram(addr); err != nil {
 		return Result{}, err
@@ -1047,7 +1120,7 @@ func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, er
 	if err := f.drawProgramFault(addr); err != nil {
 		return Result{}, err
 	}
-	xferStart, done := f.claimProgram(now, addr)
+	xferStart, done := f.claimProgram(now, addr, tag)
 	if !f.trackData {
 		b.die(addr, done).nProgs++
 		return Result{Start: xferStart, Ready: done, Done: done}, nil
@@ -1063,6 +1136,7 @@ func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, er
 			rec.buf[i] = 0
 		}
 		rec.hasData = true
+		f.oob[pageIdx].sum = oobSum(rec.buf)
 	}
 	rec.tracked = true
 	m := f.pendingProg[addr.Channel]
@@ -1091,7 +1165,8 @@ func (b *PlanBatch) Erase(now sim.Time, addr Address) (Result, error) {
 		return Result{}, err
 	}
 	bi := f.geo.BlockIndex(addr)
-	cmdStart, done := f.claimErase(now, addr)
+	f.pruneEraseUndo(b.e.Now())
+	cmdStart, done, _ := f.claimErase(now, addr)
 	if !f.trackData {
 		b.die(addr, done).nErases++
 		return Result{Start: cmdStart, Ready: done, Done: done}, nil
@@ -1148,8 +1223,14 @@ func (b *PlanBatch) reset() {
 // transaction's completion time: a single-transaction PlanBatch. An error
 // claims nothing and schedules nothing.
 func (f *Flash) ProgramDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, data []byte) (Result, error) {
+	return f.ProgramDeferredTagged(e, dom, now, addr, data, -1)
+}
+
+// ProgramDeferredTagged is ProgramDeferred with an OOB logical tag (see
+// PlanBatch.ProgramTagged).
+func (f *Flash) ProgramDeferredTagged(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
 	b := f.BeginPlan(e, nil)
-	r, err := b.programIn(dom, now, addr, data)
+	r, err := b.programIn(dom, now, addr, data, tag)
 	if err != nil {
 		b.Abort()
 		return r, err
@@ -1174,9 +1255,9 @@ func (f *Flash) EraseDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, add
 
 // programIn / eraseIn run one batch op with an explicit target domain, so
 // the single-op wrappers work without a per-channel domain table.
-func (b *PlanBatch) programIn(dom sim.DomainID, now sim.Time, addr Address, data []byte) (Result, error) {
+func (b *PlanBatch) programIn(dom sim.DomainID, now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
 	b.domOverride(dom, addr)
-	return b.Program(now, addr, data)
+	return b.ProgramTagged(now, addr, data, tag)
 }
 
 func (b *PlanBatch) eraseIn(dom sim.DomainID, now sim.Time, addr Address) (Result, error) {
@@ -1241,9 +1322,12 @@ func (f *Flash) accountErase(channel int) {
 // claimProgram reserves a program's two phases — the data streams over the
 // channel into the die's register, then the die programs the array — and
 // applies the functional block-state transition (written, in-order
-// pointer), which serial sections read. Shared by Program and
-// ProgramDeferred so the two paths can never diverge in timing or state.
-func (f *Flash) claimProgram(now sim.Time, addr Address) (xferStart, done sim.Time) {
+// pointer), which serial sections read. It also stamps the page's OOB
+// metadata: the caller's logical tag (-1 for raw untagged programs), the
+// next device-wide write sequence number, and the completion time the
+// power-loss cut tests against. Shared by Program and ProgramDeferred so
+// the two paths can never diverge in timing or state.
+func (f *Flash) claimProgram(now sim.Time, addr Address, tag int64) (xferStart, done sim.Time) {
 	ch := f.channels[addr.Channel]
 	die := f.dies[f.geo.DieIndex(addr)]
 	xferStart, xferEnd := ch.Claim(now, f.tim.CmdCycles+f.tim.XferTime(f.geo.PageSize))
@@ -1252,6 +1336,8 @@ func (f *Flash) claimProgram(now sim.Time, addr Address) (xferStart, done sim.Ti
 	blk.written[addr.Page] = true
 	blk.nextPage++
 	f.epoch++
+	f.progSeq++
+	f.oob[f.geo.PageIndex(addr)] = pageOOB{fi: tag, seq: f.progSeq, doneAt: done, good: true}
 	return xferStart, done
 }
 
@@ -1285,6 +1371,12 @@ func (f *Flash) checkNoPendingInstalls(ch int) {
 // deferred plan's installs are in flight on the channel, synchronous
 // programs fail with ErrDeferredInFlight.
 func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error) {
+	return f.ProgramTagged(now, addr, data, -1)
+}
+
+// ProgramTagged is Program with an OOB logical tag (see
+// PlanBatch.ProgramTagged).
+func (f *Flash) ProgramTagged(now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
 	if err := f.CheckProgram(addr); err != nil {
 		return Result{}, err
 	}
@@ -1294,31 +1386,104 @@ func (f *Flash) Program(now sim.Time, addr Address, data []byte) (Result, error)
 	if err := f.drawProgramFault(addr); err != nil {
 		return Result{}, err
 	}
-	xferStart, done := f.claimProgram(now, addr)
+	xferStart, done := f.claimProgram(now, addr, tag)
 	f.accountProgram(addr.Channel)
 	if f.trackData && data != nil {
 		f.checkNoPendingInstalls(addr.Channel)
-		f.data[addr.Channel].put(f.chanLocal(f.geo.PageIndex(addr)), data)
+		pageIdx := f.geo.PageIndex(addr)
+		f.data[addr.Channel].put(f.chanLocal(pageIdx), data)
+		f.oob[pageIdx].sum = oobSum(f.data[addr.Channel].get(f.chanLocal(pageIdx)))
 	}
 	return Result{Start: xferStart, Ready: done, Done: done}, nil
 }
 
+// eraseUndoRec snapshots the block state one claimed erase destroyed, so a
+// power cut before the erase's array operation started can put it back.
+type eraseUndoRec struct {
+	bi         int
+	start      sim.Time // array-operation start on the die
+	eraseCount uint32
+	nextPage   int32
+	written    []bool
+	oob        []pageOOB
+	// done marks an erase committed at claim time: the synchronous path
+	// runs with the engine drained and clears the tracked arena
+	// immediately, so its snapshot must never be restored.
+	done bool
+}
+
+// pruneEraseUndo drops undo records whose array operation has started by
+// the given engine dispatch time: any later power cut catches those erases
+// mid-operation (resolved as completed), so the snapshots are dead weight.
+func (f *Flash) pruneEraseUndo(dispatch sim.Time) {
+	kept := f.eraseUndo[:0]
+	for _, u := range f.eraseUndo {
+		if u.done || u.start <= dispatch {
+			f.eraseUndoPool = append(f.eraseUndoPool, u)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	f.eraseUndo = kept
+}
+
+// acquireEraseUndo hands out a pooled undo record with its snapshot slices
+// sized for one block.
+func (f *Flash) acquireEraseUndo() *eraseUndoRec {
+	if n := len(f.eraseUndoPool); n > 0 {
+		u := f.eraseUndoPool[n-1]
+		f.eraseUndoPool = f.eraseUndoPool[:n-1]
+		u.done = false
+		return u
+	}
+	return &eraseUndoRec{
+		written: make([]bool, f.geo.PagesPerBlock),
+		oob:     make([]pageOOB, f.geo.PagesPerBlock),
+	}
+}
+
+// commitEraseUndo marks an erase committed at claim time (the synchronous
+// path: the tracked arena is cleared immediately, so the snapshot must never
+// be restored) and recycles the record.
+func (f *Flash) commitEraseUndo(u *eraseUndoRec) {
+	u.done = true
+	if n := len(f.eraseUndo); n > 0 && f.eraseUndo[n-1] == u {
+		f.eraseUndo = f.eraseUndo[:n-1]
+		f.eraseUndoPool = append(f.eraseUndoPool, u)
+	}
+}
+
 // claimErase reserves an erase's phases and applies the functional block
 // reset (erase count, in-order pointer, written map). Shared by Erase and
-// EraseDeferred.
-func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time) {
-	blk := &f.blocks[f.geo.BlockIndex(addr)]
+// EraseDeferred. The returned undo record holds the destroyed state; the
+// synchronous caller marks it done (committed at claim), the deferred path
+// leaves it pending until the array operation's start time passes.
+func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time, undo *eraseUndoRec) {
+	bi := f.geo.BlockIndex(addr)
+	blk := &f.blocks[bi]
 	ch := f.channels[addr.Channel]
 	die := f.dies[f.geo.DieIndex(addr)]
 	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
-	_, done = die.Claim(cmdEnd, f.tim.Erase)
+	opStart, done := die.Claim(cmdEnd, f.tim.Erase)
+	base := int64(bi) * int64(f.geo.PagesPerBlock)
+	undo = f.acquireEraseUndo()
+	undo.bi = bi
+	undo.start = opStart
+	undo.eraseCount = blk.eraseCount
+	undo.nextPage = blk.nextPage
+	copy(undo.written, blk.written)
+	copy(undo.oob, f.oob[base:base+int64(f.geo.PagesPerBlock)])
+	f.eraseUndo = append(f.eraseUndo, undo)
 	blk.eraseCount++
 	blk.nextPage = 0
 	for i := range blk.written {
 		blk.written[i] = false
 	}
+	for i := 0; i < f.geo.PagesPerBlock; i++ {
+		f.oob[base+int64(i)] = pageOOB{fi: -1}
+	}
 	f.epoch++
-	return cmdStart, done
+	return cmdStart, done, undo
 }
 
 // Erase erases the block containing addr (its Page field is ignored).
@@ -1336,7 +1501,8 @@ func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
 		return Result{}, err
 	}
 	bi := f.geo.BlockIndex(addr)
-	cmdStart, done := f.claimErase(now, addr)
+	cmdStart, done, undo := f.claimErase(now, addr)
+	f.commitEraseUndo(undo)
 	if f.trackData {
 		f.checkNoPendingInstalls(addr.Channel)
 		base := int64(bi) * int64(f.geo.PagesPerBlock)

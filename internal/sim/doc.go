@@ -317,6 +317,63 @@
 // with faults enabled renders identical fault sites, retirement order,
 // stats and payload bytes at workers 1, 2 and 4.
 //
+// # Power-loss determinism: the durable/volatile split under parallelism
+//
+// The durability subsystem (nand.Flash.PowerLoss, ftl Mount/recovery,
+// core snapshot/restore) rides on the same horizon structure, and its
+// guarantee is the same one: an emulated power cut at simulated time T
+// produces the identical post-recovery device at any worker count. Four
+// rules make that hold:
+//
+//  1. The cut is a cross-domain event. core schedules PowerLossAt as a
+//     plain cross event in its own domain, so RunParallel barriers before
+//     dispatching it: every domain-local event with key strictly before
+//     the cut has run, every one after it has not, and that prefix is the
+//     same set the serial loop would have dispatched (property 4 of the
+//     window argument above). The volatile/durable classification of
+//     every byte of simulator state is therefore fixed by the serial
+//     total order, not by which worker happened to run what.
+//
+//  2. Durable state is exactly what reached NAND. The cut discards all
+//     volatile firmware state — ICL cache lines and flush buffers,
+//     staged pageBufs, in-flight plans, the deferred per-channel
+//     bookkeeping — and keeps only the arena pages and per-page OOB
+//     stamps (logical tag, device-wide write sequence, checksum) that
+//     programs physically completed. A program in flight at T resolves
+//     torn-or-committed by a stateless seeded draw keyed on (seed,
+//     physical page, write sequence) — the same draw discipline as fault
+//     injection: no shared RNG cursor, so the resolution is a pure
+//     function of the cut time and the issue stream. Claimed-but-unstarted
+//     erases are undone from per-block snapshots taken at claim time
+//     (functional state mutates at issue, far ahead of dispatch, so a cut
+//     can land between claim and start).
+//
+//  3. Mount rebuilds from OOB alone. ftl.Mount scans every block's OOB
+//     stamps in fixed physical order, keeps the highest-sequence valid
+//     copy of each logical page, discards torn tails by checksum, and
+//     reconstructs mapping, valid counts, append pointers and retirement
+//     state with no reference to any volatile structure. Because the
+//     durable image is deterministic (rules 1-2) and the scan order is
+//     fixed, the mounted FTL is too — including the post-mount free-
+//     reserve recovery (cleanup erases of fully-stale blocks, and the
+//     emergency squeeze compaction when a cut undoes every claimed erase
+//     and leaves no erased block at all).
+//
+//  4. Snapshots serialize only functional state. core.Snapshot encodes
+//     the drained system — clocks, resources' next-free times, FTL
+//     mapping, cache contents, arena pages, stats — into a checksummed,
+//     versioned, config-fingerprinted image (package snap); Restore
+//     decodes into a fresh system and swaps only on full success, so a
+//     corrupt or skewed image fails with a typed error and an untouched
+//     target. A drained system has no pending events, so the image is
+//     mode-independent by construction, and restore(snapshot(S))
+//     continues byte-identical to S at any worker count.
+//
+// The golden tests lock the chain in end to end: power-loss recovery and
+// cut-time sweeps compare serial against workers 1, 2 and 4 under -race,
+// and the snapshot round-trip asserts re-snapshot byte-equality plus an
+// identical continuation trajectory.
+//
 // # Resources
 //
 // Resource and Pool model FCFS servers by time reservation: Claim(now, dur)

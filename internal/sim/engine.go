@@ -116,6 +116,11 @@ type Engine struct {
 	// instead of racing.
 	inWindow bool
 
+	// halted is set by Halt (a power-loss event body): the drain loops —
+	// Run, RunUntil, RunParallel — return after the current dispatch
+	// completes, leaving every later event queued. Reset clears it.
+	halted bool
+
 	// Tournament (winner) tree over shard heads: tree[leafCap+s] mirrors
 	// shard s's head, each internal node caches the winner of its two
 	// children, tree[1] is the overall winner. Nodes carry the head
@@ -237,7 +242,20 @@ func (e *Engine) Reset() {
 	e.pending = 0
 	e.now = 0
 	e.seq = 0
+	e.halted = false
 }
+
+// Halt stops the drain loops: after the event that calls it returns, Run,
+// RunUntil and RunParallel exit with every later event still queued. It is
+// the mechanism behind deterministic power-loss injection — the cut event
+// halts the engine at an exact (time, sequence) point, and because it rides
+// a plain cross-domain shard, the horizon-parallel drain reaches it only
+// after every earlier event dispatched at any worker count. Reset clears
+// the flag.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt stopped the engine since the last Reset.
+func (e *Engine) Halted() bool { return e.halted }
 
 // Schedule queues fn to run after delay in the default domain. A zero
 // delay fires on the next Step at the current time, after previously
@@ -366,20 +384,24 @@ func (e *Engine) stepShard(w int) {
 	fn()
 }
 
-// Run dispatches events until the queue drains.
+// Run dispatches events until the queue drains or Halt stops the engine.
 func (e *Engine) Run() {
-	for e.Step() {
+	for !e.halted && e.Step() {
 	}
 }
 
 // RunUntil dispatches events with time <= t, then advances the clock to t.
-// Events scheduled beyond t remain queued.
+// Events scheduled beyond t remain queued. A Halt stops the loop early
+// without advancing the clock.
 func (e *Engine) RunUntil(t Time) {
-	for {
+	for !e.halted {
 		if head := e.tree[1]; head == emptyNode || head.at > t {
 			break
 		}
 		e.Step()
+	}
+	if e.halted {
+		return
 	}
 	if t > e.now {
 		e.now = t

@@ -362,7 +362,7 @@ func clampWorkers(workers, locals int) int {
 // drain counted as cross events.
 func (e *Engine) runSerialDrain() ParallelStats {
 	var st ParallelStats
-	for e.Step() {
+	for !e.halted && e.Step() {
 		st.CrossEvents++
 	}
 	return st
@@ -410,6 +410,9 @@ func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelSt
 				e.stepShard(cross)
 				st.CrossEvents++
 				st.BatchedCross++
+				if e.halted {
+					return st
+				}
 				continue
 			}
 			st.Horizons++
@@ -435,6 +438,15 @@ func (e *Engine) runParallel(workers int, getPool func() *WorkerPool) ParallelSt
 		}
 		e.stepShard(cross)
 		st.CrossEvents++
+		if e.halted {
+			// A power-loss cut: every event before the halting cross event
+			// (in (time, sequence) order) has dispatched — the windows above
+			// drained the local shards strictly up to it at any worker count
+			// — and everything after it stays queued. The surviving state is
+			// therefore identical to the serial drain halting at the same
+			// event.
+			return st
+		}
 	}
 }
 

@@ -77,6 +77,27 @@ func (r *Resource) Reset() {
 	r.claims = 0
 }
 
+// ResourceState is a Resource's serializable reservation state, captured by
+// State and reinstalled by SetState for snapshot/restore.
+type ResourceState struct {
+	FreeAt Time
+	Busy   Duration
+	Claims uint64
+}
+
+// State captures the reservation state (the name is construction-time
+// identity and is not included).
+func (r *Resource) State() ResourceState {
+	return ResourceState{FreeAt: r.freeAt, Busy: r.busy, Claims: r.claims}
+}
+
+// SetState reinstalls a previously captured reservation state.
+func (r *Resource) SetState(st ResourceState) {
+	r.freeAt = st.FreeAt
+	r.busy = st.Busy
+	r.claims = st.Claims
+}
+
 // Pool is a k-server resource: each claim is served by the server that
 // frees earliest. It models identical parallel units such as CPU cores.
 type Pool struct {
@@ -153,4 +174,29 @@ func (p *Pool) Reset() {
 	}
 	p.busy = 0
 	p.claims = 0
+}
+
+// PoolState is a Pool's serializable reservation state.
+type PoolState struct {
+	Servers []Time
+	Busy    Duration
+	Claims  uint64
+}
+
+// State captures the reservation state. The returned server slice is a copy.
+func (p *Pool) State() PoolState {
+	servers := make([]Time, len(p.servers))
+	copy(servers, p.servers)
+	return PoolState{Servers: servers, Busy: p.busy, Claims: p.claims}
+}
+
+// SetState reinstalls a previously captured reservation state. The server
+// count must match the pool's size.
+func (p *Pool) SetState(st PoolState) {
+	if len(st.Servers) != len(p.servers) {
+		panic("sim: pool SetState with mismatched server count")
+	}
+	copy(p.servers, st.Servers)
+	p.busy = st.Busy
+	p.claims = st.Claims
 }

@@ -33,6 +33,20 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state for snapshot/restore.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState reinstalls a previously captured generator state, so the stream
+// continues exactly where the captured generator left off. The all-zero
+// state (which xoshiro cannot escape) is rejected by substituting the same
+// non-zero fallback NewRNG uses.
+func (r *RNG) SetState(s [4]uint64) {
+	r.s = s
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
