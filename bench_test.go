@@ -303,3 +303,29 @@ func BenchmarkSubmitPath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSubmitBatch measures the same stream through the vectored
+// SubmitBatch API: identical simulated results to the Submit loop above
+// (core's golden equivalence test), with per-request constants amortized
+// across queue-depth windows.
+func BenchmarkSubmitBatch(b *testing.B) {
+	d := config.SmallTestDevice()
+	d.TrackData = false
+	s, err := core.NewSystem(config.PCSystem(d))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]workload.Request, b.N)
+	for i := range reqs {
+		reqs[i] = gen.Next(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := s.SubmitBatch(s.Now(), reqs, nil); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 //	ambersim -device zssd -trace 24HRS -n 10000
 //	ambersim -device intel750,zssd,850pro -parallel 3   # one system per device, simulated concurrently
 //	ambersim -device intel750 -intra-parallel 4         # channel shards step concurrently between horizons
+//	ambersim -device intel750 -batch-submit -n 20000    # vectored SubmitBatch path, per-window bookkeeping
 //	ambersim -list
 //
 // With multiple devices, each gets its own single-threaded core.System;
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +56,7 @@ func main() {
 		powerLoss = flag.String("power-loss-at", "", "cut device power this long into the measured run (e.g. 50ms): volatile state is lost, in-flight programs resolve torn-or-committed by a seeded draw, then the device remounts from OOB and the run reports the recovery")
 		snapPath  = flag.String("snapshot", "", "after the run, write the device's full functional state to this file as a checksummed versioned image")
 		restPath  = flag.String("restore", "", "before the run, restore device state from this snapshot image (skips preconditioning; the image carries the device's steady state)")
+		batchSub  = flag.Bool("batch-submit", false, "drive the measured requests through the vectored SubmitBatch entry (serial depth-1 contract, per-window bookkeeping drains): footer reports batch windows and certified-read fast-path counters")
 	)
 	flag.Parse()
 
@@ -138,6 +141,12 @@ func main() {
 	if (*snapPath != "" || *restPath != "") && len(devices) > 1 {
 		fatal(fmt.Errorf("-snapshot and -restore apply to a single device, got %d", len(devices)))
 	}
+	if *batchSub && powerCut > 0 {
+		// SubmitBatch is synchronous: each call returns with the device
+		// quiescent, so there is no in-flight window for a cut to land in.
+		// Power-loss runs need the evented runner.
+		fatal(errors.New("-batch-submit and -power-loss-at are incompatible: the vectored path has no in-flight state to cut"))
+	}
 
 	runOne := func(dev string, w io.Writer) error {
 		d, err := config.Device(dev)
@@ -196,20 +205,56 @@ func main() {
 		if powerCut > 0 {
 			rc.PowerLossAt = s.Now() + powerCut
 		}
-		res, err := s.Run(gen, rc)
-		if err != nil {
-			return err
+		var res *core.RunResult
+		if *batchSub {
+			// Vectored path: pre-generate the whole request stream and hand
+			// it to SubmitBatch in one call. The device windows internally
+			// (scheduler dispatch window, protocol queue depth, engine batch
+			// limit) and drains deferred bookkeeping once per window instead
+			// of once per request; results are byte-identical to a Submit
+			// loop, so every footer counter below means the same thing.
+			reqs := make([]workload.Request, *n)
+			var bytesRead, bytesWritten int64
+			for i := range reqs {
+				reqs[i] = gen.Next(i)
+				if reqs[i].Write {
+					bytesWritten += int64(reqs[i].Length)
+				} else {
+					bytesRead += int64(reqs[i].Length)
+				}
+			}
+			start := s.Now()
+			end, err := s.SubmitBatch(start, reqs, nil)
+			if err != nil {
+				return err
+			}
+			res = &core.RunResult{
+				Workload: gen.Name(), Requests: *n, Depth: 1,
+				BytesRead: bytesRead, BytesWritten: bytesWritten,
+				Start: start, End: end,
+			}
+		} else {
+			res, err = s.Run(gen, rc)
+			if err != nil {
+				return err
+			}
 		}
 
 		el := res.Elapsed()
 		fmt.Fprintf(w, "workload        %s\n", res.Workload)
 		fmt.Fprintf(w, "device          %s (%s, %d dies)\n", d.Name, d.Protocol.Kind, d.Geometry.TotalDies())
-		fmt.Fprintf(w, "requests        %d at depth %d (effective)\n", res.Requests, res.Depth)
+		if *batchSub {
+			fmt.Fprintf(w, "requests        %d vectored (serial depth-1 contract)\n", res.Requests)
+		} else {
+			fmt.Fprintf(w, "requests        %d at depth %d (effective)\n", res.Requests, res.Depth)
+		}
 		fmt.Fprintf(w, "simulated time  %v\n", el)
 		fmt.Fprintf(w, "bandwidth       %.1f MB/s (%.0f IOPS)\n", res.BandwidthMBps(), res.IOPS())
-		fmt.Fprintf(w, "latency         avg %.1f us, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
-			res.AvgLatencyUs(), res.Latency.Percentile(50), res.Latency.Percentile(95),
-			res.Latency.Percentile(99), res.Latency.Max())
+		if !*batchSub {
+			fmt.Fprintf(w, "latency         avg %.1f us, p50 %.1f, p95 %.1f, p99 %.1f, max %.1f\n",
+				res.AvgLatencyUs(), res.Latency.Percentile(50), res.Latency.Percentile(95),
+				res.Latency.Percentile(99), res.Latency.Max())
+		}
 
 		fs := s.FTL.Stats()
 		fmt.Fprintf(w, "ftl             WAF %.2f, GC runs %d, migrated %d, erases %d\n",
@@ -231,6 +276,11 @@ func main() {
 		twoStage, legacyFills := s.FillStats()
 		fmt.Fprintf(w, "fil             %d plans (%d certified fast-path), fills %d two-stage / %d legacy\n",
 			fils.PlanCount, fils.CertifiedPlans, twoStage, legacyFills)
+		if *batchSub {
+			windows, batched := s.BatchStats()
+			fmt.Fprintf(w, "batch           %d windows over %d requests; certified reads %d, cert disarms %d\n",
+				windows, batched, fils.CertifiedReads, fils.CertDisarms)
+		}
 		if res.PowerLost {
 			pl := res.PowerLoss.Flash
 			fmt.Fprintf(w, "power loss      cut at %v: %d in-flight programs (%d torn / %d committed), %d erases undone, %d dirty cache lines lost\n",
@@ -249,21 +299,23 @@ func main() {
 				fst.ProgramFails, fst.EraseFails, fst.Uncorrectable, fst.ReadRetries,
 				s.FTL.RetiredSuperBlocks(), s.FTL.SpareHeadroom(), res.FailedWrites, res.FailedReads, state)
 		}
-		fmt.Fprintf(w, "engine          %d events", res.Events)
-		// The busiest scheduling domains, most-loaded first.
-		sort.Slice(res.DomainEvents, func(i, j int) bool {
-			return res.DomainEvents[i].Dispatched > res.DomainEvents[j].Dispatched
-		})
-		shown := 0
-		for _, d := range res.DomainEvents {
-			if d.Dispatched == 0 || shown == 4 {
-				break
+		if !*batchSub {
+			fmt.Fprintf(w, "engine          %d events", res.Events)
+			// The busiest scheduling domains, most-loaded first.
+			sort.Slice(res.DomainEvents, func(i, j int) bool {
+				return res.DomainEvents[i].Dispatched > res.DomainEvents[j].Dispatched
+			})
+			shown := 0
+			for _, d := range res.DomainEvents {
+				if d.Dispatched == 0 || shown == 4 {
+					break
+				}
+				fmt.Fprintf(w, "  %s %d", d.Name, d.Dispatched)
+				shown++
 			}
-			fmt.Fprintf(w, "  %s %d", d.Name, d.Dispatched)
-			shown++
+			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
-		if *intraPar > 1 {
+		if *intraPar > 1 && !*batchSub {
 			st := res.Intra
 			fmt.Fprintf(w, "intra-parallel  %d horizons (%d fanned out over %d workers), %d local + %d cross events, %.1f local events/horizon\n",
 				st.Horizons, st.ParallelHorizons, *intraPar, st.LocalEvents, st.CrossEvents, st.MeanLocalPerHorizon())

@@ -189,6 +189,13 @@ type System struct {
 	subDone     sim.Time
 	subErr      error
 
+	// Vectored submit state (SubmitBatch): the inline path's line scratch
+	// and the window counters the ambersim footer reports.
+	batchLines   []hil.Line
+	batchWindow  int
+	batchWindows uint64
+	batchReqs    uint64
+
 	reqs         uint64
 	bytesRead    uint64
 	bytesWritten uint64
@@ -343,6 +350,10 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 	if err := f.AcceptCertified(translator); err != nil {
 		return nil, err
 	}
+	// Read certificates: lookups stamp the flash mutation epoch they were
+	// performed under, so the FIL can honor "mapped ⇒ written" on the read
+	// side and skip the per-address validation walk while the chain holds.
+	translator.SetEpochSource(flash.StateEpoch)
 	s.allSubs = make([]int, translator.SubPagesPerSuperPage())
 	for i := range s.allSubs {
 		s.allSubs[i] = i
@@ -561,6 +572,35 @@ func (s *System) TwoStageFills() bool { return s.twoStageFills }
 // trace replays use to confirm which structure served them.
 func (s *System) FillStats() (twoStage, legacy uint64) {
 	return s.fillsTwoStage, s.fillsLegacy
+}
+
+// BatchStats returns how many requests SubmitBatch has processed and how
+// many deferred-bookkeeping windows it drained for them — zero windows with
+// nonzero requests means every request fell back to the evented path.
+func (s *System) BatchStats() (windows, requests uint64) {
+	return s.batchWindows, s.batchReqs
+}
+
+// DefaultBatchWindow is SubmitBatch's submission-window ceiling when the
+// caller has not chosen one (SetBatchWindow): deferred per-channel
+// bookkeeping drains at least this often even for arbitrarily long request
+// vectors, keeping the engine's event pool at its steady-state size. The
+// host scheduler's depth cap and the protocol's hardware queue limit still
+// clamp below it.
+const DefaultBatchWindow = 64
+
+// SetBatchWindow overrides the SubmitBatch submission-window ceiling;
+// n <= 0 restores DefaultBatchWindow. Larger windows defer more
+// bookkeeping per drain (bounded by the engine's SetBatchLimit backstop);
+// simulated results are identical at any window size.
+func (s *System) SetBatchWindow(n int) { s.batchWindow = n }
+
+// batchWindowCap returns the active submission-window ceiling.
+func (s *System) batchWindowCap() int {
+	if s.batchWindow > 0 {
+		return s.batchWindow
+	}
+	return DefaultBatchWindow
 }
 
 // SubmitIntraStats returns the horizon structure accumulated over every

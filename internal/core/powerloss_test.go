@@ -311,3 +311,50 @@ func TestPowerLossSweepGoldenEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestReadCertPowerLossMountDisarm pins the read-certificate lifecycle
+// across a power cycle at the system level: durable reads fast-path while
+// the chain is armed, the cut disarms it (reads walk validation), and
+// Mount's recovery re-arms against the rebuilt FTL so the fast path
+// resumes — with the pre-cut issuer's certificates rejected by identity.
+func TestReadCertPowerLossMountDisarm(t *testing.T) {
+	s := wideSystem(t)
+	seqFillDurable(t, s, 0)
+
+	readRun := func(seed uint64) {
+		t.Helper()
+		rgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 4096)
+		for i := 0; i < 50; i++ {
+			if _, err := s.Submit(s.Now(), rgen.Next(i), buf); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+		}
+	}
+
+	readRun(11)
+	armed := s.FIL.Stats()
+	if armed.CertifiedReads == 0 {
+		t.Fatal("durable reads on an armed chain never took the certified path")
+	}
+
+	s.PowerLoss(s.Now() + 1)
+	afterCut := s.FIL.Stats()
+	if afterCut.CertDisarms <= armed.CertDisarms {
+		t.Fatalf("power loss did not disarm the read certificate: %d -> %d",
+			armed.CertDisarms, afterCut.CertDisarms)
+	}
+	if _, err := s.Mount(); err != nil {
+		t.Fatal(err)
+	}
+
+	readRun(13)
+	remounted := s.FIL.Stats()
+	if remounted.CertifiedReads <= afterCut.CertifiedReads {
+		t.Fatalf("mount recovery did not re-arm the certified read path: %d -> %d",
+			afterCut.CertifiedReads, remounted.CertifiedReads)
+	}
+}

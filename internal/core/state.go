@@ -208,6 +208,10 @@ func (s *System) Mount() (ftl.MountReport, error) {
 		}
 	})
 	s.FTL = mounted
+	// Certificates minted by the pre-cut FTL are rejected by issuer
+	// identity; the mounted FTL mints fresh ones against the same epoch
+	// source.
+	mounted.SetEpochSource(s.Flash.StateEpoch)
 	if err := s.FIL.AcceptCertified(mounted); err != nil {
 		return rep, err
 	}

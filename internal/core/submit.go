@@ -388,16 +388,7 @@ func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Ti
 	if now < s.now {
 		now = s.now
 	}
-	if s.subEngine == nil {
-		s.subEngine = sim.NewEngine()
-		s.subStartFn = func() {
-			s.SubmitAsync(s.subEngine, s.subReq, s.subData, s.subFinishFn)
-		}
-		s.subFinishFn = func(t sim.Time, err error) {
-			s.subDone, s.subErr = t, err
-		}
-	}
-	e := s.subEngine
+	e := s.submitEngine()
 	e.Reset()
 	s.subReq, s.subData = req, data
 	s.subDone, s.subErr = 0, nil
@@ -420,6 +411,199 @@ func (s *System) drainSubmitIntra(e *sim.Engine) {
 		s.subPool = sim.NewWorkerPool(e, s.intraWorkers)
 	}
 	s.submitIntra.Accumulate(e.RunParallelWith(s.subPool))
+}
+
+// submitEngine returns the synchronous submit paths' private engine,
+// lazily constructed with Submit's dispatch closures bound once.
+func (s *System) submitEngine() *sim.Engine {
+	if s.subEngine == nil {
+		s.subEngine = sim.NewEngine()
+		s.subStartFn = func() {
+			s.SubmitAsync(s.subEngine, s.subReq, s.subData, s.subFinishFn)
+		}
+		s.subFinishFn = func(t sim.Time, err error) {
+			s.subDone, s.subErr = t, err
+		}
+	}
+	return s.subEngine
+}
+
+// SubmitBatch pushes a whole vector of host requests through the stack with
+// per-request results identical to calling Submit in a loop — request i+1
+// is issued at request i's completion, the serial depth-1 semantics of the
+// synchronous API — while amortizing the per-request constants across a
+// queue-depth window. Steady-state write requests are unrolled inline:
+// their stage boundaries (parse done, payload transferred, lines written,
+// completion composed) are pure time arithmetic over the same resource
+// claims the evented pipeline makes, in the same order, so no engine events
+// are scheduled for them at all; only the deferred per-channel flash
+// bookkeeping (accounting-only by construction, sim/doc.go) accumulates,
+// and drains once per window instead of once per request. The window is
+// bounded by the host scheduler's queue-depth cap, the protocol's hardware
+// queue limit, and the engine's SetBatchLimit backstop. Requests the inline
+// contract cannot cover — reads (their fills install in future events),
+// passive mode, an in-flight fill — fall back to the evented Submit after a
+// window drain, so mixed batches stay byte-identical too.
+//
+// datas optionally carries per-request payload buffers (writes) or receives
+// them (reads); it may be nil, or hold nil entries. Processing stops at the
+// first error, which is returned wrapped with the request's index; earlier
+// requests remain applied, exactly as a Submit loop would leave them.
+func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]byte) (sim.Time, error) {
+	if now < s.now {
+		now = s.now
+	}
+	last := now
+	e := s.submitEngine()
+	e.Reset()
+	window := s.params.EffectiveQueueDepth(s.Host.BatchWindow(len(reqs)))
+	if w := s.batchWindowCap(); window > w {
+		window = w
+	}
+	if bl := e.BatchLimit(); window > bl {
+		window = bl
+	}
+	fill := 0
+	for i, req := range reqs {
+		var data []byte
+		if datas != nil {
+			data = datas[i]
+		}
+		cur := now
+		if cur < s.now {
+			cur = s.now
+		}
+		var done sim.Time
+		var err error
+		if req.Write && !s.passive && len(s.filling) == 0 {
+			done, err = s.submitInline(e, cur, req, data)
+			fill++
+			if fill >= window {
+				s.drainWindow(e, &fill)
+			}
+		} else {
+			// The evented path resets the shared engine, so pending window
+			// bookkeeping must land first.
+			s.drainWindow(e, &fill)
+			done, err = s.Submit(cur, req, data)
+		}
+		if err != nil {
+			s.drainWindow(e, &fill)
+			return 0, fmt.Errorf("core: batch request %d: %w", i, err)
+		}
+		last = done
+		s.batchReqs++
+	}
+	s.drainWindow(e, &fill)
+	return last, nil
+}
+
+// drainWindow dispatches the deferred bookkeeping a batch window
+// accumulated and resets the shared engine (times rewind to zero, exactly
+// the state a fresh Submit would start from). fill counts the inline
+// requests since the last drain; an empty window drains nothing and is not
+// counted.
+func (s *System) drainWindow(e *sim.Engine, fill *int) {
+	if *fill == 0 && e.Pending() == 0 {
+		return
+	}
+	if s.intraWorkers > 1 {
+		s.drainSubmitIntra(e)
+	} else {
+		e.Run()
+	}
+	e.Reset()
+	// Inline erase claims ran outside the engine, where the dispatch clock
+	// that normally retires their power-loss undo snapshots never moves; the
+	// host clock is the earliest time a future cut can land, so snapshots of
+	// erases already started by then are dead weight.
+	s.Flash.PruneEraseUndo(s.now)
+	s.batchWindows++
+	*fill = 0
+}
+
+// submitInline is the batched write fast path: SubmitAsync's stage 1 plus
+// the opDispatch/opWriteOps/opFinish stages of submitOp.step, unrolled into
+// one call. Every resource claim the evented pipeline would make is made
+// here, at the same time, in the same order — the stage events it elides
+// carried no claims of their own, only the times the claims below derive
+// directly. Deferred per-channel flash bookkeeping is scheduled on e as
+// usual and left for the caller's window drain.
+func (s *System) submitInline(e *sim.Engine, now sim.Time, req workload.Request, data []byte) (sim.Time, error) {
+	if req.Length <= 0 || req.Offset < 0 || req.Offset+int64(req.Length) > s.VolumeBytes() {
+		return 0, fmt.Errorf("core: request [%d,+%d) outside volume of %d bytes",
+			req.Offset, req.Length, s.VolumeBytes())
+	}
+	if data != nil && len(data) < req.Length {
+		return 0, fmt.Errorf("core: data buffer shorter than request")
+	}
+	if s.FTL.ReadOnly() {
+		return 0, fmt.Errorf("core: write of [%d,+%d) refused: %w",
+			req.Offset, req.Length, ftl.ErrReadOnly)
+	}
+
+	// Stage 1: kernel submission, doorbell, command fetch, queue/parse.
+	sequential := req.Offset == s.lastEnd
+	s.lastEnd = req.Offset + int64(req.Length)
+	subEnd := s.Host.Submit(now, sequential, s.params.SubmitInstr)
+	t := subEnd + s.params.DoorbellLatency
+	if s.hba != nil {
+		_, t = s.hba.Claim(t, s.params.ControllerLatency)
+	}
+	_, fetched := s.link.Claim(t, s.params.CmdFetchTime())
+	arrived := fetched + s.params.ControllerLatency
+	_, parsed := s.DevCPU.Execute(arrived, s.coreFor(0), "hil",
+		s.params.QueueMix.Add(s.params.ParseMix))
+
+	lines, err := s.Split.SplitInto(s.batchLines[:0], req.Offset, req.Length)
+	if err != nil {
+		return 0, err
+	}
+	s.batchLines = lines
+	build := dma.Build
+	if s.cfg.ContiguousDMA {
+		build = dma.BuildContiguous
+	}
+	pl, err := build(s.listKind(), req.Length, s.cfg.HostPageSize, data)
+	if err != nil {
+		return 0, err
+	}
+
+	// opDispatch: pointer-list walk, payload transfer into the device.
+	walked := s.DMA.WalkList(parsed, pl)
+	xferDone := s.DMA.Transfer(walked, pl, true)
+
+	// opWriteOps: the line writes, all claiming from the transfer's end.
+	opsDone := xferDone
+	for i := range lines {
+		ln := lines[i]
+		var lineData []byte
+		if data != nil {
+			lineData = s.lineBuffer(ln, data[ln.ByteOff:ln.ByteOff+ln.ByteLen])
+		}
+		done, err := s.writeLine(e, xferDone, ln, lineData)
+		if err != nil {
+			return 0, err
+		}
+		if done > opsDone {
+			opsDone = done
+		}
+	}
+	s.bytesWritten += uint64(req.Length)
+
+	// opFinish: completion firmware, CQ/interrupt, host ISR.
+	_, composed := s.DevCPU.Execute(opsDone, s.coreFor(0), "hil.complete", s.params.CompleteMix)
+	_, cqDone := s.link.Claim(composed, s.params.CompletionTime())
+	intr := cqDone + s.params.InterruptLatency
+	if s.hba != nil {
+		_, intr = s.hba.Claim(intr, s.params.ControllerLatency/2)
+	}
+	complete := s.Host.Complete(intr, s.params.CompleteInstr)
+	s.reqs++
+	if complete > s.now {
+		s.now = complete
+	}
+	return complete, nil
 }
 
 // lineByteStart returns the offset of the request's payload within the
@@ -577,7 +761,7 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 	fo.cb = cb
 
 	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
-	locs, err := s.FTL.LookupInto(fo.locs[:0], lspn)
+	locs, cert, err := s.FTL.LookupCertified(fo.locs[:0], lspn)
 	if err != nil {
 		s.releaseFill(fo)
 		cb(0, err)
@@ -619,7 +803,10 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 			// fill's line buffer at issue (pending-aware, one copy), so the
 			// channel shards carry only the reads' accounting and the
 			// publish below depends on no pending channel event.
-			flashDone, err = s.FIL.ReadSubsStaged(e, doms.nand, t3, fetch, dsts)
+			// The lookup's read certificate rides along: while the
+			// FTL↔flash chain is armed, the per-address validation walk
+			// is skipped (mapped ⇒ written by construction).
+			flashDone, err = s.FIL.ReadSubsStaged(e, doms.nand, t3, fetch, dsts, cert)
 		} else {
 			// Legacy single stage: each read's per-channel bookkeeping
 			// (counters, energy, the copy into its dst slice) rides the

@@ -105,9 +105,19 @@ type Complex struct {
 	pow   Power
 	cores *sim.Pool
 
-	total     InstrMix
-	perModule map[string]InstrMix
+	total InstrMix
+	// perModule is a small append-only list (the firmware stack has ~10
+	// module names, charged millions of times): a linear scan with a
+	// last-hit cache beats hashing the module string on every Execute.
+	perModule []moduleMix
+	lastMod   int
 	energyJ   float64
+}
+
+// moduleMix is one module's cumulative instruction accounting.
+type moduleMix struct {
+	name string
+	mix  InstrMix
 }
 
 // New constructs a Complex from a validated configuration.
@@ -116,10 +126,9 @@ func New(cfg Config, pow Power) (*Complex, error) {
 		return nil, err
 	}
 	return &Complex{
-		cfg:       cfg,
-		pow:       pow,
-		cores:     sim.NewPool("cpu.cores", cfg.Cores),
-		perModule: make(map[string]InstrMix),
+		cfg:   cfg,
+		pow:   pow,
+		cores: sim.NewPool("cpu.cores", cfg.Cores),
 	}, nil
 }
 
@@ -154,8 +163,26 @@ func (c *Complex) ExecuteAny(now sim.Time, module string, mix InstrMix) (start, 
 
 func (c *Complex) account(module string, mix InstrMix) {
 	c.total = c.total.Add(mix)
-	c.perModule[module] = c.perModule[module].Add(mix)
+	slot := c.moduleSlot(module)
+	slot.mix = slot.mix.Add(mix)
 	c.energyJ += c.pow.EnergyPerInstrJ * float64(mix.Total())
+}
+
+// moduleSlot returns (appending if new) module's accounting slot. The
+// returned pointer is valid until the next moduleSlot call.
+func (c *Complex) moduleSlot(module string) *moduleMix {
+	if c.lastMod < len(c.perModule) && c.perModule[c.lastMod].name == module {
+		return &c.perModule[c.lastMod]
+	}
+	for i := range c.perModule {
+		if c.perModule[i].name == module {
+			c.lastMod = i
+			return &c.perModule[i]
+		}
+	}
+	c.lastMod = len(c.perModule)
+	c.perModule = append(c.perModule, moduleMix{name: module})
+	return &c.perModule[c.lastMod]
 }
 
 // Instructions returns the cumulative instruction mix.
@@ -163,14 +190,19 @@ func (c *Complex) Instructions() InstrMix { return c.total }
 
 // ModuleInstructions returns cumulative instructions for one module.
 func (c *Complex) ModuleInstructions(module string) InstrMix {
-	return c.perModule[module]
+	for i := range c.perModule {
+		if c.perModule[i].name == module {
+			return c.perModule[i].mix
+		}
+	}
+	return InstrMix{}
 }
 
 // Modules returns module names sorted for deterministic reporting.
 func (c *Complex) Modules() []string {
 	out := make([]string, 0, len(c.perModule))
-	for m := range c.perModule {
-		out = append(out, m)
+	for i := range c.perModule {
+		out = append(out, c.perModule[i].name)
 	}
 	sort.Strings(out)
 	return out

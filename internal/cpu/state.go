@@ -43,7 +43,7 @@ func (c *Complex) EncodeState(e *snap.Enc) {
 	e.U64(uint64(len(mods)))
 	for _, m := range mods {
 		e.Blob([]byte(m))
-		encodeMix(e, c.perModule[m])
+		encodeMix(e, c.ModuleInstructions(m))
 	}
 	e.F64(c.energyJ)
 }
@@ -62,10 +62,11 @@ func (c *Complex) DecodeState(d *snap.Dec) error {
 	st.Claims = d.U64()
 	total := decodeMix(d)
 	nMods := d.Len(1 << 20)
-	clear(c.perModule)
+	c.perModule = c.perModule[:0]
+	c.lastMod = 0
 	for i := 0; i < nMods; i++ {
 		name := string(d.Blob())
-		c.perModule[name] = decodeMix(d)
+		c.perModule = append(c.perModule, moduleMix{name: name, mix: decodeMix(d)})
 	}
 	c.energyJ = d.F64()
 	if err := d.Err(); err != nil {

@@ -181,40 +181,72 @@ func (d *DRAM) Access(now sim.Time, addr int64, n int, write bool) sim.Time {
 	}
 	ct := d.cfg.CycleTime()
 	burstBytes := d.cfg.BurstBytes()
+	bt := d.cfg.BurstTime()
+	burstE := d.pow.RdBurstEnergyJ
+	if write {
+		burstE = d.pow.WrBurstEnergyJ
+	}
+	hitDur := sim.Duration(d.cfg.CL) * ct
+	missDur := sim.Duration(d.cfg.RP+d.cfg.RCD+d.cfg.CL) * ct
+	closeDur := sim.Duration(d.cfg.RCD+d.cfg.CL) * ct
+	rowBytes := int64(d.cfg.RowBytes)
+
+	// Bursts are issued per row-run: successive bursts stay in the same
+	// (bank, row) until the address crosses a row boundary, so the address
+	// decomposition and row-buffer policy resolve once per run instead of
+	// once per burst. Per-burst resource claims and per-burst energy
+	// accumulation are preserved in their original order, so contention,
+	// stats and float-accumulated energy are bit-identical to the
+	// one-burst-at-a-time walk.
+	bursts := (n + burstBytes - 1) / burstBytes
 	done := now
-	for off := 0; off < n; off += burstBytes {
-		a := addr + int64(off)
+	a := addr
+	for bursts > 0 {
 		bi, row := d.bankOf(a)
 		bk := &d.banks[bi]
-		ch := bi % d.cfg.Channels
-
-		var access sim.Duration
-		switch {
-		case d.cfg.Policy == ClosePage:
-			access = sim.Duration(d.cfg.RCD+d.cfg.CL) * ct
-			d.stats.Activates++
-			d.energyJ += d.pow.ActEnergyJ
-		case bk.openRow == row:
-			access = sim.Duration(d.cfg.CL) * ct
-			d.stats.RowHits++
-		default:
-			access = sim.Duration(d.cfg.RP+d.cfg.RCD+d.cfg.CL) * ct
-			d.stats.RowMisses++
-			d.stats.Activates++
-			d.energyJ += d.pow.ActEnergyJ
-			bk.openRow = row
+		bus := d.bus[bi%d.cfg.Channels]
+		k := int((rowBytes - a%rowBytes + int64(burstBytes) - 1) / int64(burstBytes))
+		if k > bursts {
+			k = bursts
 		}
-
-		_, bankReady := bk.res.Claim(now, access)
-		_, burstDone := d.bus[ch].Claim(bankReady, d.cfg.BurstTime())
-		if write {
-			d.energyJ += d.pow.WrBurstEnergyJ
+		if d.cfg.Policy == ClosePage {
+			// Every burst pays the activate; no row state to carry.
+			for i := 0; i < k; i++ {
+				d.stats.Activates++
+				d.energyJ += d.pow.ActEnergyJ
+				_, bankReady := bk.res.Claim(now, closeDur)
+				_, burstDone := bus.Claim(bankReady, bt)
+				d.energyJ += burstE
+				if burstDone > done {
+					done = burstDone
+				}
+			}
 		} else {
-			d.energyJ += d.pow.RdBurstEnergyJ
+			// The run's first burst resolves the row buffer; the remaining
+			// k-1 are hits by construction.
+			access := hitDur
+			if bk.openRow == row {
+				d.stats.RowHits++
+			} else {
+				access = missDur
+				d.stats.RowMisses++
+				d.stats.Activates++
+				d.energyJ += d.pow.ActEnergyJ
+				bk.openRow = row
+			}
+			for i := 0; i < k; i++ {
+				_, bankReady := bk.res.Claim(now, access)
+				_, burstDone := bus.Claim(bankReady, bt)
+				d.energyJ += burstE
+				if burstDone > done {
+					done = burstDone
+				}
+				access = hitDur
+			}
+			d.stats.RowHits += uint64(k - 1)
 		}
-		if burstDone > done {
-			done = burstDone
-		}
+		a += int64(k) * int64(burstBytes)
+		bursts -= k
 	}
 	if write {
 		d.stats.Writes++

@@ -58,6 +58,13 @@ type Stats struct {
 	// PlanFaults counts plans stopped mid-execution by an injected flash
 	// fault (reported as *PlanFault, recovered by ftl.RecoverPlanFault).
 	PlanFaults uint64
+	// CertifiedReads counts reads executed through the certified read fast
+	// path: a ReadCert honored, the per-address CheckRead walk skipped.
+	CertifiedReads uint64
+	// CertDisarms counts armed→disarmed transitions of the certified-chain
+	// binding, whatever broke it (sequence gap, foreign epoch bump, plan
+	// fault, power loss, explicit AcceptCertified(nil)).
+	CertDisarms uint64
 }
 
 // PlanFault reports a plan stopped mid-execution by an injected flash
@@ -105,10 +112,10 @@ type FIL struct {
 	// allocation-free in steady state. The pre-read index is a persistent
 	// map (GC plans can carry thousands of migration reads, so lookups
 	// must stay O(1)); the super-block ordering slots are a small linear
-	// list (a plan touches few distinct super-blocks).
+	// list (a plan touches few distinct super-blocks), scanned directly —
+	// a map index would pay a hash per op for a handful of entries.
 	reads    map[SubKey]planRead // completed pre-reads of this plan
 	sbTimes  []sbTime            // per-super-block erase completion / latest touch
-	sbIndex  map[int]int         // super-block -> sbTimes slot
 	readBufs [][]byte            // pooled page buffers backing planRead.data
 	readBufN int                 // buffers handed out for the current plan
 
@@ -190,7 +197,7 @@ func (f *FIL) Stats() Stats { return f.stats }
 // A nil issuer disarms explicitly.
 func (f *FIL) AcceptCertified(issuer *ftl.FTL) error {
 	if issuer == nil {
-		f.certIssuer = nil
+		f.disarm()
 		return nil
 	}
 	if issuer.Config().Geometry != f.flash.Geometry() {
@@ -222,7 +229,41 @@ func (f *FIL) certCheck(plan ftl.Plan) bool {
 		return false
 	}
 	if plan.Cert.Seq() != f.certNext || f.flash.StateEpoch() != f.certEpoch {
+		f.disarm()
+		return false
+	}
+	return true
+}
+
+// disarm breaks the certified-chain binding, counting only real
+// armed→disarmed transitions (repeat disarms are free and common: every
+// uncertified plan after a break re-confirms the chain is down).
+func (f *FIL) disarm() {
+	if f.certIssuer != nil {
 		f.certIssuer = nil
+		f.stats.CertDisarms++
+	}
+}
+
+// readCertOK reports whether a lookup's read certificate is honored right
+// now: the chain with the minting FTL is armed, the flash epoch still
+// matches both the chain's recorded epoch (nothing but certified plans has
+// mutated the flash — a foreign bump is the same lockstep break certCheck
+// disarms on, so it disarms here too) and the certificate's own epoch (the
+// lookup is not stale relative to the chain position), and read-fault
+// draws are disabled (the injected retry ladder runs per read and affects
+// timing, so it must not be skipped). A certificate failing only the
+// staleness check leaves the chain armed: the model is still trusted, that
+// one lookup just predates its current state, so the read walks.
+func (f *FIL) readCertOK(cert ftl.ReadCert) bool {
+	if f.certIssuer == nil || !cert.By(f.certIssuer) || f.forceWalk {
+		return false
+	}
+	if f.flash.StateEpoch() != f.certEpoch {
+		f.disarm()
+		return false
+	}
+	if cert.Epoch() != f.certEpoch || f.flash.ReadFaultsArmed() {
 		return false
 	}
 	return true
@@ -275,10 +316,11 @@ func HostData(lspn int64, dirty []bool, data []byte, subSize int) PlanData {
 // returned pointer is valid until the next sbSlot call (the slice may
 // grow); callers must not hold it across calls.
 func (f *FIL) sbSlot(sb int) *sbTime {
-	if i, ok := f.sbIndex[sb]; ok {
-		return &f.sbTimes[i]
+	for i := range f.sbTimes {
+		if f.sbTimes[i].sb == sb {
+			return &f.sbTimes[i]
+		}
 	}
-	f.sbIndex[sb] = len(f.sbTimes)
 	f.sbTimes = append(f.sbTimes, sbTime{sb: sb})
 	return &f.sbTimes[len(f.sbTimes)-1]
 }
@@ -292,7 +334,7 @@ func (f *FIL) planFault(batch *nand.PlanBatch, executed int, op ftl.Op, plane in
 	if batch != nil {
 		batch.Commit()
 	}
-	f.certIssuer = nil
+	f.disarm()
 	f.stats.PlanFaults++
 	return &PlanFault{Executed: executed, Op: op, Plane: plane, Err: err}
 }
@@ -329,10 +371,8 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 
 	if f.reads == nil {
 		f.reads = make(map[SubKey]planRead)
-		f.sbIndex = make(map[int]int)
 	} else {
 		clear(f.reads)
-		clear(f.sbIndex)
 	}
 	f.sbTimes = f.sbTimes[:0]
 	f.readBufN = 0
@@ -577,10 +617,8 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 
 	if f.reads == nil {
 		f.reads = make(map[SubKey]planRead)
-		f.sbIndex = make(map[int]int)
 	} else {
 		clear(f.reads)
-		clear(f.sbIndex)
 	}
 	f.sbTimes = f.sbTimes[:0]
 	f.readBufN = 0
@@ -635,7 +673,15 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 			if trackData {
 				buf = f.readBuf()
 			}
-			r, err := batch.Read(start, addr, buf)
+			var r nand.Result
+			var err error
+			if certified {
+				// The walk this path skipped is exactly what the per-op
+				// precheck would re-derive; only the fault draw remains live.
+				r, err = batch.ReadTrusted(start, addr, buf)
+			} else {
+				r, err = batch.Read(start, addr, buf)
+			}
 			if err != nil {
 				if nand.IsInjectedFault(err) {
 					return res, f.planFault(batch, i, op, -1, err)
@@ -666,7 +712,13 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 				}
 				srcSB = pr.srcSB
 			}
-			r, err := batch.ProgramTagged(start, addr, data, planTag(op, g))
+			var r nand.Result
+			var err error
+			if certified {
+				r, err = batch.ProgramTaggedTrusted(start, addr, data, planTag(op, g))
+			} else {
+				r, err = batch.ProgramTagged(start, addr, data, planTag(op, g))
+			}
 			if err != nil {
 				if nand.IsInjectedFault(err) {
 					return res, f.planFault(batch, i, op, -1, err)
@@ -771,7 +823,7 @@ func (f *FIL) ReadSubs(now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Tim
 // read claims or schedules, so an error leaves no completion events queued
 // against the caller's buffers.
 func (f *FIL) ReadSubsOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
-	return f.readSubsDeferred(e, chDoms, now, locs, dsts, false)
+	return f.readSubsDeferred(e, chDoms, now, locs, dsts, false, ftl.ReadCert{})
 }
 
 // ReadSubsStaged is ReadSubsOn with each read's page bytes delivered into
@@ -787,15 +839,41 @@ func (f *FIL) ReadSubsOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, loc
 // pending channel bookkeeping instead of paying one barrier per fill. Every
 // address is validated before any read claims or schedules, so an error
 // leaves no completion events queued and no dst written.
-func (f *FIL) ReadSubsStaged(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte) (sim.Time, error) {
-	return f.readSubsDeferred(e, chDoms, now, locs, dsts, true)
+//
+// cert is the read certificate stamped on locs by ftl.LookupCertified;
+// while it is honored (readCertOK: chain armed, epochs matched, read-fault
+// draws off), the per-address validation walk is skipped entirely —
+// mapped ⇒ written holds by construction, so the walk could not have
+// changed outcome or timing. Pass the zero ReadCert for hand-built
+// location lists; they always walk.
+func (f *FIL) ReadSubsStaged(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte, cert ftl.ReadCert) (sim.Time, error) {
+	return f.readSubsDeferred(e, chDoms, now, locs, dsts, true, cert)
 }
 
 // readSubsDeferred is the shared body of ReadSubsOn and ReadSubsStaged:
 // prevalidate every address (so a mid-batch failure leaves no completion
 // events queued), then issue each read on the deferred path — eager
 // delivers the bytes at issue, otherwise the channel event copies them.
-func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte, eager bool) (sim.Time, error) {
+// A certified eager batch skips prevalidation wholesale and issues on the
+// trusted path; claims, accounting and delivered bytes are identical.
+func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, locs []ftl.PageLoc, dsts [][]byte, eager bool, cert ftl.ReadCert) (sim.Time, error) {
+	if eager && f.readCertOK(cert) {
+		done := now
+		for i, loc := range locs {
+			var dst []byte
+			if dsts != nil {
+				dst = dsts[i]
+			}
+			addr := f.addrOf(loc)
+			r := f.flash.ReadDeferredEagerTrusted(e, chDoms[addr.Channel], now, addr, dst)
+			f.stats.Reads++
+			if r.Done > done {
+				done = r.Done
+			}
+		}
+		f.stats.CertifiedReads += uint64(len(locs))
+		return done, nil
+	}
 	addrs := f.addrScratch[:0]
 	for _, loc := range locs {
 		addr := f.addrOf(loc)

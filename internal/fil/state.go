@@ -20,10 +20,9 @@ func planTag(op ftl.Op, g nand.Geometry) int64 {
 // be honored. The caller re-arms with AcceptCertified after mount-time
 // recovery hands it a fresh FTL.
 func (f *FIL) PowerLoss() {
-	f.certIssuer = nil
+	f.disarm()
 	if f.reads != nil {
 		clear(f.reads)
-		clear(f.sbIndex)
 	}
 	f.sbTimes = f.sbTimes[:0]
 	f.readBufN = 0
@@ -40,6 +39,8 @@ func (f *FIL) EncodeState(e *snap.Enc) {
 	e.U64(f.stats.DepStalls)
 	e.U64(f.stats.CertifiedPlans)
 	e.U64(f.stats.PlanFaults)
+	e.U64(f.stats.CertifiedReads)
+	e.U64(f.stats.CertDisarms)
 	e.Bool(f.certIssuer != nil)
 	e.U64(f.certNext)
 	e.U64(f.certEpoch)
@@ -59,6 +60,8 @@ func (f *FIL) DecodeState(d *snap.Dec, issuer *ftl.FTL) error {
 	f.stats.DepStalls = d.U64()
 	f.stats.CertifiedPlans = d.U64()
 	f.stats.PlanFaults = d.U64()
+	f.stats.CertifiedReads = d.U64()
+	f.stats.CertDisarms = d.U64()
 	armed := d.Bool()
 	f.certNext = d.U64()
 	f.certEpoch = d.U64()

@@ -185,6 +185,31 @@ func (c Cert) By(f *FTL) bool { return f != nil && c.issuer == f }
 // Seq returns the plan's position in the issuing FTL's plan sequence.
 func (c Cert) Seq() uint64 { return c.seq }
 
+// ReadCert certifies a Lookup result: while the FTL's mapping model is in
+// lockstep with the flash (the same invariant the plan-side Cert chain
+// maintains), "mapped ⇒ written" holds by construction — the FTL only maps
+// a sub-page when it plans the program for it, and certified plans execute
+// in issue order — so the per-address written-bit walk (nand.CheckRead) a
+// reader would otherwise do is redundant. The certificate binds the lookup
+// to its issuing FTL and to the flash mutation epoch it was read under; an
+// executor honors it only while its certified chain with that issuer is
+// armed and the flash epoch still matches. Only the ftl package can mint a
+// non-zero ReadCert, so hand-built address lists always take the
+// executor's validation walk.
+type ReadCert struct {
+	issuer *FTL
+	epoch  uint64
+}
+
+// Certified reports whether the lookup carries a certification at all.
+func (c ReadCert) Certified() bool { return c.issuer != nil }
+
+// By reports whether the certificate was minted by f.
+func (c ReadCert) By(f *FTL) bool { return f != nil && c.issuer == f }
+
+// Epoch returns the flash mutation epoch the lookup was performed under.
+func (c ReadCert) Epoch() uint64 { return c.epoch }
+
 // Reads returns the plan's pre-reads in order.
 func (p Plan) Reads() []PageRead {
 	var out []PageRead
@@ -296,6 +321,11 @@ type FTL struct {
 	// valid against a flash that has executed exactly plans 0..N-1 — the
 	// contract the sequence number lets executors enforce.
 	planSeq uint64
+
+	// epochSource, when set (core wires it to nand.Flash.StateEpoch), lets
+	// LookupCertified stamp its results with the flash mutation epoch the
+	// mapping was read under — the freshness half of a read certificate.
+	epochSource func() uint64
 
 	// scratchOps backs the Ops slice of the plan returned by Write, reused
 	// across calls: the submit path executes each plan synchronously before
@@ -456,8 +486,18 @@ func (f *FTL) Lookup(lspn int64) ([]PageLoc, error) {
 // LookupInto is Lookup appending into dst, so the submit hot path can
 // reuse a per-request buffer. Pass dst[:0] to recycle capacity.
 func (f *FTL) LookupInto(dst []PageLoc, lspn int64) ([]PageLoc, error) {
+	locs, _, err := f.LookupCertified(dst, lspn)
+	return locs, err
+}
+
+// LookupCertified is LookupInto stamping the result with a read
+// certificate: every returned location is mapped, and while the issuing
+// FTL's certified chain is armed, mapped ⇒ written — so an executor
+// honoring the certificate may skip per-address read validation. The
+// certificate is zero (uncertified) when no epoch source is wired.
+func (f *FTL) LookupCertified(dst []PageLoc, lspn int64) ([]PageLoc, ReadCert, error) {
 	if err := f.checkLSPN(lspn); err != nil {
-		return nil, err
+		return nil, ReadCert{}, err
 	}
 	locs := dst
 	for sub := 0; sub < f.subCount; sub++ {
@@ -466,8 +506,18 @@ func (f *FTL) LookupInto(dst []PageLoc, lspn int64) ([]PageLoc, error) {
 			locs = append(locs, f.unpackLoc(packed, sub))
 		}
 	}
-	return locs, nil
+	var cert ReadCert
+	if f.epochSource != nil {
+		cert = ReadCert{issuer: f, epoch: f.epochSource()}
+	}
+	return locs, cert, nil
 }
+
+// SetEpochSource wires the flash mutation-epoch source LookupCertified
+// stamps into read certificates (the core passes nand.Flash.StateEpoch).
+// Without a source, lookups return uncertified results and readers walk
+// validation as before.
+func (f *FTL) SetEpochSource(fn func() uint64) { f.epochSource = fn }
 
 // Address converts a PageLoc to the NAND physical address.
 func (f *FTL) Address(loc PageLoc) nand.Address {

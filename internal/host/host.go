@@ -153,6 +153,21 @@ func (h *Host) DepthCap() int {
 	return 1 << 20
 }
 
+// BatchWindow bounds a vectored submission window by the scheduler's
+// outstanding-request ceiling: a batch can defer per-request bookkeeping
+// only across as many commands as the kernel would actually keep in
+// flight. The protocol's hardware queue limit clamps further
+// (proto.Params.EffectiveQueueDepth).
+func (h *Host) BatchWindow(requested int) int {
+	if cap := h.DepthCap(); requested > cap {
+		return cap
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
 // Submit charges the kernel submission path (block layer + scheduler +
 // driver instructions) on a host core and returns its completion time.
 func (h *Host) Submit(now sim.Time, sequential bool, driverInstr uint64) sim.Time {

@@ -247,6 +247,15 @@ func (m *faultModel) record(op OpKind, addr Address, ec uint32) {
 // FaultsEnabled reports whether fault injection is active.
 func (f *Flash) FaultsEnabled() bool { return f.faults != nil }
 
+// ReadFaultsArmed reports whether read-fault draws are live: the injected
+// read-retry ladder runs per read and can stretch die occupancy or fail
+// the read, so any fast path that skips per-read validation must also
+// verify this is false — otherwise it would skip a draw that affects
+// timing and outcome.
+func (f *Flash) ReadFaultsArmed() bool {
+	return f.faults != nil && f.faults.cfg.ReadFailProb > 0
+}
+
 // FaultStats returns the injected-fault counters (zero when injection is
 // disabled).
 func (f *Flash) FaultStats() FaultStats {

@@ -888,6 +888,23 @@ func (f *Flash) ReadDeferredEager(e *sim.Engine, dom sim.DomainID, now sim.Time,
 	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
 }
 
+// ReadDeferredEagerTrusted is ReadDeferredEager minus the per-address
+// validation: no CheckRead, no read-fault ladder draw. The caller vouches
+// for both — it holds a certificate that the address is in range and
+// written (ftl.ReadCert: mapped ⇒ written while the certified chain is
+// armed) and has verified that read-fault draws are disabled
+// (ReadFaultsArmed false), so neither skipped step could have changed the
+// outcome or the timing. Claims, accounting and tracked-data delivery are
+// exactly ReadDeferredEager's, so the two paths can never diverge when
+// both apply.
+func (f *Flash) ReadDeferredEagerTrusted(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte) Result {
+	cmdStart, ready, done := f.claimRead(now, addr, 0)
+	f.copyOut(f.geo.PageIndex(addr), dst)
+	op := f.acquireReadCompletion(addr.Channel) // accounting-only carrier: dst nil, staged false
+	e.AtIn(dom, done, op.fn)
+	return Result{Start: cmdStart, Ready: ready, Done: done}
+}
+
 // planOpRec is one transaction's deferred per-channel bookkeeping inside a
 // die batch: what to account and, for tracked data, what to install or
 // clear when the batch event dispatches.
@@ -1084,10 +1101,22 @@ func (b *PlanBatch) record(addr Address, done sim.Time) (*planOpRec, *dieBatch, 
 // not-yet-installed programs are observed) and batching the per-channel
 // accounting. dst is not retained.
 func (b *PlanBatch) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
-	f := b.f
-	if err := f.CheckRead(addr); err != nil {
+	if err := b.f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
+	return b.readChecked(now, addr, dst)
+}
+
+// ReadTrusted is Read without the structural precheck (address bounds,
+// page written): for certified plans, whose issuing FTL proved both at
+// construction time against a flash it is in lockstep with. Injected
+// fault draws still run — a certificate trusts the model, not the silicon.
+func (b *PlanBatch) ReadTrusted(now sim.Time, addr Address, dst []byte) (Result, error) {
+	return b.readChecked(now, addr, dst)
+}
+
+func (b *PlanBatch) readChecked(now sim.Time, addr Address, dst []byte) (Result, error) {
+	f := b.f
 	extra, err := f.readFaultExtra(addr)
 	if err != nil {
 		return Result{}, err
@@ -1113,10 +1142,22 @@ func (b *PlanBatch) Program(now sim.Time, addr Address, data []byte) (Result, er
 // mount-time recovery can rebuild the mapping from flash alone. Raw and
 // untagged programs pass -1.
 func (b *PlanBatch) ProgramTagged(now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
-	f := b.f
-	if err := f.CheckProgram(addr); err != nil {
+	if err := b.f.CheckProgram(addr); err != nil {
 		return Result{}, err
 	}
+	return b.programChecked(now, addr, data, tag)
+}
+
+// ProgramTaggedTrusted is ProgramTagged without the structural precheck
+// (address bounds, in-order program pointer): for certified plans, whose
+// issuing FTL proved both at construction time. Injected fault draws still
+// run.
+func (b *PlanBatch) ProgramTaggedTrusted(now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
+	return b.programChecked(now, addr, data, tag)
+}
+
+func (b *PlanBatch) programChecked(now sim.Time, addr Address, data []byte, tag int64) (Result, error) {
+	f := b.f
 	if err := f.drawProgramFault(addr); err != nil {
 		return Result{}, err
 	}
@@ -1426,6 +1467,15 @@ func (f *Flash) pruneEraseUndo(dispatch sim.Time) {
 	}
 	f.eraseUndo = kept
 }
+
+// PruneEraseUndo drops undo records whose array operation has started by
+// the given committed simulation time: the caller asserts no future power
+// cut can land before it (e.g. core's batched submit after a window drain,
+// where the host clock is the earliest possible cut). The evented path
+// prunes on dispatch instead; this entry point exists for callers that
+// claim erases outside a running engine, whose dispatch clock would
+// otherwise never advance past the records.
+func (f *Flash) PruneEraseUndo(committed sim.Time) { f.pruneEraseUndo(committed) }
 
 // acquireEraseUndo hands out a pooled undo record with its snapshot slices
 // sized for one block.

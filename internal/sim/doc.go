@@ -374,6 +374,50 @@
 // and the snapshot round-trip asserts re-snapshot byte-equality plus an
 // identical continuation trajectory.
 //
+// # Read certificates: mapped implies written while the chain is armed
+//
+// The certified-plan chain (ftl/fil) extends to the read side. While the
+// chain is armed, every mapping the FTL publishes was installed by a plan
+// the FIL executed to completion: a lookup that returns a physical
+// location is therefore proof the location was programmed, and the
+// per-address nand.CheckRead walk a staged read would pay re-derives
+// exactly that fact. ftl.FTL.LookupCertified stamps its result with a
+// ReadCert naming the issuer and the nand.Flash.StateEpoch it observed;
+// fil.ReadSubsStaged (and the core fill path above it) honor the cert and
+// skip the walk, counting fil.Stats.CertifiedReads. The cert is advisory,
+// never load-bearing for safety: a stale epoch (cert observed an older
+// flash state) silently falls back to the walked path, and anything that
+// could break the invariant — a raw OCSSD channel op, an injected plan
+// fault, a power cut, a mount — disarms the chain exactly as on the write
+// side (fil.Stats.CertDisarms), after which every read walks until
+// AcceptCertified re-arms. Injected read faults keep their draws on the
+// certified path: the certificate trusts the model, not the silicon, so
+// readFaultExtra and the retry ladder stay live while only the structural
+// bounds/presence re-validation is skipped.
+//
+// # Batch windows: amortized bookkeeping with serial semantics
+//
+// core.System.SubmitBatch is the vectored entry over the same machinery:
+// it runs each request through the identical inline or evented path a
+// Submit loop would use, but drains the shared engine once per window —
+// min(host scheduler dispatch window, protocol queue depth,
+// core.DefaultBatchWindow, engine batch limit) requests — instead of once
+// per request. Determinism needs no new argument: the deferred events a
+// window accumulates are the same channel-neutral bookkeeping horizon
+// batching already proved commutes with issue (counters, energy, arena
+// installs make no resource claims and are keyed in per-channel order),
+// so draining them at the window boundary dispatches the same multiset in
+// the same per-channel order as draining after every request. The one
+// subtlety is the engine clock: the drain rewinds it (Engine.Reset), so
+// maintenance that prunes by engine time — the power-loss erase-undo
+// journal — is pruned explicitly against the host clock instead
+// (nand.Flash.PruneEraseUndo), which is sound because SubmitBatch is
+// synchronous: no power cut can land before the call returns, so the host
+// clock lower-bounds every future cut time. The golden equivalence test
+// locks the contract in: SubmitBatch against a Submit loop over a
+// GC-heavy mixed stream, byte-identical payloads, stats and completion
+// times at workers 1, 2 and 4.
+//
 // # Resources
 //
 // Resource and Pool model FCFS servers by time reservation: Claim(now, dur)
