@@ -325,7 +325,7 @@ func BenchmarkSubmitBatch(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	if _, err := s.SubmitBatch(s.Now(), reqs, nil); err != nil {
+	if _, err := s.SubmitBatch(s.Now(), reqs, nil, nil); err != nil {
 		b.Fatal(err)
 	}
 }

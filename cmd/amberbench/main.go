@@ -93,6 +93,12 @@ type jsonReport struct {
 	// one engine run per request), with the wall-clock and allocation deltas
 	// the amortized constants buy.
 	SubmitBatch jsonSubmitBatch `json:"submit_batch"`
+	// RainScrub reports the die-level RAIN + patrol-scrub subsystem: the
+	// disabled-path overhead gate (RAIN and faults off — the hot submit
+	// loop must stay allocation-free), then a read-disturb stress run with
+	// RAIN armed, scrub off versus on: reconstruction/scrub counters and
+	// the read-only horizon each leg reached.
+	RainScrub jsonRainScrub `json:"rain_scrub"`
 }
 
 type jsonExperiment struct {
@@ -443,7 +449,7 @@ func submitBatchBench(n int) (jsonSubmitBatch, error) {
 			reqs[i] = gen.Next(i)
 		}
 		if batched { // steady-state warmup on the measured path
-			if _, err = s.SubmitBatch(s.Now(), reqs[:500], nil); err != nil {
+			if _, err = s.SubmitBatch(s.Now(), reqs[:500], nil, nil); err != nil {
 				return 0, 0, nil, 0, err
 			}
 		} else {
@@ -458,7 +464,7 @@ func submitBatchBench(n int) (jsonSubmitBatch, error) {
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		if batched {
-			if _, err = s.SubmitBatch(s.Now(), reqs[500:], nil); err != nil {
+			if _, err = s.SubmitBatch(s.Now(), reqs[500:], nil, nil); err != nil {
 				return 0, 0, nil, 0, err
 			}
 		} else {
@@ -638,6 +644,142 @@ func faultInjectionBench(n int) (jsonFaultInjection, error) {
 	b.Retirements, b.Replans, b.LostSubs = fs.Retirements, fs.Replans, fs.LostSubs
 	b.SpareHeadroom = s.FTL.SpareHeadroom()
 	b.ReadOnly = s.FTL.ReadOnly()
+	return b, nil
+}
+
+// jsonRainScrub reports the RAIN + patrol-scrub bench. The disabled leg
+// re-measures the plain submit loop (RAIN off, faults off): carrying the
+// subsystem must not cost the hot path an allocation. The stress legs run
+// a read-disturb trajectory with RAIN armed, without and with the patrol
+// scrub, in segments of reads until the retire-on-reconstruct policy
+// latches read-only (segment index reported; 0 = survived the cap) — the
+// deferral of that horizon is what the scrub buys.
+type jsonRainScrub struct {
+	Requests         int     `json:"requests"`
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	DisabledAllocsOp float64 `json:"disabled_allocs_per_op"`
+	// Scrub-on stress-leg outcome.
+	ParityWrites    uint64  `json:"parity_writes"`
+	Reconstructions uint64  `json:"reconstructions"`
+	DoubleFaults    uint64  `json:"double_faults"`
+	ScrubRuns       uint64  `json:"scrub_runs"`
+	ScrubMigrated   uint64  `json:"scrub_migrated"`
+	EnabledNsPerOp  float64 `json:"enabled_ns_per_op"`
+	// Read-only horizons: the 200-read segment (1-based) at which each leg
+	// latched read-only, 0 for surviving every segment.
+	NoScrubReadOnlySegment int `json:"noscrub_read_only_segment"`
+	ScrubReadOnlySegment   int `json:"scrub_read_only_segment"`
+}
+
+// rainScrubBench measures the disabled-path overhead gate, then drives the
+// read-disturb wear-out comparison: RAIN without scrub retires blocks that
+// keep sourcing reconstructions and walks into the read-only latch; the
+// scrub-armed leg refreshes them instead and must reach a strictly later
+// segment (or survive outright).
+func rainScrubBench(n int) (jsonRainScrub, error) {
+	b := jsonRainScrub{Requests: n}
+
+	// Disabled leg: no RAIN, no faults — the submit loop with the whole
+	// subsystem compiled in but disarmed.
+	{
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return b, err
+		}
+		if err := s.Precondition(16); err != nil {
+			return b, err
+		}
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+		if err != nil {
+			return b, err
+		}
+		for i := 0; i < 500; i++ {
+			if _, err := s.Submit(s.Now(), gen.Next(i), nil); err != nil {
+				return b, err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := s.Submit(s.Now(), gen.Next(500+i), nil); err != nil {
+				return b, err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		b.DisabledNsPerOp = float64(wall.Nanoseconds()) / float64(n)
+		b.DisabledAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	}
+
+	// Stress legs: read-disturb pressure on a one-spare RAIN device; the
+	// only difference between the legs is the patrol cadence.
+	stress := func(scrub sim.Duration) (*core.System, int, float64, error) {
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		d.OPRatio = 0.4
+		d.SpareBlocks = 1
+		d.RAINWidth = 3 // 4 planes: 3 data + 1 parity
+		d.Faults = nand.FaultConfig{
+			Seed:             21,
+			ReadFailProb:     0.04,
+			MaxReadRetries:   1,
+			ReadDisturbLimit: 512,
+			RetentionLimit:   500 * sim.Millisecond,
+		}
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if err := s.Precondition(16); err != nil {
+			return nil, 0, 0, err
+		}
+		wgen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 5)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if _, err := s.Run(wgen, core.RunConfig{Requests: 300, IODepth: 8}); err != nil {
+			return nil, 0, 0, err
+		}
+		rgen, err := workload.NewFIO(workload.RandRead, 4096, s.VolumeBytes(), 13)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		const segments, perSeg = 25, 200
+		start := time.Now()
+		reads := 0
+		horizon := 0
+		for seg := 1; seg <= segments; seg++ {
+			if _, err := s.Run(rgen, core.RunConfig{Requests: perSeg, IODepth: 8, ScrubEvery: scrub}); err != nil {
+				return nil, 0, 0, err
+			}
+			reads += perSeg
+			if s.FTL.ReadOnly() {
+				horizon = seg
+				break
+			}
+		}
+		nsPerOp := float64(time.Since(start).Nanoseconds()) / float64(reads)
+		return s, horizon, nsPerOp, nil
+	}
+
+	_, noScrub, _, err := stress(0)
+	if err != nil {
+		return b, err
+	}
+	s, withScrub, enNs, err := stress(2 * sim.Millisecond)
+	if err != nil {
+		return b, err
+	}
+	b.NoScrubReadOnlySegment = noScrub
+	b.ScrubReadOnlySegment = withScrub
+	b.EnabledNsPerOp = enNs
+	fs := s.FTL.Stats()
+	b.ParityWrites, b.Reconstructions, b.DoubleFaults = fs.ParityWrites, fs.Reconstructions, fs.DoubleFaults
+	b.ScrubRuns, b.ScrubMigrated = fs.ScrubRuns, fs.ScrubMigrated
 	return b, nil
 }
 
@@ -1112,6 +1254,13 @@ func main() {
 			failed++
 		} else {
 			report.SubmitBatch = sbb
+		}
+		rs, err := rainScrubBench(n / 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: rain-scrub bench: %v\n", err)
+			failed++
+		} else {
+			report.RainScrub = rs
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

@@ -17,6 +17,8 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/ftl"
+	"amber/internal/nand"
+	"amber/internal/sim"
 	"amber/internal/workload"
 )
 
@@ -92,4 +94,89 @@ func main() {
 	} else {
 		fmt.Println("read after wear-out: still served")
 	}
+
+	rainTimeline()
+}
+
+// rainTimeline contrasts read-disturb wear-out across the RAIN policy
+// space. Read stress — not program wear — does the damage here: repeat
+// reads push blocks past their disturb limit and draws go uncorrectable.
+// The bare device surfaces them as failed reads (permanent data loss).
+// RAIN reconstructs every one from its stripe — zero failed reads — but
+// without a patrol the firmware cannot tell stress from damage, so blocks
+// that keep sourcing reconstructions are retired conservatively and the
+// spare reserve drains toward the read-only latch. Arming the patrol
+// scrub replaces those retirements with refreshes (migrate, erase — the
+// erase clears the accumulated stress), deferring the latch.
+func rainTimeline() {
+	leg := func(rain, scrub bool) {
+		d := config.SmallTestDevice()
+		d.OPRatio = 0.4
+		d.SpareBlocks = 1
+		d.Faults = nand.FaultConfig{
+			Seed:             21,
+			ReadFailProb:     0.04,
+			MaxReadRetries:   1,
+			ReadDisturbLimit: 512,
+			RetentionLimit:   500 * sim.Millisecond,
+		}
+		var scrubEvery sim.Duration
+		if rain {
+			d.RAINWidth = 3 // 4 planes: 3 data + 1 parity
+		}
+		if scrub {
+			scrubEvery = 2 * sim.Millisecond
+		}
+		sys, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Precondition(16); err != nil {
+			log.Fatal(err)
+		}
+		wgen, err := workload.NewFIO(workload.RandWrite, 4096, sys.VolumeBytes(), 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.Run(wgen, core.RunConfig{Requests: 300, IODepth: 8, WithData: true}); err != nil {
+			log.Fatal(err)
+		}
+		rgen, err := workload.NewFIO(workload.RandRead, 4096, sys.VolumeBytes(), 13)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "bare"
+		switch {
+		case rain && scrub:
+			name = "rain+scrub"
+		case rain:
+			name = "rain, no scrub"
+		}
+		fmt.Printf("\n%s:\n", name)
+		failed := 0
+		for round := 1; round <= 12; round++ {
+			res, err := sys.Run(rgen, core.RunConfig{Requests: 250, IODepth: 8, ScrubEvery: scrubEvery})
+			if err != nil {
+				log.Fatal(err)
+			}
+			failed += res.FailedReads
+			fst := sys.Flash.FaultStats()
+			fs := sys.FTL.Stats()
+			fmt.Printf("  round %2d: %4d reads (%3d failed)  uncorrectable %3d  recon %3d  retired %d  scrubs %4d  headroom %d%s\n",
+				round, 250*round, failed, fst.Uncorrectable,
+				fs.Reconstructions, fs.Retirements, fs.ScrubRuns, sys.FTL.SpareHeadroom(),
+				map[bool]string{true: "  READ-ONLY", false: ""}[sys.FTL.ReadOnly()])
+			if sys.FTL.ReadOnly() {
+				break
+			}
+		}
+		fs := sys.FTL.Stats()
+		fmt.Printf("  => %d failed reads, %d reconstructions (%d double faults), %d retirements, read-only %v\n",
+			failed, fs.Reconstructions, fs.DoubleFaults, fs.Retirements, sys.FTL.ReadOnly())
+	}
+
+	fmt.Println("\n=== RAIN vs no-RAIN under read-disturb stress ===")
+	leg(false, false)
+	leg(true, false)
+	leg(true, true)
 }

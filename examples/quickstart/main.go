@@ -82,7 +82,7 @@ func main() {
 		batch[i] = workload.Request{Write: true, Offset: int64(i) * 4096, Length: len(buf)}
 		datas[i] = buf
 	}
-	bDone, err := sys.SubmitBatch(sys.Now(), batch, datas)
+	bDone, err := sys.SubmitBatch(sys.Now(), batch, datas, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

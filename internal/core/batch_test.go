@@ -96,9 +96,9 @@ func TestSubmitBatchGoldenEquivalence(t *testing.T) {
 		times := make([]sim.Time, len(reqs))
 		if batched {
 			// Batch in chunks so window boundaries are exercised mid-vector
-			// as well as at the trailing partial window. SubmitBatch returns
-			// the chunk-final completion; those are the times the two legs
-			// compare one-to-one (the rest are masked below).
+			// as well as at the trailing partial window. The completions
+			// out-param exposes every per-request stamp, so the two legs
+			// compare all of them one-to-one.
 			chunk := 64
 			idx := 0
 			for idx < len(reqs) {
@@ -106,14 +106,13 @@ func TestSubmitBatchGoldenEquivalence(t *testing.T) {
 				if end > len(reqs) {
 					end = len(reqs)
 				}
-				done, err := s.SubmitBatch(s.Now(), reqs[idx:end], datas[idx:end])
+				done, err := s.SubmitBatch(s.Now(), reqs[idx:end], datas[idx:end], times[idx:end])
 				if err != nil {
 					t.Fatal(err)
 				}
-				for i := idx; i < end; i++ {
-					times[i] = 0 // per-request times compared via the final clock below
+				if done != times[end-1] {
+					t.Fatalf("chunk-final completion %d != times[%d]=%d", done, end-1, times[end-1])
 				}
-				times[end-1] = done
 				idx = end
 			}
 		} else {
@@ -123,14 +122,6 @@ func TestSubmitBatchGoldenEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				times[i] = done
-			}
-			// Mask the times the batched leg cannot observe per request:
-			// only chunk-final completions are compared one-to-one.
-			chunk := 64
-			for i := range times {
-				if (i+1)%chunk != 0 && i != len(reqs)-1 {
-					times[i] = 0
-				}
 			}
 		}
 		var out bytes.Buffer

@@ -50,6 +50,11 @@ type DeviceConfig struct {
 	GCPolicy       ftl.GCPolicy
 	PartialUpdate  bool
 	WearLevelDelta uint32
+	// RAINWidth stripes user data across dies with one parity plane per
+	// RAINWidth data planes (see ftl.Config.RAINWidth): an uncorrectable
+	// read of a data page is then reconstructed from the surviving stripe
+	// members instead of losing data. Zero disables parity.
+	RAINWidth int
 
 	// ICL knobs. CacheLines == 0 sizes the cache to 70% of internal DRAM.
 	CacheLines         int
@@ -152,6 +157,22 @@ type System struct {
 	filling map[int64]map[int]bool // lspn -> subs currently being fetched
 	waiters map[int64][]func()     // lspn -> callbacks to retry at fill completion
 
+	// RAIN reconstruction + patrol scrub state (see rain.go): super-blocks
+	// whose reconstruction pressure demands a forced scrub, whether a
+	// patrol scrubber is armed (Run with ScrubEvery > 0 — the
+	// scrub-or-retire policy switch), repairs queued by GC plan-fault
+	// recovery, and the controller-RAM scratch stripe reassembly XORs
+	// members into.
+	scrubPending []int
+	scrubArmed   bool
+	rainRepairs  []rainRepair
+	rainDraining bool
+	reconLocs    []ftl.PageLoc
+	reconBuf     []byte
+	reconTmp     []byte
+	reconDirty   []bool
+	reconData    []byte
+
 	// Submit-path op pools (see submit.go): recycled request and fill
 	// carriers with their step callbacks bound once.
 	opFree   []*submitOp
@@ -212,6 +233,7 @@ func ftlConfigOf(d DeviceConfig) ftl.Config {
 		PartialUpdate:   d.PartialUpdate,
 		WearLevelDelta:  d.WearLevelDelta,
 		SpareBlocks:     d.SpareBlocks,
+		RAINWidth:       d.RAINWidth,
 	}
 }
 

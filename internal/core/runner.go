@@ -49,6 +49,16 @@ type RunConfig struct {
 	// remaining budget against a read-only device. Outstanding requests
 	// still drain; RunResult.StoppedEarly reports the truncation.
 	StopOnReadOnly bool
+	// ScrubEvery arms the background patrol scrubber at this period (zero
+	// disables): each tick refreshes at most one super-block — forced
+	// scrubs queued by RAIN reconstruction pressure first, then the block
+	// under the most read-disturb/retention stress. The tick rides its own
+	// scheduling domain (a plain cross-domain shard, like the power cut),
+	// so the dispatched prefix — and every simulated byte — is identical
+	// at any RunConfig.IntraWorkers count. Arming a scrubber also flips
+	// the scrub-or-retire policy: blocks under reconstruction pressure are
+	// refreshed instead of retired, deferring the read-only latch.
+	ScrubEvery sim.Duration
 }
 
 // RunResult reports a completed run.
@@ -88,6 +98,17 @@ type RunResult struct {
 	// StoppedEarly reports that RunConfig.StopOnReadOnly truncated the run:
 	// Requests holds the count actually issued, not the configured budget.
 	StoppedEarly bool
+
+	// RAIN and patrol-scrub activity over the run (deltas of the FTL's
+	// lifetime counters): uncorrectable reads downgraded to latency events
+	// by stripe reconstruction, reconstructions that found a second dead
+	// stripe member and fell back to data loss, patrol scrub passes and the
+	// sub-pages they migrated, and the parity pages programmed.
+	Reconstructions uint64
+	DoubleFaults    uint64
+	ScrubRuns       uint64
+	ScrubMigrated   uint64
+	ParityWrites    uint64
 
 	// Power-loss outcome (RunConfig.PowerLossAt): whether the cut fired,
 	// how the flash resolved in-flight programs, and what mount-time
@@ -151,6 +172,7 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	res.HostMemMB.Name = "host-mem-mb"
 
 	bytesRead0, bytesWritten0 := s.bytesRead, s.bytesWritten
+	ftlStats0 := s.FTL.Stats()
 	res.End = res.Start
 
 	var cpuCounter stats.Counter
@@ -176,6 +198,7 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 		e.AtIn(pwr, rc.PowerLossAt, func() { e.Halt() })
 	}
 	issued := 0
+	completed := 0
 	stopped := false
 	var runErr error
 	var issueNext func()
@@ -197,6 +220,7 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 		}
 		issue := e.Now()
 		s.SubmitAsync(e, req, data, func(done sim.Time, err error) {
+			completed++
 			if err != nil {
 				// Degradation errors are per-request outcomes, not run
 				// failures: a read-only device refuses writes and an
@@ -240,6 +264,25 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	for i := 0; i < depth; i++ {
 		e.AtIn(doms.host, res.Start, issueNext)
 	}
+	if rc.ScrubEvery > 0 {
+		// The patrol tick self-reschedules only while the workload still
+		// has requests outstanding, so the engine drains when the run does.
+		// Arming it also flips the scrub-or-retire policy (see noteRecon).
+		s.scrubArmed = true
+		defer func() { s.scrubArmed = false }()
+		scrubDom := e.Domain("scrub")
+		var tick func()
+		tick = func() {
+			if runErr != nil {
+				return
+			}
+			s.scrubTick(e, e.Now())
+			if issued < rc.Requests && !stopped || completed < issued {
+				e.AtIn(scrubDom, e.Now()+rc.ScrubEvery, tick)
+			}
+		}
+		e.AtIn(scrubDom, res.Start+rc.ScrubEvery, tick)
+	}
 	intraWorkers := rc.IntraWorkers
 	if intraWorkers == 0 {
 		intraWorkers = s.intraWorkers
@@ -251,6 +294,14 @@ func (s *System) Run(gen workload.Generator, rc RunConfig) (*RunResult, error) {
 	}
 	res.Events = e.Dispatched()
 	res.DomainEvents = e.DomainStats()
+	// RAIN/scrub deltas come off the live FTL before a power-loss mount
+	// replaces it (the mounted FTL restarts its lifetime counters).
+	ftlStats := s.FTL.Stats()
+	res.Reconstructions = ftlStats.Reconstructions - ftlStats0.Reconstructions
+	res.DoubleFaults = ftlStats.DoubleFaults - ftlStats0.DoubleFaults
+	res.ScrubRuns = ftlStats.ScrubRuns - ftlStats0.ScrubRuns
+	res.ScrubMigrated = ftlStats.ScrubMigrated - ftlStats0.ScrubMigrated
+	res.ParityWrites = ftlStats.ParityWrites - ftlStats0.ParityWrites
 	if stopped {
 		res.StoppedEarly = true
 		res.Requests = issued

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"amber/internal/fil"
@@ -12,7 +13,10 @@ import (
 
 // SnapshotVersion is the image format version Snapshot writes and Restore
 // accepts. Bump it whenever any module's Encode/DecodeState layout changes.
-const SnapshotVersion = 1
+// Version 2: RAIN parity + scrub (nand disturb counters and stripe OOB,
+// ftl per-SB reconstruction pressure and rain/scrub stats, core pending
+// scrub queue).
+const SnapshotVersion = 2
 
 // configFingerprint hashes the full system configuration: an image restores
 // only onto a device built from byte-identical knobs, because every decoder
@@ -51,6 +55,10 @@ func (s *System) Snapshot() ([]byte, error) {
 	e.U64(s.bytesWritten)
 	e.U64(s.fillsTwoStage)
 	e.U64(s.fillsLegacy)
+	e.U64(uint64(len(s.scrubPending)))
+	for _, sb := range s.scrubPending {
+		e.U64(uint64(sb))
+	}
 	encodeResource(&e, s.link)
 	e.Bool(s.hba != nil)
 	if s.hba != nil {
@@ -96,6 +104,12 @@ func (s *System) Restore(img []byte) error {
 	s2.bytesWritten = d.U64()
 	s2.fillsTwoStage = d.U64()
 	s2.fillsLegacy = d.U64()
+	if n := int(d.U64()); n > 0 && d.Err() == nil {
+		s2.scrubPending = make([]int, n)
+		for i := range s2.scrubPending {
+			s2.scrubPending[i] = int(d.U64())
+		}
+	}
 	decodeResource(d, s2.link)
 	hadHBA := d.Bool()
 	if d.Err() == nil && hadHBA != (s2.hba != nil) {
@@ -223,12 +237,8 @@ func (s *System) Mount() (ftl.MountReport, error) {
 	// and no GC destination, wedging a healthy device read-only.
 	if plan, n := mounted.MountCleanup(); n > 0 {
 		rep.CleanupErases = n
-		res, cerr := s.FIL.Execute(s.now, plan, fil.PlanData{})
-		if cerr != nil {
+		if cerr := s.mountExec(plan); cerr != nil {
 			return rep, cerr
-		}
-		if res.Done > s.now {
-			s.now = res.Done
 		}
 	}
 	// Emergency compaction: when the cut undid every claimed erase the
@@ -243,16 +253,66 @@ func (s *System) Mount() (ftl.MountReport, error) {
 	if sqBlocks > 0 || len(plan.Ops) > 0 {
 		rep.SqueezedSBs = sqBlocks
 		rep.SqueezedSubs = sqSubs
-		res, cerr := s.FIL.Execute(s.now, plan, fil.PlanData{})
-		if cerr != nil {
+		if cerr := s.mountExec(plan); cerr != nil {
 			return rep, cerr
 		}
-		if res.Done > s.now {
-			s.now = res.Done
+	}
+	// RAIN parity catch-up: rows completed right before the cut whose
+	// parity program never started get their parity re-emitted, so every
+	// surviving stripe is reconstructable again. (A torn parity page stays
+	// dead until its block erases — strict in-order programming forbids
+	// reprogramming it — and its rows ride without parity until then.)
+	if plan, n := mounted.ParityCatchup(); n > 0 {
+		rep.ParityReemitted = n
+		if cerr := s.mountExec(plan); cerr != nil {
+			return rep, cerr
 		}
 	}
 	s.ICL.SetPreferCleanVictims(mounted.ReadOnly())
 	return rep, nil
+}
+
+// mountExec runs a mount-time maintenance plan, absorbing injected flash
+// faults with the same bounded replan loop the runtime datapath uses: on a
+// device whose error model keeps drawing, a mount must degrade — lose the
+// faulted page, retire the block, replan the rest — rather than fail
+// outright and leave the device unmountable.
+func (s *System) mountExec(plan ftl.Plan) error {
+	// Unlike the runtime datapath's tight retry bound, mount-time plans can
+	// span thousands of ops on a device whose error model keeps drawing —
+	// every recovery strictly shrinks the remaining suffix, so the loop is
+	// bounded by the plan size, not a fixed constant.
+	maxAttempts := len(plan.Ops) + maxFaultRetries
+	res, err := s.FIL.Execute(s.now, plan, fil.PlanData{})
+	for attempt := 0; err != nil && attempt < maxAttempts; attempt++ {
+		var pf *fil.PlanFault
+		if !errors.As(err, &pf) {
+			break
+		}
+		rplan, rerr := s.FTL.RecoverPlanFault(s.now, plan, pf.Executed, pf.Err)
+		if rerr != nil {
+			return rerr
+		}
+		// A program/erase fault's recovery can grow past the original plan
+		// (retiring a block migrates everything valid on it); extend the
+		// budget — retirements are bounded by the spare reserve.
+		if grown := attempt + 1 + len(rplan.Ops) + maxFaultRetries; grown > maxAttempts {
+			maxAttempts = grown
+		}
+		plan = rplan
+		res, err = s.FIL.Execute(s.now, plan, fil.PlanData{})
+	}
+	if err != nil {
+		return err
+	}
+	// Recovery burned the certified chain's sequence; re-arm it.
+	if aerr := s.FIL.AcceptCertified(s.FTL); aerr != nil {
+		return aerr
+	}
+	if res.Done > s.now {
+		s.now = res.Done
+	}
+	return nil
 }
 
 func encodeResource(e *snap.Enc, r *sim.Resource) {

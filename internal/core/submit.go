@@ -446,14 +446,21 @@ func (s *System) submitEngine() *sim.Engine {
 // window drain, so mixed batches stay byte-identical too.
 //
 // datas optionally carries per-request payload buffers (writes) or receives
-// them (reads); it may be nil, or hold nil entries. Processing stops at the
-// first error, which is returned wrapped with the request's index; earlier
-// requests remain applied, exactly as a Submit loop would leave them.
-func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]byte) (sim.Time, error) {
+// them (reads); it may be nil, or hold nil entries. times optionally
+// receives each request's completion time (it must be at least as long as
+// reqs when non-nil), so batch callers keep their per-request latency
+// histograms without falling back to the evented path. Processing stops at
+// the first error, which is returned wrapped with the request's index;
+// earlier requests remain applied, exactly as a Submit loop would leave
+// them.
+func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]byte, times []sim.Time) (sim.Time, error) {
 	if now < s.now {
 		now = s.now
 	}
 	last := now
+	if times != nil && len(times) < len(reqs) {
+		return 0, fmt.Errorf("core: batch times buffer of %d for %d requests", len(times), len(reqs))
+	}
 	e := s.submitEngine()
 	e.Reset()
 	window := s.params.EffectiveQueueDepth(s.Host.BatchWindow(len(reqs)))
@@ -490,6 +497,9 @@ func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]by
 		if err != nil {
 			s.drainWindow(e, &fill)
 			return 0, fmt.Errorf("core: batch request %d: %w", i, err)
+		}
+		if times != nil {
+			times[i] = done
 		}
 		last = done
 		s.batchReqs++
@@ -761,28 +771,36 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 	fo.cb = cb
 
 	t2 := s.chargeFirmware(t, 1, "ftl", s.ftlTranslateMix())
-	locs, cert, err := s.FTL.LookupCertified(fo.locs[:0], lspn)
-	if err != nil {
-		s.releaseFill(fo)
-		cb(0, err)
-		return
-	}
-	fo.locs = locs[:0]
-	fetch := fo.fetch[:0]
-	for _, loc := range locs {
-		for _, sub := range fo.subs {
-			if loc.Sub == sub {
-				fetch = append(fetch, loc)
-				break
-			}
-		}
-	}
-	fo.fetch = fetch[:0]
-	fo.nFetch = len(fetch)
-
 	doms := s.domainsFor(e)
 	flashDone := t2
-	if len(fetch) > 0 {
+	var nFetch int
+	// Lookup-fetch loop: an uncorrectable read under RAIN reconstructs the
+	// sub-page from its stripe and retries against the fresh mapping, so
+	// the fill still serves the originally acknowledged bytes — the loss
+	// became a latency event. Bounded like plan-fault recovery.
+	for attempt := 0; ; attempt++ {
+		locs, cert, err := s.FTL.LookupCertified(fo.locs[:0], lspn)
+		if err != nil {
+			s.releaseFill(fo)
+			cb(0, err)
+			return
+		}
+		fo.locs = locs[:0]
+		fetch := fo.fetch[:0]
+		for _, loc := range locs {
+			for _, sub := range fo.subs {
+				if loc.Sub == sub {
+					fetch = append(fetch, loc)
+					break
+				}
+			}
+		}
+		fo.fetch = fetch[:0]
+		nFetch = len(fetch)
+		if len(fetch) == 0 {
+			// Unmapped subs read as zeroes with no flash work.
+			break
+		}
 		t3 := s.chargeFirmware(t2, 2, "fil", s.filScheduleMix(len(fetch)))
 		if s.passive {
 			// OCSSD vector read command + device-side thin parse, then the
@@ -815,13 +833,20 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 			// before the install that consumes it.
 			flashDone, err = s.FIL.ReadSubsOn(e, doms.nand, t3, fetch, dsts)
 		}
-		if err != nil {
+		if err == nil {
+			break
+		}
+		var redo bool
+		if attempt < maxFaultRetries {
+			redo, t2 = s.recoverFillFault(e, t3, lspn, fetch, err)
+		}
+		if !redo {
 			s.releaseFill(fo)
 			cb(0, err)
 			return
 		}
 	}
-	// Unmapped subs read as zeroes with no flash work.
+	fo.nFetch = nFetch
 
 	// Register the fill so concurrent readers coalesce instead of
 	// refetching.
@@ -845,7 +870,7 @@ func (s *System) startFill(e *sim.Engine, t sim.Time, lspn int64, subs []int, li
 	// with no flash work (all subs unmapped, pure cache-side traffic) ride
 	// the icl shard.
 	dom := doms.icl
-	if len(fetch) > 0 {
+	if nFetch > 0 {
 		if s.twoStageFills {
 			dom = doms.pub
 			s.fillsTwoStage++
@@ -969,54 +994,78 @@ func (s *System) flushEviction(e *sim.Engine, t sim.Time, ev *iclEviction) (sim.
 			sim.TransferTime(int64(dirtyBytes), s.params.LinkBytesPerSec))
 		_, t3 = s.DevCPU.Execute(t3, s.coreFor(0), "hil", s.params.ParseMix)
 	}
-	var res fil.Result
 	hostData := fil.HostData(ev.LSPN, ev.Dirty, ev.Data, s.ICL.Config().SubSize)
-	execute := func(p ftl.Plan) (fil.Result, error) {
-		if e != nil {
-			return s.FIL.ExecuteOn(e, s.domainsFor(e).nand, t3, p, hostData)
-		}
-		return s.FIL.Execute(t3, p, hostData)
-	}
-	res, err = execute(plan)
-	// Injected flash faults surface as *fil.PlanFault: the executed prefix
-	// is committed, the certified chain disarmed, and the FTL re-places the
-	// stranded suffix (retiring the bad block) into a fresh uncertified
-	// plan. Bounded retries absorb back-to-back faults; once the recovered
-	// plan lands clean the certified chain re-arms. A recovery that itself
-	// runs out of space returns a partial plan plus an error: the partial
-	// plan still executes (lockstep, as above) and the error is surfaced
-	// once the flash has caught up.
-	for attempt := 0; err != nil && attempt < maxFaultRetries; attempt++ {
-		var pf *fil.PlanFault
-		if !errors.As(err, &pf) {
-			break
-		}
-		rplan, rerr := s.FTL.RecoverPlanFault(t3, plan, pf.Executed, pf.Err)
-		if rerr != nil {
-			if pending == nil {
-				pending = fmt.Errorf("core: plan-fault recovery: %w", rerr)
-			}
-			if len(rplan.Ops) == 0 {
-				return 0, pending
-			}
-		}
-		t3 = s.chargeFirmware(t3, 1, "ftl.recover", s.filScheduleMix(len(rplan.Ops)))
-		plan = rplan
-		res, err = execute(plan)
-		if err == nil && pending == nil {
-			s.FIL.AcceptCertified(s.FTL)
-		}
-	}
+	res, err, pending := s.runPlan(e, t3, plan, hostData, pending)
 	if err != nil {
 		return 0, err
 	}
 	if pending != nil {
 		return 0, pending
 	}
+	// Reconstructions the plan's fault recovery queued (uncorrectable GC
+	// reads under RAIN) execute now, with model and flash back in lockstep.
+	s.drainRainRepairs(e, t3)
 	if res.HostWritesDone > 0 {
 		return res.HostWritesDone, nil
 	}
 	return res.Done, nil
+}
+
+// runPlan executes one FTL plan through the FIL at t, absorbing injected
+// flash faults: each *fil.PlanFault commits the executed prefix, disarms
+// the certified chain, and the FTL re-places the stranded suffix (retiring
+// the bad block) into a fresh uncertified plan. Bounded retries absorb
+// back-to-back faults; once a recovered plan lands clean the certified
+// chain re-arms. A recovery that itself runs out of space returns a
+// partial plan plus an error: the partial plan still executes (lockstep)
+// and the error is folded into pending, surfaced by the caller once the
+// flash has caught up. Uncorrectable reads of mapped data pages under RAIN
+// additionally queue a reconstruction (noteRainFault) which the caller
+// drains after the plan lands.
+func (s *System) runPlan(e *sim.Engine, t sim.Time, plan ftl.Plan, hostData fil.PlanData, pending error) (fil.Result, error, error) {
+	execute := func(p ftl.Plan) (fil.Result, error) {
+		if e != nil {
+			return s.FIL.ExecuteOn(e, s.domainsFor(e).nand, t, p, hostData)
+		}
+		return s.FIL.Execute(t, p, hostData)
+	}
+	res, err := execute(plan)
+	// The retry budget scales with the work in flight, not a flat constant:
+	// a read-fault recovery strictly shrinks the un-executed suffix (bounded
+	// by the plan size), while a program/erase fault can GROW the plan —
+	// retiring a full super-block emits a migration of everything valid on
+	// it — but only finitely often (each retirement spends a spare; an
+	// exhausted reserve latches read-only and recovery returns an error
+	// instead of a plan). Abandoning a suffix mid-chain is never safe: the
+	// FTL mutated its append pointers at plan build, so unexecuted ops
+	// desynchronize model and flash.
+	maxAttempts := len(plan.Ops) + maxFaultRetries
+	for attempt := 0; err != nil && attempt < maxAttempts; attempt++ {
+		var pf *fil.PlanFault
+		if !errors.As(err, &pf) {
+			break
+		}
+		s.noteRainFault(t, pf)
+		rplan, rerr := s.FTL.RecoverPlanFault(t, plan, pf.Executed, pf.Err)
+		if rerr != nil {
+			if pending == nil {
+				pending = fmt.Errorf("core: plan-fault recovery: %w", rerr)
+			}
+			if len(rplan.Ops) == 0 {
+				return res, nil, pending
+			}
+		}
+		if grown := attempt + 1 + len(rplan.Ops) + maxFaultRetries; grown > maxAttempts {
+			maxAttempts = grown
+		}
+		t = s.chargeFirmware(t, 1, "ftl.recover", s.filScheduleMix(len(rplan.Ops)))
+		plan = rplan
+		res, err = execute(plan)
+		if err == nil && pending == nil {
+			s.FIL.AcceptCertified(s.FTL)
+		}
+	}
+	return res, err, pending
 }
 
 // Flush forces every dirty cache line to flash (the host FLUSH command)

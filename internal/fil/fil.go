@@ -121,7 +121,18 @@ type FIL struct {
 
 	// addrScratch carries the translated addresses of one ReadSubsOn call
 	// from its validation pass to its issue pass, reused across calls.
-	addrScratch []nand.Address
+	// extraScratch carries each read's probe-time fault-retry latency beside
+	// it: with read-disturb accumulation armed, every issued read bumps its
+	// block's disturb counter, so a batch that re-drew at issue could
+	// disagree with its own probe — the probe IS the draw, and the issue
+	// pass replays it (nand.Flash.ReadDeferredPredrawn).
+	addrScratch  []nand.Address
+	extraScratch []sim.Duration
+
+	// parityBuf/parityTmp back RAIN parity payload assembly (the stripe
+	// XOR), reused across plans.
+	parityBuf []byte
+	parityTmp []byte
 
 	// Plan prevalidation scratch (ExecuteOn): the translated address of
 	// every op in plan order (erases contribute one address per plane) and
@@ -339,6 +350,41 @@ func (f *FIL) planFault(batch *nand.PlanBatch, executed int, op ftl.Op, plane in
 	return &PlanFault{Executed: executed, Op: op, Plane: plane, Err: err}
 }
 
+// parityPayload assembles the RAIN parity payload of op — the XOR of the
+// stripe row's covered data pages — into a pooled page buffer. Member
+// bytes come through nand.Flash.PagePayload (pending-aware, no timing or
+// accounting): the controller accumulates parity in RAM as the row's data
+// programs issue, so the parity program carries the stripe's only flash
+// cost. Returns nil when data tracking is off (timing-only execution).
+// The op names its own stripe: data planes [Loc.Sub, Loc.Plane), mask bit
+// i covering plane Loc.Sub+i.
+func (f *FIL) parityPayload(op ftl.Op) []byte {
+	if !f.flash.TrackData() {
+		return nil
+	}
+	if f.parityBuf == nil {
+		ps := f.flash.Geometry().PageSize
+		f.parityBuf = make([]byte, ps)
+		f.parityTmp = make([]byte, ps)
+	}
+	buf := f.parityBuf
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i := 0; op.Loc.Sub+i < op.Loc.Plane; i++ {
+		if op.Mask&(uint32(1)<<uint(i)) == 0 {
+			continue
+		}
+		p := op.Loc.Sub + i
+		peer := ftl.PageLoc{SB: op.Loc.SB, Page: op.Loc.Page, Plane: p, Sub: p}
+		f.flash.PagePayload(f.addrOf(peer), f.parityTmp)
+		for j := range buf {
+			buf[j] ^= f.parityTmp[j]
+		}
+	}
+	return buf
+}
+
 // readBuf hands out a pooled page buffer for a plan pre-read.
 func (f *FIL) readBuf() []byte {
 	if f.readBufN == len(f.readBufs) {
@@ -411,6 +457,26 @@ func (f *FIL) Execute(now sim.Time, plan ftl.Plan, hostData PlanData) (Result, e
 			touch(op.Loc.SB, r.Done)
 
 		case ftl.OpWrite:
+			if op.Parity {
+				// RAIN parity: payload is the XOR of the stripe row's data
+				// pages, accumulated in controller RAM as the row programmed
+				// — the parity program itself is the only flash cost. The
+				// membership mask stamps the page's OOB in the same serial
+				// section as the program (a torn cut clears both).
+				start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+				addr := f.addrOf(op.Loc)
+				r, err := f.flash.ProgramTagged(start, addr, f.parityPayload(op), planTag(op, g))
+				if err != nil {
+					if nand.IsInjectedFault(err) {
+						return res, f.planFault(nil, i, op, -1, err)
+					}
+					return res, fmt.Errorf("fil: plan parity program %v: %w", op.Loc, err)
+				}
+				f.flash.SetPageStripe(addr, op.Mask)
+				f.stats.Programs++
+				touch(op.Loc.SB, r.Done)
+				continue
+			}
 			k := SubKey{op.LSPN, op.Loc.Sub}
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			data, _ := hostData.Bytes(k)
@@ -697,6 +763,31 @@ func (f *FIL) ExecuteOn(e *sim.Engine, chDoms []sim.DomainID, now sim.Time, plan
 
 		case ftl.OpWrite:
 			addr := addrFor(op.Loc)
+			if op.Parity {
+				// RAIN parity: see Execute's parity branch. Claims, OOB
+				// stamping and the stripe mask apply in this serial section;
+				// only the program's bookkeeping defers into the channel
+				// domain, like any other batched program.
+				start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
+				pdata := f.parityPayload(op)
+				var r nand.Result
+				var err error
+				if certified {
+					r, err = batch.ProgramTaggedTrusted(start, addr, pdata, planTag(op, g))
+				} else {
+					r, err = batch.ProgramTagged(start, addr, pdata, planTag(op, g))
+				}
+				if err != nil {
+					if nand.IsInjectedFault(err) {
+						return res, f.planFault(batch, i, op, -1, err)
+					}
+					return res, fail(fmt.Errorf("fil: plan parity program %v: %w", op.Loc, err))
+				}
+				f.flash.SetPageStripe(addr, op.Mask)
+				f.stats.Programs++
+				touch(op.Loc.SB, r.Done)
+				continue
+			}
 			k := SubKey{op.LSPN, op.Loc.Sub}
 			start := sim.MaxOf(now, f.sbSlot(op.Loc.SB).erased)
 			data, _ := hostData.Bytes(k)
@@ -875,20 +966,30 @@ func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Tim
 		return done, nil
 	}
 	addrs := f.addrScratch[:0]
+	extras := f.extraScratch[:0]
 	for _, loc := range locs {
 		addr := f.addrOf(loc)
-		// ProbeRead covers the structural checks AND the injected read-fault
-		// ladder: the fault draw is pure, so a batch whose every probe
-		// passes cannot fault at issue below — an uncorrectable read
-		// surfaces here, with no completion events queued and no dst
-		// written, same contract as a structural failure.
-		if err := f.flash.ProbeRead(addr); err != nil {
+		// ProbeReadExtra covers the structural checks AND the injected
+		// read-fault ladder, returning the drawn retry latency: the draw is
+		// pure in state that cannot change before the issue pass below (the
+		// disturb bump lands at claim, after each read's draw), so a batch
+		// whose every probe passes cannot fault at issue — an uncorrectable
+		// read surfaces here, with no completion events queued and no dst
+		// written, same contract as a structural failure. The issue pass
+		// replays the probe's draw instead of re-drawing: issued reads bump
+		// their block's disturb counter, and a later read of the same block
+		// in this batch must not see its batchmate's bump mid-flight.
+		extra, err := f.flash.ProbeReadExtra(now, addr)
+		if err != nil {
 			f.addrScratch = addrs
+			f.extraScratch = extras
 			return now, fmt.Errorf("fil: read %v: %w", loc, err)
 		}
 		addrs = append(addrs, addr)
+		extras = append(extras, extra)
 	}
 	f.addrScratch = addrs
+	f.extraScratch = extras
 	done := now
 	for i, addr := range addrs {
 		var dst []byte
@@ -896,14 +997,10 @@ func (f *FIL) readSubsDeferred(e *sim.Engine, chDoms []sim.DomainID, now sim.Tim
 			dst = dsts[i]
 		}
 		var r nand.Result
-		var err error
 		if eager {
-			r, err = f.flash.ReadDeferredEager(e, chDoms[addr.Channel], now, addr, dst)
+			r = f.flash.ReadDeferredEagerPredrawn(e, chDoms[addr.Channel], now, addr, dst, extras[i])
 		} else {
-			r, err = f.flash.ReadDeferred(e, chDoms[addr.Channel], now, addr, dst)
-		}
-		if err != nil {
-			return done, fmt.Errorf("fil: read %v: %w", locs[i], err)
+			r = f.flash.ReadDeferredPredrawn(e, chDoms[addr.Channel], now, addr, dst, extras[i])
 		}
 		f.stats.Reads++
 		if r.Done > done {

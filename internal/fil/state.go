@@ -8,9 +8,12 @@ import (
 
 // planTag computes the OOB logical tag stamped on a plan write: the FTL's
 // forward-map index of the logical sub-page (LSPN × planes + sub, matching
-// ftl's fwdIndex). Mount-time recovery rebuilds the forward map from these
-// stamps alone.
+// ftl's fwdIndex), or the reserved parity tag for RAIN parity programs.
+// Mount-time recovery rebuilds the forward map from these stamps alone.
 func planTag(op ftl.Op, g nand.Geometry) int64 {
+	if op.Parity {
+		return ftl.ParityTag
+	}
 	return op.LSPN*int64(g.TotalPlanes()) + int64(op.Loc.Sub)
 }
 

@@ -68,6 +68,14 @@ type Config struct {
 	// absorbs before transitioning to read-only. Zero selects the default
 	// reservation, max(1, super-blocks/16).
 	SpareBlocks int
+	// RAINWidth enables die-level RAIN parity: every RAINWidth data planes
+	// form a stripe group with one additional parity plane, and each
+	// completed stripe row gets a parity page (the XOR of the row's data
+	// pages) programmed as part of the same certified plan. An uncorrectable
+	// read of a data page then reconstructs from the surviving stripe
+	// members instead of losing the sub-page. RAINWidth+1 must divide the
+	// geometry's total planes; zero disables RAIN entirely.
+	RAINWidth int
 }
 
 // Validate reports descriptive configuration errors.
@@ -87,6 +95,18 @@ func (c Config) Validate() error {
 	}
 	if c.SpareBlocks < 0 {
 		return fmt.Errorf("ftl: SpareBlocks must be >= 0, got %d", c.SpareBlocks)
+	}
+	if c.RAINWidth < 0 {
+		return fmt.Errorf("ftl: RAINWidth must be >= 0, got %d", c.RAINWidth)
+	}
+	if c.RAINWidth > 0 {
+		if c.RAINWidth > 32 {
+			return fmt.Errorf("ftl: RAINWidth %d exceeds the 32-plane stripe mask", c.RAINWidth)
+		}
+		if stripe := c.RAINWidth + 1; c.Geometry.TotalPlanes()%stripe != 0 {
+			return fmt.Errorf("ftl: RAIN stripe of %d planes does not divide %d total planes",
+				stripe, c.Geometry.TotalPlanes())
+		}
 	}
 	return nil
 }
@@ -131,16 +151,31 @@ const (
 	OpErase
 )
 
+// ParityTag is the OOB logical tag stamped on RAIN parity programs: not a
+// forward-map index, so Mount never maps a parity page as data (the FI < 0
+// skip), but distinguishable from raw untagged programs (-1).
+const ParityTag int64 = -2
+
 // Op is one physical operation in a plan, in causal order: a write may
 // depend on the read of the same (LSPN, Sub) issued before it, and a write
 // into a super-block erased earlier in the same plan must follow that
 // erase.
+//
+// A Parity write carries no logical sub-page (LSPN is -1): the executor
+// computes its payload as the XOR of the stripe row's data pages and stamps
+// the page's OOB with Mask. Loc.Sub of a parity op holds the first data
+// plane of its stripe group, so the op alone names every member: data
+// planes [Loc.Sub, Loc.Plane), mask bit i covering plane Loc.Sub+i.
+// Timing reads with LSPN -1 (reconstruction's stripe-member reads) are
+// never paired with host data or mappings.
 type Op struct {
-	Kind OpKind
-	Loc  PageLoc // read/write target
-	LSPN int64   // owning logical super-page (read/write)
-	GC   bool    // write: migration/RMW rewrite rather than host data
-	SB   int     // erase target super-block
+	Kind   OpKind
+	Loc    PageLoc // read/write target
+	LSPN   int64   // owning logical super-page (read/write), -1 for parity/aux
+	GC     bool    // write: migration/RMW rewrite rather than host data
+	SB     int     // erase target super-block
+	Parity bool    // write: RAIN parity program (payload = stripe XOR)
+	Mask   uint32  // parity: stripe membership mask (bit i = data plane Loc.Sub+i)
 }
 
 // Plan is the ordered physical work produced by one FTL call. Ops must be
@@ -256,6 +291,15 @@ type Stats struct {
 	Retirements    uint64 // super-blocks retired as grown bad blocks
 	Replans        uint64 // recovery plans built after injected plan faults
 	LostSubs       uint64 // sub-pages unmapped after uncorrectable reads
+	ParityWrites   uint64 // RAIN parity pages programmed
+	// Reconstructions counts uncorrectable reads answered from RAIN parity
+	// (data re-homed, a latency event instead of loss); DoubleFaults counts
+	// the reconstructions that could not proceed — a stripe member torn,
+	// unwritten or itself uncorrectable — and fell back to honest data loss.
+	Reconstructions uint64
+	DoubleFaults    uint64
+	ScrubRuns       uint64 // patrol-scrub super-block refreshes
+	ScrubMigrated   uint64 // sub-pages migrated by patrol scrub
 }
 
 // WAF returns the write-amplification factor.
@@ -277,6 +321,10 @@ type superBlock struct {
 	// as a GC/wear-leveling victim again. Still-valid sub-pages stay
 	// readable until recovery migrates them out.
 	retired bool
+	// recon counts RAIN reconstructions sourced from this block since its
+	// last erase; at reconScrubThreshold the block is flagged for a forced
+	// scrub (NoteReconstruct).
+	recon uint32
 }
 
 // FTL is the page-level translator. Not safe for concurrent use.
@@ -285,6 +333,12 @@ type FTL struct {
 	subCount   int // planes per super-page
 	pagesPerSB int
 	sbCount    int
+
+	// rainW is the RAIN stripe width (data planes per parity group), zero
+	// when RAIN is off; dataPlanes is the number of planes carrying data
+	// per super-block (= subCount without RAIN).
+	rainW      int
+	dataPlanes int
 
 	// forward map: lspn*subCount+sub -> packed (sb, page, plane), -1 unmapped.
 	fwd []int64
@@ -346,13 +400,21 @@ func New(cfg Config) (*FTL, error) {
 		sbCount:    g.BlocksPerPlane,
 		openSB:     -1,
 	}
+	f.dataPlanes = f.subCount
+	if cfg.RAINWidth > 0 {
+		f.rainW = cfg.RAINWidth
+		f.dataPlanes = f.subCount / (f.rainW + 1) * f.rainW
+	}
 	totalSuperPages := int64(f.sbCount) * int64(f.pagesPerSB)
-	f.userLSPNs = int64(float64(totalSuperPages) * (1 - cfg.OPRatio))
+	// RAIN reserves one plane per stripe group for parity, shrinking the
+	// physical sub-page budget by dataPlanes/subCount before the OP ratio
+	// carves out its share.
+	f.userLSPNs = int64(float64(totalSuperPages) * float64(f.dataPlanes) / float64(f.subCount) * (1 - cfg.OPRatio))
 	// Regardless of the OP ratio, at least two super-blocks stay out of the
 	// user capacity: one open append block and one block of GC headroom.
 	// Without this floor a fully-valid device can strand GC with no free
 	// block to migrate into.
-	if maxUser := int64(f.sbCount-2) * int64(f.pagesPerSB); f.userLSPNs > maxUser {
+	if maxUser := int64(f.sbCount-2) * int64(f.pagesPerSB) * int64(f.dataPlanes) / int64(f.subCount); f.userLSPNs > maxUser {
 		f.userLSPNs = maxUser
 	}
 	if f.userLSPNs < 1 {
@@ -544,12 +606,22 @@ func (f *FTL) Address(loc PageLoc) nand.Address {
 func (f *FTL) allocOpen(now sim.Time, plan *Plan) error {
 	if f.openSB >= 0 {
 		sb := &f.sbs[f.openSB]
-		for _, np := range sb.nextPage {
+		for p, np := range sb.nextPage {
+			if f.isParityPlane(p) {
+				continue // parity planes never take data pages
+			}
 			if int(np) < f.pagesPerSB {
 				return nil
 			}
 		}
-		// Every plane is full: close the block.
+		// Every data plane is full: top off the parity planes (the per-append
+		// catch-up already did unless the block was reopened skewed at mount)
+		// and close the block.
+		if f.rainW > 0 {
+			for g := 0; g < f.subCount/(f.rainW+1); g++ {
+				f.parityCatchupGroup(f.openSB, g, plan)
+			}
+		}
 		sb.closed = true
 		f.openSB = -1
 	}
@@ -613,14 +685,20 @@ func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) 
 	}
 	sb := &f.sbs[f.openSB]
 	plane := sub % f.subCount
+	if f.rainW > 0 {
+		plane = f.dataPlane(sub % f.dataPlanes)
+	}
 	if int(sb.nextPage[plane]) >= f.pagesPerSB {
 		best := -1
 		for p := 0; p < f.subCount; p++ {
+			if f.isParityPlane(p) {
+				continue
+			}
 			if int(sb.nextPage[p]) < f.pagesPerSB && (best < 0 || sb.nextPage[p] < sb.nextPage[best]) {
 				best = p
 			}
 		}
-		plane = best // allocOpen guaranteed at least one open plane
+		plane = best // allocOpen guaranteed at least one open data plane
 	}
 	loc := PageLoc{SB: f.openSB, Page: int(sb.nextPage[plane]), Plane: plane, Sub: sub}
 	sb.nextPage[plane]++
@@ -646,6 +724,12 @@ func (f *FTL) appendSub(now sim.Time, lspn int64, sub int, gc bool, plan *Plan) 
 
 	plan.Ops = append(plan.Ops, Op{Kind: OpWrite, Loc: loc, LSPN: lspn, GC: gc})
 	f.stats.FlashSubWrites++
+	if f.rainW > 0 {
+		// Parity rides the same plan as the data: once this append completed
+		// a stripe row (every data plane of the group past it), its parity
+		// program is emitted right here, after the row's data writes.
+		f.parityCatchupGroup(f.openSB, plane/(f.rainW+1), plan)
+	}
 	return nil
 }
 

@@ -20,17 +20,25 @@ func (f *FTL) collect(now sim.Time, plan *Plan) (bool, error) {
 	f.stats.GCRuns++
 	plan.GCRuns++
 
-	if err := f.migrateSuperBlock(now, victim, plan, false); err != nil {
+	if err := f.migrateSuperBlock(now, victim, plan, gcMove); err != nil {
 		return true, err
 	}
 	f.eraseSB(victim, plan)
 	return true, nil
 }
 
+// migrateMode attributes a super-block migration's moves in the stats.
+type migrateMode int
+
+const (
+	gcMove migrateMode = iota
+	wearMove
+	scrubMove
+)
+
 // migrateSuperBlock moves every valid sub-page of sb into the open
-// super-block. wearLevel marks the moves in the stats as wear-leveling
-// rather than GC.
-func (f *FTL) migrateSuperBlock(now sim.Time, sb int, plan *Plan, wearLevel bool) error {
+// super-block, attributing the moves to mode.
+func (f *FTL) migrateSuperBlock(now sim.Time, sb int, plan *Plan, mode migrateMode) error {
 	base := int64(sb) * int64(f.pagesPerSB) * int64(f.subCount)
 	for page := 0; page < f.pagesPerSB; page++ {
 		for plane := 0; plane < f.subCount; plane++ {
@@ -44,10 +52,14 @@ func (f *FTL) migrateSuperBlock(now sim.Time, sb int, plan *Plan, wearLevel bool
 			if err := f.appendSub(now, lspn, sub, true, plan); err != nil {
 				return err
 			}
-			if wearLevel {
+			switch mode {
+			case wearMove:
 				f.stats.WearLevelMoves++
 				plan.WearLevelMoves++
-			} else {
+			case scrubMove:
+				f.stats.ScrubMigrated++
+				plan.Migrated++
+			default:
 				f.stats.GCMigrated++
 				plan.Migrated++
 			}
@@ -70,6 +82,7 @@ func (f *FTL) eraseSB(sb int, plan *Plan) {
 	}
 	blk.validSubs = 0
 	blk.eraseCount++
+	blk.recon = 0 // a fresh erase clears the reconstruction pressure
 	blk.closed = false
 	blk.free = true
 	f.freeSB = append(f.freeSB, sb)
@@ -83,7 +96,7 @@ func (f *FTL) eraseSB(sb int, plan *Plan) {
 func (f *FTL) selectVictim(now sim.Time) int {
 	best := -1
 	var bestScore float64
-	totalSubs := float64(f.pagesPerSB * f.subCount)
+	totalSubs := float64(f.fullSubs())
 	for sb := range f.sbs {
 		blk := &f.sbs[sb]
 		if blk.free || blk.retired || sb == f.openSB {
@@ -96,7 +109,7 @@ func (f *FTL) selectVictim(now sim.Time) int {
 		if written == 0 {
 			continue // nothing ever written; erasing gains nothing
 		}
-		if int(blk.validSubs) == f.pagesPerSB*f.subCount {
+		if int(blk.validSubs) == f.fullSubs() {
 			continue // fully valid: migration would consume what the erase frees
 		}
 		var score float64
@@ -152,7 +165,7 @@ func (f *FTL) maybeWearLevel(now sim.Time, plan *Plan) {
 	// its victim would double-erase it.
 	wasInGC := f.inGC
 	f.inGC = true
-	err := f.migrateSuperBlock(now, coldest, plan, true)
+	err := f.migrateSuperBlock(now, coldest, plan, wearMove)
 	f.inGC = wasInGC
 	if err != nil {
 		return // reserve exhausted; ordinary GC will recover first

@@ -36,6 +36,13 @@ type MountReport struct {
 	// cut — so normal GC could not bootstrap a write destination.
 	SqueezedSBs  int
 	SqueezedSubs int
+	// ParityPages counts intact RAIN parity pages found by the scan
+	// (stripe membership rebuilt from their OOB tags and masks).
+	ParityPages int
+	// ParityReemitted counts parity programs the post-mount catch-up pass
+	// (ParityCatchup) planned for stripe rows completed before the cut
+	// whose parity never programmed.
+	ParityReemitted int
 }
 
 // Mount rebuilds an FTL from flash state alone — the crash-recovery path.
@@ -113,6 +120,10 @@ func Mount(cfg Config, flash *nand.Flash) (*FTL, MountReport, error) {
 				if !oob.Good || !flash.VerifyPage(addr) {
 					rep.TornDiscarded++
 					continue
+				}
+				if oob.FI == ParityTag {
+					rep.ParityPages++
+					continue // parity holds no mapping; membership is its OOB mask
 				}
 				if oob.FI < 0 || oob.FI >= int64(len(f.fwd)) {
 					continue // raw/untagged program: not the FTL's page
@@ -267,7 +278,7 @@ func (f *FTL) MountSqueeze(now sim.Time) (Plan, int, int, error) {
 			f.planSeq++
 		}
 	}()
-	fullSubs := f.pagesPerSB * f.subCount
+	fullSubs := f.fullSubs()
 	for tries := 0; len(f.freeSB) <= f.cfg.GCFreeThreshold && tries < 2*f.sbCount; tries++ {
 		victim := -1
 		for sb := range f.sbs {

@@ -80,12 +80,14 @@ func (f *FTL) loseSub(fi int64) {
 // on the model and the flash, which strict in-order programming requires.
 //
 // GC rewrites in the suffix whose source reads executed before the fault
-// are re-read from the original location (those pages are physically
-// intact: a plan always orders a victim's erase after its migration
-// reads, so an executed read's erase is still in the suffix). The
-// returned plan is uncertified — the executor walks it — and its Ops are
-// freshly allocated (recovery is the cold path and must not alias the
-// scratch buffer the failed plan borrowed).
+// are re-read from the original location while it is physically intact.
+// Squeeze-shaped plans order a victim's erase BEFORE its rewrites
+// (compaction into the same block), so those re-reads are hoisted ahead
+// of the erase; when the erase already executed, the bytes are
+// unrecoverable and the sub-page is unmapped with its write degraded to a
+// padding burn. The returned plan is uncertified — the executor walks it
+// — and its Ops are freshly allocated (recovery is the cold path and must
+// not alias the scratch buffer the failed plan borrowed).
 func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause error) (Plan, error) {
 	if executed < 0 || executed >= len(plan.Ops) {
 		return Plan{}, fmt.Errorf("ftl: recover with executed %d outside plan of %d ops", executed, len(plan.Ops))
@@ -109,8 +111,12 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 		if failed.Kind != OpRead {
 			return Plan{}, fmt.Errorf("ftl: read fault on %v op", failed.Kind)
 		}
-		lostFi = f.fwdIndex(failed.LSPN, failed.Loc.Sub)
-		f.loseSub(lostFi)
+		// A timing read (LSPN < 0: a reconstruction plan's stripe-member
+		// read) owns no mapping — nothing to lose, the suffix just drops it.
+		if failed.LSPN >= 0 {
+			lostFi = f.fwdIndex(failed.LSPN, failed.Loc.Sub)
+			f.loseSub(lostFi)
+		}
 	default:
 		return Plan{}, fmt.Errorf("ftl: unrecoverable plan failure: %w", cause)
 	}
@@ -138,9 +144,18 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 		touched   bool
 	}
 	info := make(map[int64]*fiInfo)
+	// Blocks whose erase already executed: a read source on one of them
+	// has physically lost its bytes — no recovery read can bring them back.
+	erasedPrefix := make(map[int]bool)
 	for idx, op := range plan.Ops {
 		if op.Kind == OpErase {
+			if idx < executed {
+				erasedPrefix[op.SB] = true
+			}
 			continue
+		}
+		if op.LSPN < 0 {
+			continue // parity/timing ops own no logical sub-page
 		}
 		fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
 		in := info[fi]
@@ -164,27 +179,47 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 	emitted := make(map[int64]bool)  // fi whose data a recovery read loads
 	broken := make(map[PageLoc]bool) // pages whose programming write was displaced
 
-	// ensureData emits the read that loads fi's sub-page into the
-	// executor's buffers, if one is needed and a physically-programmed
-	// source exists. Returns false for host-rooted chains: no read source,
-	// the write must pull from hostData instead (GC flag cleared).
-	ensureData := func(op Op, fi int64) bool {
+	// srcOf resolves the physical location still holding fi's bytes: the
+	// last write that executed before the fault, else the chain's pre-plan
+	// origin. ok is false for host-rooted chains (no read source ever).
+	srcOf := func(in *fiInfo) (PageLoc, bool) {
+		if in.hasExec {
+			return in.lastExec, true
+		}
+		if in.hasOrigin {
+			return in.origin, true
+		}
+		return PageLoc{}, false
+	}
+
+	// ensureData outcomes for a suffix write that needs its sub-page's
+	// bytes in the executor's buffers.
+	const (
+		srcLoaded = iota // a recovery read supplies the bytes (or already did)
+		srcHost          // host-rooted chain: pull from this flush's hostData
+		srcGone          // only physical copy already erased: data is lost
+	)
+	ensureData := func(op Op, fi int64) int {
 		if emitted[fi] {
-			return true
+			return srcLoaded
 		}
 		in := info[fi]
 		if in == nil {
-			return false
+			return srcHost
 		}
-		src := in.origin
-		if in.hasExec {
-			src = in.lastExec
-		} else if !in.hasOrigin {
-			return false
+		src, ok := srcOf(in)
+		if !ok {
+			return srcHost
+		}
+		if erasedPrefix[src.SB] {
+			// Squeeze-shaped plans erase a victim before rewriting it; when
+			// the erase sits in the executed prefix and the rewrite's bytes
+			// died with the failed executor's buffers, no copy survives.
+			return srcGone
 		}
 		out.Ops = append(out.Ops, Op{Kind: OpRead, Loc: src, LSPN: op.LSPN})
 		emitted[fi] = true
-		return true
+		return srcLoaded
 	}
 
 	// Writes stranded on the retired block are re-placed with fresh
@@ -202,11 +237,26 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 	}
 	var moves []displacedWrite
 
+	// Sub-pages whose bytes no surviving copy can supply: the current
+	// fault's uncorrectable read, plus any chain srcGone discovers. Their
+	// pending writes degrade to padding burns.
+	lost := map[int64]bool{}
+	if lostFi >= 0 {
+		lost[lostFi] = true
+	}
+
 	for j, op := range suffix {
 		switch op.Kind {
 		case OpRead:
-			if j == 0 && lostFi >= 0 {
+			if j == 0 && failed.Kind == OpRead {
 				continue // the uncorrectable read itself
+			}
+			if op.LSPN < 0 {
+				// Timing read of a stripe member: no mapping, no pairing —
+				// re-issue verbatim (its page is physically intact; a plan
+				// orders any erase of it after the read).
+				out.Ops = append(out.Ops, op)
+				continue
 			}
 			fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
 			if broken[op.Loc] {
@@ -220,6 +270,16 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 			out.Ops = append(out.Ops, op)
 			emitted[fi] = true
 		case OpWrite:
+			if op.Parity {
+				// A parity program owns no mapping. Its block retired: the
+				// whole stripe died with the block, drop it. Otherwise the
+				// suffix re-issues it verbatim — earlier writes into the same
+				// block re-issue verbatim too, so in-order programming holds.
+				if !f.sbs[op.Loc.SB].retired {
+					out.Ops = append(out.Ops, op)
+				}
+				continue
+			}
 			fi := f.fwdIndex(op.LSPN, op.Loc.Sub)
 			if f.sbs[op.Loc.SB].retired {
 				broken[op.Loc] = true
@@ -228,28 +288,77 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 				// data an uncorrectable read lost) needs neither a
 				// mapping nor a burn on a block nothing programs again.
 				if packed := f.fwd[fi]; packed >= 0 && f.unpackLoc(packed, op.Loc.Sub) == op.Loc {
-					dataOK := !op.GC || ensureData(op, fi)
-					moves = append(moves, displacedWrite{op: op, gc: op.GC && dataOK})
+					gc := op.GC
+					if op.GC {
+						switch ensureData(op, fi) {
+						case srcHost:
+							gc = false
+						case srcGone:
+							// No surviving copy to migrate: unmap — honest
+							// loss — and skip the re-placement (the write
+							// targeted the retired block, so no live block
+							// owes a burn for it).
+							f.loseSub(fi)
+							lost[fi] = true
+							continue
+						}
+					}
+					moves = append(moves, displacedWrite{op: op, gc: gc})
 				}
 				continue
 			}
-			if fi == lostFi {
+			if lost[fi] {
 				// Padding program: the data is gone but the page must
 				// still burn, or the live target block's next-page
 				// pointer would diverge between model and flash.
 				out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN, GC: true})
 				continue
 			}
-			if op.GC && !ensureData(op, fi) {
-				// Host-rooted chain whose read source was displaced:
-				// re-program from the flush's host data.
-				out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN})
-				continue
+			if op.GC {
+				switch ensureData(op, fi) {
+				case srcHost:
+					// Host-rooted chain whose read source was displaced:
+					// re-program from the flush's host data.
+					out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN})
+					continue
+				case srcGone:
+					// The only physical copy was erased before the fault and
+					// the first-pass read's bytes died with the failed
+					// executor: unmap and degrade to a padding burn.
+					f.loseSub(fi)
+					lost[fi] = true
+					out.Ops = append(out.Ops, Op{Kind: OpWrite, Loc: op.Loc, LSPN: op.LSPN, GC: true})
+					continue
+				}
 			}
 			out.Ops = append(out.Ops, op)
 		case OpErase:
 			if f.sbs[op.SB].retired {
 				continue
+			}
+			// Squeeze-shaped plans erase a victim BEFORE rewriting its
+			// pages into the compacted block. A chain whose first-pass read
+			// executed holds its bytes only in the failed executor's
+			// buffers — gone — so its recovery re-read must land before
+			// this erase burns the last physical copy (ensureData would
+			// otherwise emit it at the paired write's position, after the
+			// erase).
+			for _, later := range suffix[j+1:] {
+				if later.Kind != OpWrite || !later.GC || later.Parity || later.LSPN < 0 {
+					continue
+				}
+				lfi := f.fwdIndex(later.LSPN, later.Loc.Sub)
+				if emitted[lfi] || lost[lfi] || f.fwd[lfi] < 0 {
+					continue
+				}
+				in := info[lfi]
+				if in == nil {
+					continue
+				}
+				if src, ok := srcOf(in); ok && src.SB == op.SB && !erasedPrefix[src.SB] {
+					out.Ops = append(out.Ops, Op{Kind: OpRead, Loc: src, LSPN: later.LSPN})
+					emitted[lfi] = true
+				}
 			}
 			out.Ops = append(out.Ops, op)
 		}
@@ -285,7 +394,7 @@ func (f *FTL) RecoverPlanFault(now sim.Time, plan Plan, executed int, cause erro
 		return out, nil
 	}
 	if f.sbs[retired].validSubs > 0 {
-		if err := f.migrateSuperBlock(now, retired, &out, false); err != nil {
+		if err := f.migrateSuperBlock(now, retired, &out, gcMove); err != nil {
 			f.readOnly = true
 			return out, err
 		}

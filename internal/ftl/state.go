@@ -27,6 +27,7 @@ func (f *FTL) EncodeState(e *snap.Enc) {
 		e.Bool(sb.closed)
 		e.Bool(sb.free)
 		e.Bool(sb.retired)
+		e.U64(uint64(sb.recon))
 	}
 	e.U64(uint64(len(f.freeSB)))
 	for _, sb := range f.freeSB {
@@ -44,6 +45,11 @@ func (f *FTL) EncodeState(e *snap.Enc) {
 	e.U64(f.stats.Retirements)
 	e.U64(f.stats.Replans)
 	e.U64(f.stats.LostSubs)
+	e.U64(f.stats.ParityWrites)
+	e.U64(f.stats.Reconstructions)
+	e.U64(f.stats.DoubleFaults)
+	e.U64(f.stats.ScrubRuns)
+	e.U64(f.stats.ScrubMigrated)
 	e.U64(uint64(len(f.retireOrder)))
 	for _, sb := range f.retireOrder {
 		e.Int(sb)
@@ -73,6 +79,7 @@ func (f *FTL) DecodeState(d *snap.Dec) error {
 		sb.closed = d.Bool()
 		sb.free = d.Bool()
 		sb.retired = d.Bool()
+		sb.recon = uint32(d.U64())
 		sb.validSubs = 0
 	}
 	nFree := d.Len(f.sbCount)
@@ -92,6 +99,11 @@ func (f *FTL) DecodeState(d *snap.Dec) error {
 	f.stats.Retirements = d.U64()
 	f.stats.Replans = d.U64()
 	f.stats.LostSubs = d.U64()
+	f.stats.ParityWrites = d.U64()
+	f.stats.Reconstructions = d.U64()
+	f.stats.DoubleFaults = d.U64()
+	f.stats.ScrubRuns = d.U64()
+	f.stats.ScrubMigrated = d.U64()
 	nRet := d.Len(f.sbCount)
 	f.retireOrder = f.retireOrder[:0]
 	for i := 0; i < nRet; i++ {

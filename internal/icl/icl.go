@@ -185,6 +185,10 @@ type Cache struct {
 	scratchHits   []int
 	scratchMisses []int
 	scratchRA     []int64
+
+	// scratchClean backs degraded-mode victim filtering (preferClean),
+	// reused across calls so the read-only survival path stays alloc-free.
+	scratchClean []*line
 }
 
 // New constructs a Cache from a validated configuration.
@@ -255,12 +259,13 @@ func (c *Cache) victim(lspn int64) *line {
 		}
 	}
 	if c.preferClean {
-		clean := make([]*line, 0, len(set))
+		clean := c.scratchClean[:0]
 		for _, ln := range set {
 			if !lineDirty(ln) {
 				clean = append(clean, ln)
 			}
 		}
+		c.scratchClean = clean
 		if len(clean) > 0 {
 			set = clean
 		}
@@ -295,9 +300,20 @@ func (c *Cache) evictInto(ln *line, lspn int64) *Eviction {
 	var ev *Eviction
 	if ln.lspn >= 0 {
 		c.scratchEv.LSPN = ln.lspn
-		c.scratchEv.Dirty = append(c.scratchEv.Dirty[:0], ln.dirty...)
+		// Swap, don't copy: the record takes the frame's dirty mask and
+		// payload wholesale and the frame inherits the scratch buffers —
+		// it is about to be reset for the new resident either way, so the
+		// swap turns a per-eviction line-sized copy into pointer exchanges
+		// (plus a one-time allocation seeding the scratch side).
+		c.scratchEv.Dirty, ln.dirty = ln.dirty, c.scratchEv.Dirty
+		if ln.dirty == nil {
+			ln.dirty = make([]bool, c.cfg.SubsPerLine)
+		}
 		if c.cfg.TrackData {
-			c.scratchEv.Data = append(c.scratchEv.Data[:0], ln.data...)
+			c.scratchEv.Data, ln.data = ln.data, c.scratchEv.Data
+			if ln.data == nil {
+				ln.data = make([]byte, c.cfg.LineBytes())
+			}
 		} else {
 			c.scratchEv.Data = nil
 		}

@@ -25,13 +25,51 @@ type OOBInfo struct {
 	// program (the power cut interrupted the array operation), which
 	// recovery must treat as unwritten.
 	Good bool
+	// Stripe is the RAIN stripe-membership mask stamped on parity pages
+	// (bit i: data plane i of the parity group is covered), zero for data
+	// and non-RAIN pages. Mount rebuilds parity membership from it.
+	Stripe uint32
 }
 
 // PageOOB returns the OOB metadata of the page at addr. Pages never
 // programmed since their block's last erase return FI -1, Seq 0.
 func (f *Flash) PageOOB(addr Address) OOBInfo {
 	o := &f.oob[f.geo.PageIndex(addr)]
-	return OOBInfo{FI: o.fi, Seq: o.seq, Good: o.good}
+	return OOBInfo{FI: o.fi, Seq: o.seq, Good: o.good, Stripe: o.stripe}
+}
+
+// SetPageStripe stamps the written page at addr with a RAIN stripe
+// membership mask. The stamp is part of the page's OOB metadata, written
+// by the same array operation as the parity payload — callers invoke it in
+// the same serial section as the parity program, and a power cut that
+// tears the program clears the whole stamp (good=false) with it.
+func (f *Flash) SetPageStripe(addr Address, mask uint32) {
+	f.oob[f.geo.PageIndex(addr)].stripe = mask
+}
+
+// TamperOOB corrupts one field of a page's OOB stamp, selected by mode
+// (modulo the field count): flip the checksum verdict, bit-flip the
+// logical tag, the sequence number, the payload checksum, or the stripe
+// mask. A test-only hook for fuzzing mount-time recovery against torn and
+// bit-rotted OOB images; it models silent spare-area corruption, so no
+// counters or epochs move.
+func (f *Flash) TamperOOB(pageIdx int64, mode uint8) {
+	if pageIdx < 0 || pageIdx >= int64(len(f.oob)) {
+		return
+	}
+	o := &f.oob[pageIdx]
+	switch mode % 5 {
+	case 0:
+		o.good = !o.good
+	case 1:
+		o.fi ^= 1 << (mode % 32)
+	case 2:
+		o.seq ^= 1 << (mode % 48)
+	case 3:
+		o.sum ^= 1 << (mode % 64)
+	case 4:
+		o.stripe ^= 1 << (mode % 16)
+	}
 }
 
 // VerifyPage recomputes the modeled OOB checksum of the written page at
@@ -166,6 +204,7 @@ func (f *Flash) PowerLoss(now sim.Time, seed uint64) PowerLossReport {
 		}
 		blk := &f.blocks[u.bi]
 		blk.eraseCount = u.eraseCount
+		blk.disturb = u.disturb
 		blk.nextPage = u.nextPage
 		copy(blk.written, u.written)
 		base := int64(u.bi) * int64(f.geo.PagesPerBlock)

@@ -299,8 +299,14 @@ type Stats struct {
 // blockState tracks per-block physical condition.
 type blockState struct {
 	eraseCount uint32
-	nextPage   int32 // next programmable page (in-order constraint); PagesPerBlock means full
-	written    []bool
+	// disturb counts reads of the block since its last erase, the
+	// accumulated read-disturb stress. Only maintained when
+	// FaultConfig.ReadDisturbLimit is set; erase resets it (a fresh
+	// program cycle starts unstressed). Durable: real disturb is charge
+	// displacement in the array, which a power cut does not undo.
+	disturb  uint32
+	nextPage int32 // next programmable page (in-order constraint); PagesPerBlock means full
+	written  []bool
 	// bad marks a grown bad block: durable (it survives power loss — real
 	// firmware keeps a bad-block table in flash), recorded by MarkBadBlock
 	// when the FTL retires the block's super-block.
@@ -323,6 +329,11 @@ type pageOOB struct {
 	doneAt sim.Time
 	sum    uint64
 	good   bool
+	// stripe tags a RAIN parity page with its stripe membership mask (bit
+	// i set: data plane i of the page's parity group is covered). Zero for
+	// data and non-RAIN pages. Durable, like every OOB stamp, so mount
+	// rebuilds parity membership from flash alone.
+	stripe uint32
 }
 
 // oobSum is the modeled payload checksum: FNV-1a over the page bytes. Pages
@@ -714,6 +725,12 @@ func (f *Flash) claimRead(now sim.Time, addr Address, extra sim.Duration) (cmdSt
 	cmdStart, cmdEnd := ch.Claim(now, f.tim.CmdCycles)
 	_, ready = die.Claim(cmdEnd, f.readLatency(addr.Page)+extra)
 	_, done = ch.Claim(ready, f.tim.XferTime(f.geo.PageSize))
+	if f.faults != nil && f.faults.cfg.ReadDisturbLimit > 0 {
+		// Read disturb accrues at claim time, in the serial section — after
+		// this read's own draw (taken before claimRead on every path), so a
+		// read is stressed by its predecessors, never by itself.
+		f.blocks[f.geo.BlockIndex(addr)].disturb++
+	}
 	return cmdStart, ready, done
 }
 
@@ -724,7 +741,7 @@ func (f *Flash) Read(now sim.Time, addr Address, dst []byte) (Result, error) {
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	extra, err := f.readFaultExtra(addr)
+	extra, err := f.readFaultExtra(now, addr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -841,12 +858,25 @@ func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	extra, err := f.readFaultExtra(addr)
+	extra, err := f.readFaultExtra(now, addr)
 	if err != nil {
 		return Result{}, err
 	}
-	cmdStart, ready, done := f.claimRead(now, addr, extra)
+	return f.readDeferredClaimed(e, dom, now, addr, dst, extra), nil
+}
 
+// ReadDeferredPredrawn is ReadDeferred minus validation and the fault draw:
+// the caller already ran both through ProbeReadExtra and passes the drawn
+// retry cost in extra. This is how batching paths keep the probe-pass ⇒
+// issue-pass contract once read disturb is live — the probe's draw is THE
+// draw, and the issue only claims (which bumps the disturb counter for
+// later reads).
+func (f *Flash) ReadDeferredPredrawn(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte, extra sim.Duration) Result {
+	return f.readDeferredClaimed(e, dom, now, addr, dst, extra)
+}
+
+func (f *Flash) readDeferredClaimed(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte, extra sim.Duration) Result {
+	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	op := f.acquireReadCompletion(addr.Channel)
 	op.dst = dst
 	if f.trackData && dst != nil {
@@ -857,7 +887,7 @@ func (f *Flash) ReadDeferred(e *sim.Engine, dom sim.DomainID, now sim.Time, addr
 		op.staged = true
 	}
 	e.AtIn(dom, done, op.fn)
-	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+	return Result{Start: cmdStart, Ready: ready, Done: done}
 }
 
 // ReadDeferredEager is ReadDeferred with the tracked-data copy performed at
@@ -877,15 +907,23 @@ func (f *Flash) ReadDeferredEager(e *sim.Engine, dom sim.DomainID, now sim.Time,
 	if err := f.CheckRead(addr); err != nil {
 		return Result{}, err
 	}
-	extra, err := f.readFaultExtra(addr)
+	extra, err := f.readFaultExtra(now, addr)
 	if err != nil {
 		return Result{}, err
 	}
+	return f.ReadDeferredEagerPredrawn(e, dom, now, addr, dst, extra), nil
+}
+
+// ReadDeferredEagerPredrawn is ReadDeferredEager minus validation and the
+// fault draw: like ReadDeferredPredrawn, the caller carries the
+// ProbeReadExtra result in extra so batched probes and issues cannot
+// disagree once read disturb shifts draw keys between them.
+func (f *Flash) ReadDeferredEagerPredrawn(e *sim.Engine, dom sim.DomainID, now sim.Time, addr Address, dst []byte, extra sim.Duration) Result {
 	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	f.copyOut(f.geo.PageIndex(addr), dst)
 	op := f.acquireReadCompletion(addr.Channel) // accounting-only carrier: dst nil, staged false
 	e.AtIn(dom, done, op.fn)
-	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+	return Result{Start: cmdStart, Ready: ready, Done: done}
 }
 
 // ReadDeferredEagerTrusted is ReadDeferredEager minus the per-address
@@ -1117,14 +1155,24 @@ func (b *PlanBatch) ReadTrusted(now sim.Time, addr Address, dst []byte) (Result,
 
 func (b *PlanBatch) readChecked(now sim.Time, addr Address, dst []byte) (Result, error) {
 	f := b.f
-	extra, err := f.readFaultExtra(addr)
+	extra, err := f.readFaultExtra(now, addr)
 	if err != nil {
 		return Result{}, err
 	}
+	return b.ReadPredrawn(now, addr, dst, extra), nil
+}
+
+// ReadPredrawn is the plan-batch read minus validation and the fault draw:
+// the caller carries a ProbeReadExtra result in extra. Uncertified plan
+// walks use it so the prevalidation probe's draw is the authoritative one —
+// issues bump disturb counters, so a re-draw at issue could disagree with
+// the probe that promised the whole plan would execute.
+func (b *PlanBatch) ReadPredrawn(now sim.Time, addr Address, dst []byte, extra sim.Duration) Result {
+	f := b.f
 	cmdStart, ready, done := f.claimRead(now, addr, extra)
 	f.copyOut(f.geo.PageIndex(addr), dst)
 	b.die(addr, done).nReads++
-	return Result{Start: cmdStart, Ready: ready, Done: done}, nil
+	return Result{Start: cmdStart, Ready: ready, Done: done}
 }
 
 // Program performs a page program with Program's timing and functional
@@ -1444,6 +1492,7 @@ type eraseUndoRec struct {
 	bi         int
 	start      sim.Time // array-operation start on the die
 	eraseCount uint32
+	disturb    uint32
 	nextPage   int32
 	written    []bool
 	oob        []pageOOB
@@ -1520,11 +1569,13 @@ func (f *Flash) claimErase(now sim.Time, addr Address) (cmdStart, done sim.Time,
 	undo.bi = bi
 	undo.start = opStart
 	undo.eraseCount = blk.eraseCount
+	undo.disturb = blk.disturb
 	undo.nextPage = blk.nextPage
 	copy(undo.written, blk.written)
 	copy(undo.oob, f.oob[base:base+int64(f.geo.PagesPerBlock)])
 	f.eraseUndo = append(f.eraseUndo, undo)
 	blk.eraseCount++
+	blk.disturb = 0
 	blk.nextPage = 0
 	for i := range blk.written {
 		blk.written[i] = false
@@ -1565,6 +1616,58 @@ func (f *Flash) Erase(now sim.Time, addr Address) (Result, error) {
 // PageWritten reports whether the page at addr currently holds data.
 func (f *Flash) PageWritten(addr Address) bool {
 	return f.blocks[f.geo.BlockIndex(addr)].written[addr.Page]
+}
+
+// PagePayload copies the tracked contents of the page at addr into dst
+// (zero-padded past what was stored), with no timing, accounting or fault
+// draw — firmware-internal data movement, not a flash transaction. It is
+// pending-aware: bytes latched by a deferred program whose install event
+// has not dispatched yet are observed, exactly like a synchronous read
+// would. RAIN parity computation XORs stripe members through this (each
+// member was already read or programmed by the surrounding plan, which is
+// where the timing lives). No-op when data tracking is off or dst is nil.
+func (f *Flash) PagePayload(addr Address, dst []byte) {
+	f.copyOut(f.geo.PageIndex(addr), dst)
+}
+
+// BlockDisturb returns the accumulated read-disturb count of the block at
+// global index bi (always zero unless FaultConfig.ReadDisturbLimit is set).
+func (f *Flash) BlockDisturb(bi int) uint32 { return f.blocks[bi].disturb }
+
+// BlockRisk scores the degradation risk of the block at global index bi at
+// simulated time now: the sum of its read-disturb fraction and the
+// retention-age fraction of its oldest written page, each relative to the
+// configured limit. 1.0 means one fully-expended budget. Zero when fault
+// injection is off or neither limit is configured — the patrol scrubber's
+// risk scan is then inert.
+func (f *Flash) BlockRisk(bi int, now sim.Time) float64 {
+	m := f.faults
+	if m == nil {
+		return 0
+	}
+	var r float64
+	if lim := m.cfg.ReadDisturbLimit; lim > 0 {
+		r += float64(f.blocks[bi].disturb) / float64(lim)
+	}
+	if lim := m.cfg.RetentionLimit; lim > 0 {
+		blk := &f.blocks[bi]
+		base := int64(bi) * int64(f.geo.PagesPerBlock)
+		var oldest sim.Time
+		found := false
+		for pg := 0; pg < f.geo.PagesPerBlock; pg++ {
+			if !blk.written[pg] {
+				continue
+			}
+			if d := f.oob[base+int64(pg)].doneAt; !found || d < oldest {
+				oldest = d
+				found = true
+			}
+		}
+		if found && now > oldest {
+			r += float64(now-oldest) / float64(lim)
+		}
+	}
+	return r
 }
 
 // NextProgramPage returns the next in-order programmable page of the block

@@ -24,6 +24,7 @@ func (f *Flash) EncodeState(e *snap.Enc) {
 	for i := range f.blocks {
 		blk := &f.blocks[i]
 		e.U64(uint64(blk.eraseCount))
+		e.U64(uint64(blk.disturb))
 		e.I64(int64(blk.nextPage))
 		e.Bool(blk.bad)
 		for _, w := range blk.written {
@@ -43,6 +44,7 @@ func (f *Flash) EncodeState(e *snap.Enc) {
 			e.I64(int64(o.doneAt))
 			e.U64(o.sum)
 			e.Bool(o.good)
+			e.U64(uint64(o.stripe))
 		}
 	}
 	e.Bool(f.trackData)
@@ -111,6 +113,7 @@ func (f *Flash) DecodeState(d *snap.Dec) error {
 	for i := range f.blocks {
 		blk := &f.blocks[i]
 		blk.eraseCount = uint32(d.U64())
+		blk.disturb = uint32(d.U64())
 		blk.nextPage = int32(d.I64())
 		blk.bad = d.Bool()
 		for pg := range blk.written {
@@ -131,6 +134,7 @@ func (f *Flash) DecodeState(d *snap.Dec) error {
 			o.doneAt = sim.Time(d.I64())
 			o.sum = d.U64()
 			o.good = d.Bool()
+			o.stripe = uint32(d.U64())
 		}
 	}
 	if tracked := d.Bool(); d.Err() == nil && tracked != f.trackData {

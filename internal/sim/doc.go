@@ -418,6 +418,47 @@
 // GC-heavy mixed stream, byte-identical payloads, stats and completion
 // times at workers 1, 2 and 4.
 //
+// # Scrub-domain determinism: patrol ticks as their own event domain
+//
+// The patrol scrubber (core.RunConfig.ScrubEvery) follows the power-loss
+// playbook for background machinery under horizon parallelism: its ticks
+// live in a dedicated engine domain ("scrub", like "powerloss"), so the
+// scheduler's cross-domain ordering — not worker scheduling — decides
+// where in the request stream each tick lands. A tick dispatches exactly
+// when every domain's horizon has passed it, which is a property of the
+// event multiset alone; at that point the scrubber reads the FTL's
+// disturb/retention risk ranking (pure model state, identical at any
+// worker count because every plan that shaped it dispatched identically)
+// and emits its migration plan through the same certified serial section
+// host writes use. The prefix of dispatched events before a tick is
+// therefore byte-identical at workers 1, 2 and 4, which is what lets the
+// scrub-enabled wear-out golden compare trajectories across the matrix —
+// and what makes "scrub strictly defers the read-only latch" a testable
+// claim instead of a race-dependent tendency.
+//
+// # RAIN reconstruction: the XOR identity is a property of durable state
+//
+// Die-level RAIN (ftl/rain.go) stripes each page row of a plane group as
+// W data pages plus one parity page XOR-ing them, emitted in the same
+// certified plan as the data write that completes the row. Flash pages
+// program exactly once per erase cycle and a stripe erases atomically
+// (the super-block erase wipes all planes), so from the parity program
+// until the erase, the XOR identity over the row's physical contents is
+// invariant — reconstruction reads no firmware RAM, only pages whose OOB
+// stamps (tag, sequence, checksum verdict, stripe mask) prove membership.
+// That is what makes an uncorrectable read's recovery deterministic at
+// any worker count: core.System reassembles the page in the serial
+// section that owns the faulted plan (stripe peers resolved from the
+// mapping model, payloads XOR-ed from tracked flash state), executes a
+// certified re-homing plan, and the repaired mapping is a pure function
+// of the op sequence — the same function the serial drain computes. A
+// missing or torn member is a double fault and degrades to the honest
+// loss path (unmap, counted), never to serving reassembled-wrong bytes;
+// parity membership itself survives power loss because the stripe mask
+// rides the parity page's OOB stamp and ftl.Mount rebuilds it in the
+// fixed scan order, with ftl.ParityCatchup re-emitting parity the cut
+// stranded.
+//
 // # Resources
 //
 // Resource and Pool model FCFS servers by time reservation: Claim(now, dur)
