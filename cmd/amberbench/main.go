@@ -32,6 +32,7 @@ import (
 	"amber/internal/config"
 	"amber/internal/core"
 	"amber/internal/exp"
+	"amber/internal/farm"
 	"amber/internal/ftl"
 	"amber/internal/nand"
 	"amber/internal/sim"
@@ -99,6 +100,14 @@ type jsonReport struct {
 	// RAIN armed, scrub off versus on: reconstruction/scrub counters and
 	// the read-only horizon each leg reached.
 	RainScrub jsonRainScrub `json:"rain_scrub"`
+	// DeviceFarm reports the multi-device farm subsystem: the single-device
+	// submit loop with every farm fault knob off (must stay allocation-free
+	// — the farm rides on core unchanged), then a seeded fault-storm run
+	// over a 9-device farm with serial versus parallel device windows. The
+	// identical=true assertion pins the full trajectory fingerprint —
+	// counters, failure timeline, per-device digests — byte-equal across
+	// worker counts; the wall-clock ratio is the scale-out win.
+	DeviceFarm jsonDeviceFarm `json:"device_farm"`
 }
 
 type jsonExperiment struct {
@@ -1110,6 +1119,160 @@ func submitMicrobench(n int) (jsonSubmitBench, error) {
 	return sb, nil
 }
 
+// jsonDeviceFarm is the device_farm trajectory section. DisabledNsPerOp /
+// DisabledAllocsOp gate the single-device submit hot path with every farm
+// fault knob off; the remaining fields report the seeded fault-storm farm
+// run serial versus parallel device windows.
+type jsonDeviceFarm struct {
+	Devices  int `json:"devices"`
+	Groups   int `json:"groups"`
+	Replicas int `json:"replicas"`
+	Spares   int `json:"spares"`
+	Requests int `json:"requests"` // total tenant requests per farm run
+	// Disabled-path gate: plain single-device submit loop, farm absent.
+	DisabledNsPerOp  float64 `json:"disabled_ns_per_op"`
+	DisabledAllocsOp float64 `json:"disabled_allocs_per_op"`
+	// Fault-storm farm run, serial vs parallel device windows.
+	SerialWallSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelWorkers     int     `json:"parallel_workers"`
+	ParallelWallSeconds float64 `json:"parallel_wall_seconds"`
+	Speedup             float64 `json:"speedup"` // serial / parallel wall
+	// Identical asserts the serial and parallel trajectory fingerprints
+	// (counters, event timeline, per-device terminal digests) byte-equal.
+	Identical bool `json:"identical"`
+	// Storm-run outcome (identical across worker counts by construction).
+	SubOps            uint64 `json:"sub_ops"`
+	Hedges            uint64 `json:"hedges"`
+	HedgeWins         uint64 `json:"hedge_wins"`
+	Retries           uint64 `json:"retries"`
+	Timeouts          uint64 `json:"timeouts"`
+	DeviceDeaths      uint64 `json:"device_deaths"`
+	ReadOnlyLatches   uint64 `json:"read_only_latches"`
+	RebuildsCompleted uint64 `json:"rebuilds_completed"`
+	UnitsCopied       uint64 `json:"units_copied"`
+	EndTimeNs         uint64 `json:"end_time_ns"`
+}
+
+// deviceFarmBench measures the farm subsystem. The disabled leg re-runs
+// the plain single-device submit loop (no farm, no fault knobs): carrying
+// the device-down / service-delay checks must not cost the hot path an
+// allocation. The storm legs drive the same seeded fault schedule as the
+// farm golden test — a device death with spare failover and rebuild,
+// read-only latches, latency storms with hedges — over a 9-device farm,
+// once with serial device windows and once with one worker per core, and
+// assert the trajectories byte-identical.
+func deviceFarmBench(n int) (jsonDeviceFarm, error) {
+	const groups, replicas, spares = 4, 2, 1
+	b := jsonDeviceFarm{
+		Devices:  groups*replicas + spares,
+		Groups:   groups,
+		Replicas: replicas,
+		Spares:   spares,
+	}
+
+	// Disabled leg: single device, plain submit loop.
+	{
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		s, err := core.NewSystem(config.PCSystem(d))
+		if err != nil {
+			return b, err
+		}
+		if err := s.Precondition(16); err != nil {
+			return b, err
+		}
+		gen, err := workload.NewFIO(workload.RandWrite, 4096, s.VolumeBytes(), 1)
+		if err != nil {
+			return b, err
+		}
+		for i := 0; i < 500; i++ {
+			if _, err := s.Submit(s.Now(), gen.Next(i), nil); err != nil {
+				return b, err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := s.Submit(s.Now(), gen.Next(500+i), nil); err != nil {
+				return b, err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		b.DisabledNsPerOp = float64(wall.Nanoseconds()) / float64(n)
+		b.DisabledAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	}
+
+	// Storm legs: same schedule as the farm golden test (seed 4 resolves to
+	// one death, read-only latches and latency storms on this topology).
+	const tenants = 4
+	per := n / tenants
+	if per < 50 {
+		per = 50
+	}
+	b.Requests = tenants * per
+	run := func(workers int) (string, farm.Stats, sim.Time, float64, error) {
+		d := config.SmallTestDevice()
+		d.TrackData = false
+		f, err := farm.New(farm.Config{
+			Device:   config.PCSystem(d),
+			Groups:   groups,
+			Replicas: replicas,
+			Spares:   spares,
+			Workers:  workers,
+			Policy:   farm.Policy{HedgeAfter: 2 * sim.Millisecond},
+			Faults: farm.FaultConfig{
+				Seed:         4,
+				DeathProb:    0.15,
+				DeathMin:     8 * sim.Millisecond,
+				DeathMax:     30 * sim.Millisecond,
+				ReadOnlyProb: 0.10,
+				ReadOnlyMin:  8 * sim.Millisecond,
+				ReadOnlyMax:  30 * sim.Millisecond,
+				StormProb:    0.30,
+				StormMin:     5 * sim.Millisecond,
+				StormMax:     40 * sim.Millisecond,
+				StormLen:     20 * sim.Millisecond,
+				StormPenalty: 8 * sim.Millisecond,
+			},
+		})
+		if err != nil {
+			return "", farm.Stats{}, 0, 0, err
+		}
+		start := time.Now()
+		res, err := f.Run(farm.RunConfig{
+			Tenants: tenants, Requests: per, MixedWrites: per / 2, Seed: 42,
+		})
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return "", farm.Stats{}, 0, 0, err
+		}
+		return f.Fingerprint(), res.Stats, res.Now, wall, nil
+	}
+	fpSerial, s, end, serialWall, err := run(0)
+	if err != nil {
+		return b, err
+	}
+	b.ParallelWorkers = runtime.GOMAXPROCS(0)
+	fpPar, _, _, parWall, err := run(b.ParallelWorkers)
+	if err != nil {
+		return b, err
+	}
+	b.SerialWallSeconds, b.ParallelWallSeconds = serialWall, parWall
+	if parWall > 0 {
+		b.Speedup = serialWall / parWall
+	}
+	b.Identical = fpSerial == fpPar
+	b.SubOps, b.Hedges, b.HedgeWins = s.SubOps, s.Hedges, s.HedgeWins
+	b.Retries, b.Timeouts = s.Retries, s.Timeouts
+	b.DeviceDeaths, b.ReadOnlyLatches = s.DeviceDeaths, s.ReadOnlyLatches
+	b.RebuildsCompleted, b.UnitsCopied = s.RebuildsCompleted, s.UnitsCopied
+	b.EndTimeNs = uint64(end)
+	return b, nil
+}
+
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "reduced request counts and sweep resolution")
@@ -1261,6 +1424,13 @@ func main() {
 			failed++
 		} else {
 			report.RainScrub = rs
+		}
+		df, err := deviceFarmBench(n / 4)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amberbench: device-farm bench: %v\n", err)
+			failed++
+		} else {
+			report.DeviceFarm = df
 		}
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {

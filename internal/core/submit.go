@@ -227,6 +227,14 @@ func (s *System) SubmitAsync(e *sim.Engine, req workload.Request, data []byte, c
 		cb(0, fmt.Errorf("core: data buffer shorter than request"))
 		return
 	}
+	if s.down {
+		// Injected whole-device failure (SetDeviceDown): the device no
+		// longer answers anything. The host layer above decides when the
+		// silence is observed (its request timeout).
+		cb(0, fmt.Errorf("core: request [%d,+%d) lost: %w",
+			req.Offset, req.Length, ErrDeviceDown))
+		return
+	}
 	if s.FTL.ReadOnly() {
 		if req.Write {
 			// Grown bad blocks exhausted the spare reserve: the device
@@ -388,6 +396,7 @@ func (s *System) Submit(now sim.Time, req workload.Request, data []byte) (sim.Ti
 	if now < s.now {
 		now = s.now
 	}
+	now += s.serviceDelay
 	e := s.submitEngine()
 	e.Reset()
 	s.subReq, s.subData = req, data
@@ -452,7 +461,11 @@ func (s *System) submitEngine() *sim.Engine {
 // histograms without falling back to the evented path. Processing stops at
 // the first error, which is returned wrapped with the request's index;
 // earlier requests remain applied, exactly as a Submit loop would leave
-// them.
+// them. On error the times slots of the failing request and every request
+// after it are zeroed: zero is the documented "no completion" sentinel (a
+// real completion is always positive — stage-1 submission costs alone push
+// it past zero), so callers never read a stale time for a request that
+// failed mid-window, even when reusing one times buffer across batches.
 func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]byte, times []sim.Time) (sim.Time, error) {
 	if now < s.now {
 		now = s.now
@@ -496,6 +509,13 @@ func (s *System) SubmitBatch(now sim.Time, reqs []workload.Request, datas [][]by
 		}
 		if err != nil {
 			s.drainWindow(e, &fill)
+			if times != nil {
+				// No stale completions: the failed request and the
+				// requests never reached hold the zero sentinel.
+				for j := i; j < len(reqs); j++ {
+					times[j] = 0
+				}
+			}
 			return 0, fmt.Errorf("core: batch request %d: %w", i, err)
 		}
 		if times != nil {
@@ -547,10 +567,15 @@ func (s *System) submitInline(e *sim.Engine, now sim.Time, req workload.Request,
 	if data != nil && len(data) < req.Length {
 		return 0, fmt.Errorf("core: data buffer shorter than request")
 	}
+	if s.down {
+		return 0, fmt.Errorf("core: request [%d,+%d) lost: %w",
+			req.Offset, req.Length, ErrDeviceDown)
+	}
 	if s.FTL.ReadOnly() {
 		return 0, fmt.Errorf("core: write of [%d,+%d) refused: %w",
 			req.Offset, req.Length, ftl.ErrReadOnly)
 	}
+	now += s.serviceDelay
 
 	// Stage 1: kernel submission, doorbell, command fetch, queue/parse.
 	sequential := req.Offset == s.lastEnd

@@ -469,6 +469,14 @@ func (f *FTL) FreeSuperBlocks() int { return len(f.freeSB) }
 // and the device now refuses new host writes.
 func (f *FTL) ReadOnly() bool { return f.readOnly }
 
+// ForceReadOnly latches the drive read-only immediately, exactly as if the
+// grown-bad-block budget had just been exhausted: writes refuse with
+// ErrReadOnly, reads keep serving, and the latch is permanent for the life
+// of the FTL like the organic wear-out one. Device-level fault injection
+// (internal/farm) uses it to schedule a whole-device read-only latch
+// without having to provoke real block retirements.
+func (f *FTL) ForceReadOnly() { f.readOnly = true }
+
 // SpareHeadroom returns how many more super-block retirements the device
 // absorbs before going read-only (floored at zero).
 func (f *FTL) SpareHeadroom() int {
